@@ -1,0 +1,36 @@
+//! E7 scaling: the Corollary 3 identical-copies test as transaction size
+//! grows, vs running Theorem 4 on d explicit copies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_core::{copies_safe_df, many_safe_df, ManyOptions};
+use ddlf_model::{Database, EntityId, TransactionSystem};
+use ddlf_workloads::two_phase_total_order;
+
+fn bench_copies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corollary3_copies");
+    for n in [8usize, 32, 128] {
+        let db = Database::one_entity_per_site(n);
+        let order: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let t = two_phase_total_order(&db, "T", &order);
+        g.bench_with_input(BenchmarkId::new("corollary3", n), &n, |b, _| {
+            b.iter(|| copies_safe_df(&t).is_ok())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("theorem5_vs_theorem4");
+    let db = Database::one_entity_per_site(6);
+    let order: Vec<EntityId> = (0..6u32).map(EntityId).collect();
+    let t = two_phase_total_order(&db, "T", &order);
+    for d in [2usize, 3, 4] {
+        let sys = TransactionSystem::copies(db.clone(), &t, d).unwrap();
+        g.bench_with_input(BenchmarkId::new("theorem4_on_copies", d), &d, |b, _| {
+            b.iter(|| many_safe_df(&sys, ManyOptions::default()).is_ok())
+        });
+    }
+    g.bench_function("corollary3_once", |b| b.iter(|| copies_safe_df(&t).is_ok()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_copies);
+criterion_main!(benches);

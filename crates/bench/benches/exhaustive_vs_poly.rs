@@ -1,0 +1,32 @@
+//! E10: the coNP wall — exhaustive state-space checking vs the
+//! polynomial certifier on certified pairs whose state space grows as
+//! Θ(3ᵏ) (k parallel lock/unlock branches under a root lock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_bench::experiments::parallel_branch_copy_pair;
+use ddlf_core::{pairwise_safe_df, Explorer};
+use ddlf_model::TxnId;
+
+fn bench_wall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exhaustive_vs_poly");
+    g.sample_size(10);
+    for k in [3usize, 5, 7, 9] {
+        let sys = parallel_branch_copy_pair(k);
+        g.bench_with_input(BenchmarkId::new("exhaustive_lemma1", k), &k, |b, _| {
+            b.iter(|| {
+                Explorer::new(&sys, 50_000_000)
+                    .find_conflict_cycle()
+                    .0
+                    .holds()
+            })
+        });
+        let (t1, t2) = (sys.txn(TxnId(0)), sys.txn(TxnId(1)));
+        g.bench_with_input(BenchmarkId::new("theorem3", k), &k, |b, _| {
+            b.iter(|| pairwise_safe_df(t1, t2).is_ok())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wall);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E6 scaling: Theorem 4 on ring and star systems as the number of
+//! transactions grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_core::{many_safe_df, ManyOptions};
+use ddlf_workloads::{ring_system, star_system};
+
+fn bench_many(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem4_many");
+    for d in [3usize, 4, 6, 8] {
+        let ring = ring_system(d);
+        g.bench_with_input(BenchmarkId::new("ring_reject", d), &d, |b, _| {
+            b.iter(|| many_safe_df(&ring, ManyOptions::default()).is_err())
+        });
+        let star = star_system(d);
+        g.bench_with_input(BenchmarkId::new("star_certify", d), &d, |b, _| {
+            b.iter(|| many_safe_df(&star, ManyOptions::default()).is_ok())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_many);
+criterion_main!(benches);

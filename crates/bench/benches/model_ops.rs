@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the model substrate: transaction building
+//! (closure computation), schedule validation, conflict-digraph
+//! construction, and linear-extension enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_model::{
+    count_linear_extensions, Database, EntityId, Schedule, Transaction, TransactionSystem, TxnId,
+};
+use ddlf_workloads::{scaling_pair, two_phase_total_order, LockDiscipline};
+
+fn bench_build_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transaction_build");
+    for n in [16usize, 64, 256, 1024] {
+        let db = Database::one_entity_per_site(n);
+        let order: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        g.bench_with_input(BenchmarkId::new("two_phase_chain", n), &n, |b, _| {
+            b.iter(|| two_phase_total_order(&db, "T", &order))
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_validate");
+    for n in [16usize, 64, 256] {
+        let sys = scaling_pair(n, LockDiscipline::OrderedTwoPhase, 3);
+        let s = Schedule::serial(&sys, &[TxnId(0), TxnId(1)]);
+        g.bench_with_input(BenchmarkId::new("serial_complete", n), &n, |b, _| {
+            b.iter(|| s.validate(&sys).unwrap().complete)
+        });
+        g.bench_with_input(BenchmarkId::new("conflict_digraph", n), &n, |b, _| {
+            let v = s.validate(&sys).unwrap();
+            b.iter(|| s.conflict_digraph(&sys, &v).is_acyclic())
+        });
+    }
+    g.finish();
+}
+
+fn bench_linear_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linear_extensions");
+    for k in [3usize, 5, 7] {
+        let db = Database::one_entity_per_site(k);
+        let mut b = Transaction::builder("T");
+        for e in 0..k {
+            b.lock_unlock(EntityId(e as u32));
+        }
+        let t = b.build(&db).unwrap();
+        g.bench_with_input(BenchmarkId::new("count_parallel_pairs", k), &k, |bch, _| {
+            bch.iter(|| count_linear_extensions(&t, 100_000))
+        });
+    }
+    g.finish();
+}
+
+fn bench_interaction_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interaction_graph");
+    for d in [8usize, 32, 128] {
+        let db = Database::one_entity_per_site(d);
+        let txns: Vec<Transaction> = (0..d)
+            .map(|i| {
+                two_phase_total_order(
+                    &db,
+                    &format!("T{i}"),
+                    &[EntityId(i as u32), EntityId(((i + 1) % d) as u32)],
+                )
+            })
+            .collect();
+        let sys = TransactionSystem::new(db.clone(), txns).unwrap();
+        g.bench_with_input(BenchmarkId::new("ring", d), &d, |b, _| {
+            b.iter(|| sys.interaction_graph().edge_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_closure,
+    bench_schedule_validate,
+    bench_linear_extensions,
+    bench_interaction_graph
+);
+criterion_main!(benches);

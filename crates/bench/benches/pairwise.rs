@@ -1,0 +1,41 @@
+//! E5 scaling: Theorem 3 `O(n²)` test vs the `O(n³)` minimal-prefix
+//! variant, as transaction size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_core::{pairwise_safe_df, pairwise_safe_df_minimal_prefix};
+use ddlf_model::TxnId;
+use ddlf_workloads::{scaling_pair, LockDiscipline};
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem3_pairwise");
+    for n in [16usize, 32, 64, 128, 256] {
+        let sys = scaling_pair(n, LockDiscipline::OrderedTwoPhase, 7);
+        let (t1, t2) = (sys.txn(TxnId(0)), sys.txn(TxnId(1)));
+        g.bench_with_input(BenchmarkId::new("quadratic", n), &n, |b, _| {
+            b.iter(|| pairwise_safe_df(t1, t2).is_ok())
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("minimal_prefix_cubic", n), &n, |b, _| {
+                b.iter(|| pairwise_safe_df_minimal_prefix(t1, t2).is_ok())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_pairwise_violating(c: &mut Criterion) {
+    // Early-unlock pairs violate condition (2) — measures the fast-reject
+    // path.
+    let mut g = c.benchmark_group("theorem3_pairwise_reject");
+    for n in [32usize, 128] {
+        let sys = scaling_pair(n, LockDiscipline::RandomLegal, 3);
+        let (t1, t2) = (sys.txn(TxnId(0)), sys.txn(TxnId(1)));
+        g.bench_with_input(BenchmarkId::new("random_legal", n), &n, |b, _| {
+            b.iter(|| pairwise_safe_df(t1, t2).is_ok())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pairwise, bench_pairwise_violating);
+criterion_main!(benches);

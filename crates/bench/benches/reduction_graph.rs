@@ -1,0 +1,37 @@
+//! §3 machinery: reduction-graph construction and cycle detection cost on
+//! prefixes of growing systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_core::ReductionGraph;
+use ddlf_model::{Prefix, SystemPrefix, TxnId};
+use ddlf_workloads::{fig2, scaling_pair, LockDiscipline};
+
+fn bench_reduction_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_graph");
+
+    let (sys, prefix) = fig2();
+    g.bench_function("fig2_build_and_cycle", |b| {
+        b.iter(|| {
+            let rg = ReductionGraph::build(&sys, &prefix);
+            rg.is_cyclic()
+        })
+    });
+
+    for n in [16usize, 64, 256] {
+        let sys = scaling_pair(n, LockDiscipline::OrderedTwoPhase, 3);
+        // Prefix: T1 executed its first half (holds ~n/2 locks), T2 empty.
+        let t1 = sys.txn(TxnId(0));
+        let half: Vec<_> = t1.any_total_order().into_iter().take(n).collect();
+        let p = SystemPrefix::new(vec![
+            Prefix::from_nodes(t1, half).unwrap(),
+            Prefix::empty(sys.txn(TxnId(1))),
+        ]);
+        g.bench_with_input(BenchmarkId::new("halfway_prefix", n), &n, |b, _| {
+            b.iter(|| ReductionGraph::build(&sys, &p).is_cyclic())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction_graph);
+criterion_main!(benches);

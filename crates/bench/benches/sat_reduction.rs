@@ -1,0 +1,32 @@
+//! E4: Theorem 2 gadget — construction cost and deadlock-decision cost as
+//! formula size grows, against the DPLL baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_core::SatReduction;
+use ddlf_sat::{solve, Cnf, ThreeSatPrimeGen};
+
+fn instance(n: u32, seed: u64) -> Cnf {
+    ThreeSatPrimeGen { n_vars: n, seed }.generate()
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem2_gadget");
+    g.sample_size(20);
+    for n in [1u32, 2, 4, 6, 8] {
+        let f = instance(n, 0xBE);
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| SatReduction::build(&f).unwrap())
+        });
+        let red = SatReduction::build(&f).unwrap();
+        g.bench_with_input(BenchmarkId::new("decide_deadlock", n), &n, |b, _| {
+            b.iter(|| red.has_deadlock_prefix(2_000_000_000).unwrap().is_some())
+        });
+        g.bench_with_input(BenchmarkId::new("dpll_baseline", n), &n, |b, _| {
+            b.iter(|| solve(&f).is_sat())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E9: runtime policy costs on the banking workload (certified vs greedy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_model::TransactionSystem;
+use ddlf_sim::{run, DeadlockPolicy, SimConfig};
+use ddlf_workloads::Bank;
+
+fn workload(greedy: bool) -> TransactionSystem {
+    let bank = Bank::new(4, 4);
+    let routes = [
+        ((0usize, 0usize), (1usize, 0usize)),
+        ((1, 1), (2, 1)),
+        ((2, 2), (3, 2)),
+        ((3, 3), (0, 3)),
+        ((1, 2), (0, 1)),
+        ((3, 0), (2, 3)),
+    ];
+    let txns = routes
+        .iter()
+        .enumerate()
+        .map(|(i, &(from, to))| {
+            if greedy {
+                bank.transfer_greedy(&format!("t{i}"), from, to)
+            } else {
+                bank.transfer_ordered(&format!("t{i}"), from, to)
+            }
+        })
+        .collect();
+    TransactionSystem::new(bank.db.clone(), txns).unwrap()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let ordered = workload(false);
+    let greedy = workload(true);
+    let mut g = c.benchmark_group("simulator_policies");
+    g.sample_size(20);
+    let policies = [
+        ("nothing", DeadlockPolicy::Nothing),
+        ("detect", DeadlockPolicy::Detect { period_us: 5_000 }),
+        ("wound_wait", DeadlockPolicy::WoundWait),
+        ("wait_die", DeadlockPolicy::WaitDie),
+    ];
+    for (name, policy) in policies {
+        g.bench_with_input(
+            BenchmarkId::new("certified", name),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    run(
+                        &ordered,
+                        SimConfig {
+                            policy,
+                            seed: 5,
+                            ..Default::default()
+                        },
+                    )
+                    .committed
+                })
+            },
+        );
+        if name != "nothing" {
+            g.bench_with_input(BenchmarkId::new("greedy", name), &policy, |b, &policy| {
+                b.iter(|| {
+                    run(
+                        &greedy,
+                        SimConfig {
+                            policy,
+                            seed: 5,
+                            ..Default::default()
+                        },
+                    )
+                    .committed
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2: the (unsound but fast) Tirri two-entity pattern vs the exact
+//! lock→unlock cycle search vs exhaustive state search, on Fig. 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddlf_core::{lu_pair_deadlock_prefix, tirri_two_entity_pattern, Explorer};
+use ddlf_model::TxnId;
+use ddlf_workloads::fig2;
+
+fn bench_detectors(c: &mut Criterion) {
+    let (sys, _) = fig2();
+    let mut g = c.benchmark_group("fig2_detectors");
+    g.bench_function("tirri_two_entity", |b| {
+        b.iter(|| tirri_two_entity_pattern(sys.txn(TxnId(0)), sys.txn(TxnId(1))))
+    });
+    g.bench_function("lu_cycle_search", |b| {
+        b.iter(|| lu_pair_deadlock_prefix(&sys, 10_000_000).unwrap().is_some())
+    });
+    g.sample_size(10);
+    g.bench_function("exhaustive_state_search", |b| {
+        b.iter(|| Explorer::new(&sys, 10_000_000).find_deadlock().0.violated())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

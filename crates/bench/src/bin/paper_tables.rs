@@ -1,0 +1,50 @@
+//! Regenerates every experiment table (E1–E11) as markdown.
+//!
+//! Usage:
+//!   paper-tables [--quick] [--exp e4] [--json]
+//!
+//! With no arguments, runs all experiments at full size and prints
+//! markdown (the content embedded in EXPERIMENTS.md). `--quick` uses
+//! smaller sample sizes; `--exp eN` runs one experiment; `--json` emits
+//! machine-readable output.
+
+use ddlf_bench::experiments as exp;
+use ddlf_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let which: Option<String> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+
+    let tables: Vec<Table> = match which.as_deref() {
+        None => exp::all_experiments(quick),
+        Some("e1") => vec![exp::e1_fig1()],
+        Some("e2") => vec![exp::e2_fig2()],
+        Some("e3") => vec![exp::e3_fig3()],
+        Some("e4") => vec![exp::e4_theorem2(if quick { 4 } else { 12 })],
+        Some("e5") => vec![exp::e5_theorem3(if quick { 10 } else { 40 })],
+        Some("e6") => vec![exp::e6_theorem4()],
+        Some("e7") => vec![exp::e7_copies()],
+        Some("e8") => vec![exp::e8_theorem1(if quick { 10 } else { 40 })],
+        Some("e9") => vec![exp::e9_runtime(if quick { 3 } else { 20 })],
+        Some("e10") => vec![exp::e10_scaling()],
+        Some("e11") => vec![exp::e11_local_detection(if quick { 5 } else { 20 })],
+        Some(other) => {
+            eprintln!("unknown experiment {other:?}; use e1..e11");
+            std::process::exit(2);
+        }
+    };
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&tables).expect("serializable"));
+    } else {
+        for t in &tables {
+            println!("{}", t.to_markdown());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! # ddlf-bench — experiment harness
+//!
+//! One module per experiment (E1–E11 in DESIGN.md / EXPERIMENTS.md). Each
+//! returns a [`Table`] so the `paper-tables` binary, the integration
+//! tests, and EXPERIMENTS.md all draw from the same code.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

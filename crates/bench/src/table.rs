@@ -1,0 +1,100 @@
+//! Minimal markdown table rendering for experiment reports.
+
+use serde::Serialize;
+
+/// A rendered experiment: a title, commentary, and a markdown table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id ("E4") and title.
+    pub title: String,
+    /// One-paragraph explanation of what the table shows and what the
+    /// paper claims.
+    pub note: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        note: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Self {
+            title: title.into(),
+            note: note.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n{}\n\n", self.title, self.note));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Convenience macro-ish helper: formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a duration in microseconds adaptively.
+pub fn dur_us(us: f64) -> String {
+    if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{us:.1}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("E0 smoke", "demo", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### E0 smoke"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "y", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(dur_us(1.5), "1.5µs");
+        assert_eq!(dur_us(1500.0), "1.5ms");
+        assert_eq!(dur_us(2_500_000.0), "2.50s");
+        assert_eq!(f2(1.234), "1.23");
+    }
+}

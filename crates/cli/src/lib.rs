@@ -1,0 +1,304 @@
+//! # ddlf-cli — audit locked transaction systems from the command line
+//!
+//! The binary reads a [`ddlf_model::SystemSpec`] JSON file and runs the
+//! paper's analyses on it:
+//!
+//! ```text
+//! ddlf-audit certify  system.json          # Theorems 3/4: safe + deadlock-free?
+//! ddlf-audit deadlock system.json          # exhaustive deadlock search (small systems)
+//! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
+//! ddlf-audit dot      system.json          # Graphviz rendering
+//! ```
+//!
+//! The command logic lives in this library crate so it is unit-testable;
+//! `main.rs` only parses arguments.
+
+#![warn(missing_docs)]
+
+use ddlf_core::{certify_safe_and_deadlock_free, CertifyOptions, Explorer};
+use ddlf_model::{SystemSpec, TransactionSystem};
+use ddlf_sim::{run, DeadlockPolicy, SimConfig};
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `certify <spec>`
+    Certify {
+        /// Path to the spec JSON.
+        spec: String,
+    },
+    /// `deadlock <spec>`
+    Deadlock {
+        /// Path to the spec JSON.
+        spec: String,
+    },
+    /// `simulate <spec> [--policy P] [--seeds N]`
+    Simulate {
+        /// Path to the spec JSON.
+        spec: String,
+        /// Policy name.
+        policy: String,
+        /// Number of seeds to run.
+        seeds: u64,
+    },
+    /// `dot <spec>`
+    Dot {
+        /// Path to the spec JSON.
+        spec: String,
+    },
+}
+
+/// Parses CLI arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let spec = it.next().ok_or_else(usage)?.clone();
+    match cmd.as_str() {
+        "certify" => Ok(Command::Certify { spec }),
+        "deadlock" => Ok(Command::Deadlock { spec }),
+        "dot" => Ok(Command::Dot { spec }),
+        "simulate" => {
+            let mut policy = "detect".to_string();
+            let mut seeds = 10u64;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--policy" => {
+                        policy = rest
+                            .get(i + 1)
+                            .ok_or("missing value for --policy".to_string())?
+                            .to_string();
+                        i += 2;
+                    }
+                    "--seeds" => {
+                        seeds = rest
+                            .get(i + 1)
+                            .ok_or("missing value for --seeds".to_string())?
+                            .parse()
+                            .map_err(|e| format!("bad --seeds: {e}"))?;
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Simulate {
+                spec,
+                policy,
+                seeds,
+            })
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: ddlf-audit <certify|deadlock|simulate|dot> <system.json> \
+     [--policy nothing|detect|wound-wait|wait-die] [--seeds N]"
+        .to_string()
+}
+
+/// Loads a system from a spec JSON string.
+pub fn load_system(json: &str) -> Result<TransactionSystem, String> {
+    let spec: SystemSpec =
+        serde_json::from_str(json).map_err(|e| format!("spec parse error: {e}"))?;
+    spec.build().map_err(|e| format!("spec error: {e}"))
+}
+
+/// Executes a command against an already-loaded system, returning the
+/// report text (exit code 0) or an analysis-failure text (exit code 1).
+pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
+    match cmd {
+        Command::Certify { .. } => match certify_safe_and_deadlock_free(sys, CertifyOptions::default()) {
+            Ok(cert) => (
+                format!(
+                    "CERTIFIED: every schedule is serializable and every partial \
+                     schedule completable.\ncertificate: {cert:?}\n"
+                ),
+                0,
+            ),
+            Err(v) => (format!("REJECTED: {v}\n"), 1),
+        },
+        Command::Deadlock { .. } => {
+            let ex = Explorer::new(sys, 20_000_000);
+            let (verdict, stats) = ex.find_deadlock();
+            match verdict {
+                ddlf_core::Verdict::Holds => (
+                    format!("DEADLOCK-FREE ({} states explored)\n", stats.states),
+                    0,
+                ),
+                ddlf_core::Verdict::CounterExample(sched) => {
+                    let mut out = String::new();
+                    let _ = writeln!(
+                        out,
+                        "DEADLOCK REACHABLE after {} steps; witness partial schedule:",
+                        sched.len()
+                    );
+                    for g in sched.steps() {
+                        let t = sys.txn(g.txn);
+                        let op = t.op(g.node);
+                        let _ = writeln!(
+                            out,
+                            "  {} {}{}",
+                            t.name(),
+                            if op.is_lock() { "L" } else { "U" },
+                            sys.db().name_of(op.entity)
+                        );
+                    }
+                    (out, 1)
+                }
+                ddlf_core::Verdict::Inconclusive { states } => (
+                    format!("INCONCLUSIVE: state budget exhausted ({states} states)\n"),
+                    2,
+                ),
+            }
+        }
+        Command::Simulate { policy, seeds, .. } => {
+            let p = match policy.as_str() {
+                "nothing" => DeadlockPolicy::Nothing,
+                "detect" => DeadlockPolicy::Detect { period_us: 5_000 },
+                "wound-wait" => DeadlockPolicy::WoundWait,
+                "wait-die" => DeadlockPolicy::WaitDie,
+                other => return (format!("unknown policy {other:?}\n"), 2),
+            };
+            let mut out = String::new();
+            let mut bad = false;
+            for seed in 0..*seeds {
+                let r = run(
+                    sys,
+                    SimConfig {
+                        policy: p,
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                let _ = writeln!(
+                    out,
+                    "seed {seed}: committed {}/{} aborts {} deadlocks {} time {} serializable {:?}",
+                    r.committed,
+                    sys.len(),
+                    r.aborted_attempts,
+                    r.deadlocks_detected,
+                    r.end_time,
+                    r.serializable
+                );
+                bad |= !r.stalled.is_empty() || r.serializable == Some(false);
+            }
+            (out, i32::from(bad))
+        }
+        Command::Dot { .. } => (ddlf_model::dot::system_to_dot(sys), 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+      "entities": [ {"name": "x", "site": 0}, {"name": "y", "site": 1} ],
+      "transactions": [
+        { "name": "T1", "ops": ["L x", "L y", "U y", "U x"] },
+        { "name": "T2", "ops": ["L x", "L y", "U y", "U x"] }
+      ]
+    }"#;
+
+    const DEADLOCKY: &str = r#"{
+      "entities": [ {"name": "x", "site": 0}, {"name": "y", "site": 1} ],
+      "transactions": [
+        { "name": "T1", "ops": ["L x", "L y", "U x", "U y"] },
+        { "name": "T2", "ops": ["L y", "L x", "U y", "U x"] }
+      ]
+    }"#;
+
+    #[test]
+    fn parse_commands() {
+        let c = parse_args(&["certify".into(), "f.json".into()]).unwrap();
+        assert_eq!(c, Command::Certify { spec: "f.json".into() });
+        let c = parse_args(&[
+            "simulate".into(),
+            "f.json".into(),
+            "--policy".into(),
+            "wait-die".into(),
+            "--seeds".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Simulate {
+                spec: "f.json".into(),
+                policy: "wait-die".into(),
+                seeds: 3
+            }
+        );
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["bogus".into(), "f".into()]).is_err());
+        assert!(parse_args(&["simulate".into(), "f".into(), "--what".into()]).is_err());
+    }
+
+    #[test]
+    fn certify_good_and_bad() {
+        let sys = load_system(SPEC).unwrap();
+        let (out, code) = execute(&Command::Certify { spec: String::new() }, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("CERTIFIED"));
+
+        let sys = load_system(DEADLOCKY).unwrap();
+        let (out, code) = execute(&Command::Certify { spec: String::new() }, &sys);
+        assert_eq!(code, 1);
+        assert!(out.contains("REJECTED"));
+    }
+
+    #[test]
+    fn deadlock_check_outputs_witness() {
+        let sys = load_system(DEADLOCKY).unwrap();
+        let (out, code) = execute(&Command::Deadlock { spec: String::new() }, &sys);
+        assert_eq!(code, 1);
+        assert!(out.contains("DEADLOCK REACHABLE"));
+        assert!(out.contains("T1 L"));
+
+        let sys = load_system(SPEC).unwrap();
+        let (out, code) = execute(&Command::Deadlock { spec: String::new() }, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("DEADLOCK-FREE"));
+    }
+
+    #[test]
+    fn simulate_policies() {
+        let sys = load_system(DEADLOCKY).unwrap();
+        let cmd = Command::Simulate {
+            spec: String::new(),
+            policy: "wound-wait".into(),
+            seeds: 3,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert_eq!(out.lines().count(), 3);
+        let bad = Command::Simulate {
+            spec: String::new(),
+            policy: "martian".into(),
+            seeds: 1,
+        };
+        assert_eq!(execute(&bad, &sys).1, 2);
+    }
+
+    #[test]
+    fn dot_renders() {
+        let sys = load_system(SPEC).unwrap();
+        let (out, code) = execute(&Command::Dot { spec: String::new() }, &sys);
+        assert_eq!(code, 0);
+        assert!(out.contains("digraph"));
+    }
+
+    #[test]
+    fn bad_spec_reported() {
+        assert!(load_system("{").is_err());
+        assert!(load_system(r#"{"entities": [], "transactions": []}"#).is_ok());
+        let bad = r#"{
+          "entities": [ {"name": "x", "site": 0} ],
+          "transactions": [ { "name": "T", "ops": ["L x"] } ]
+        }"#;
+        assert!(load_system(bad).is_err(), "missing unlock must be rejected");
+    }
+}

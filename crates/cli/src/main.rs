@@ -1,0 +1,35 @@
+//! The `ddlf` command-line entry point (logic in the library crate).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match ddlf_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let path = match &cmd {
+        ddlf_cli::Command::Certify { spec }
+        | ddlf_cli::Command::Deadlock { spec }
+        | ddlf_cli::Command::Simulate { spec, .. }
+        | ddlf_cli::Command::Dot { spec } => spec.clone(),
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let sys = match ddlf_cli::load_system(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let (out, code) = ddlf_cli::execute(&cmd, &sys);
+    print!("{out}");
+    std::process::exit(code);
+}

@@ -1,0 +1,577 @@
+//! Exhaustive state-space analyses — the `[SM]`-style ground truth.
+//!
+//! The scheduler's state is the tuple of executed prefixes; lock ownership
+//! is a function of the state, so deadlock-freedom can be decided by
+//! exploring reachable states. For safety we additionally carry the arc
+//! set of the partial-schedule conflict digraph `D(S')` (Lemma 1), which
+//! *is* path-dependent and therefore part of the search state.
+//!
+//! Everything here is exponential in the worst case — deadlock-freedom is
+//! coNP-complete (Theorem 2) — and is used as the oracle the polynomial
+//! algorithms (`pairwise`, `many`, `copies`) are validated against, and as
+//! the honest baseline in the E10 scaling experiment.
+
+use crate::reduction::{DeadlockPrefix, ReductionGraph};
+use ddlf_model::{
+    EntityId, GlobalNode, NodeId, Schedule, SystemPrefix, TransactionSystem, TxnId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Result of an exhaustive search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict<T> {
+    /// The property holds: the search space was exhausted without finding
+    /// a counterexample.
+    Holds,
+    /// A counterexample was found.
+    CounterExample(T),
+    /// The state budget ran out before the space was exhausted.
+    Inconclusive {
+        /// States visited before giving up.
+        states: usize,
+    },
+}
+
+impl<T> Verdict<T> {
+    /// Whether the property was proven to hold.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+
+    /// The counterexample, if any.
+    pub fn counterexample(&self) -> Option<&T> {
+        match self {
+            Verdict::CounterExample(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether a counterexample was found.
+    pub fn violated(&self) -> bool {
+        matches!(self, Verdict::CounterExample(_))
+    }
+}
+
+/// Exhaustive explorer over the scheduler state space of one system.
+#[derive(Debug, Clone)]
+pub struct Explorer<'a> {
+    sys: &'a TransactionSystem,
+    max_states: usize,
+}
+
+/// What the explorer should look for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Goal {
+    /// A reachable stuck state with an unfinished transaction
+    /// (operational deadlock).
+    Deadlock,
+    /// A reachable state whose reduction graph is cyclic
+    /// (a deadlock prefix — Theorem 1's characterization).
+    DeadlockPrefix,
+    /// A reachable state whose conflict digraph `D(S')` is cyclic
+    /// (Lemma 1: the system is not safe-and-deadlock-free).
+    ConflictCycle,
+    /// A reachable *complete* schedule whose `D(S)` is cyclic
+    /// (the system is not safe).
+    UnserializableComplete,
+}
+
+/// Statistics of a finished search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Moves (schedule steps) attempted.
+    pub moves: usize,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer with a state budget.
+    pub fn new(sys: &'a TransactionSystem, max_states: usize) -> Self {
+        Self { sys, max_states }
+    }
+
+    /// Searches for an operational deadlock: a reachable state where some
+    /// transaction is unfinished and *no* legal move exists. `Holds` means
+    /// the system is deadlock-free.
+    pub fn find_deadlock(&self) -> (Verdict<Schedule>, SearchStats) {
+        self.run(Goal::Deadlock)
+            .map_counterexample(|w| w.schedule)
+    }
+
+    /// Searches for a deadlock prefix by testing the reduction graph of
+    /// every reachable state (every reachable state has a schedule: the
+    /// search path). `Holds` means no deadlock prefix exists — by Theorem 1
+    /// this must agree with [`Explorer::find_deadlock`].
+    pub fn find_deadlock_prefix(&self) -> (Verdict<DeadlockPrefix>, SearchStats) {
+        let (v, s) = self.run(Goal::DeadlockPrefix);
+        let v = match v {
+            Verdict::Holds => Verdict::Holds,
+            Verdict::Inconclusive { states } => Verdict::Inconclusive { states },
+            Verdict::CounterExample(w) => {
+                let prefix = w
+                    .prefix
+                    .expect("deadlock-prefix goal returns the prefix");
+                let cycle = w.cycle.expect("deadlock-prefix goal returns the cycle");
+                Verdict::CounterExample(DeadlockPrefix {
+                    prefix,
+                    schedule: w.schedule,
+                    cycle,
+                })
+            }
+        };
+        (v, s)
+    }
+
+    /// Lemma 1 ground truth: searches for a reachable partial schedule
+    /// whose conflict digraph is cyclic. `Holds` means the system is both
+    /// safe and deadlock-free.
+    pub fn find_conflict_cycle(&self) -> (Verdict<Schedule>, SearchStats) {
+        self.run(Goal::ConflictCycle)
+            .map_counterexample(|w| w.schedule)
+    }
+
+    /// Safety-only ground truth: searches for a complete, legal,
+    /// non-serializable schedule. `Holds` means the system is safe.
+    pub fn find_unserializable(&self) -> (Verdict<Schedule>, SearchStats) {
+        self.run(Goal::UnserializableComplete)
+            .map_counterexample(|w| w.schedule)
+    }
+
+    fn run(&self, goal: Goal) -> (Verdict<Witness>, SearchStats) {
+        let mut search = Search {
+            sys: self.sys,
+            goal,
+            track_conflicts: matches!(
+                goal,
+                Goal::ConflictCycle | Goal::UnserializableComplete
+            ),
+            max_states: self.max_states,
+            cur: SystemPrefix::empty(self.sys.txns()),
+            holders: HashMap::new(),
+            path: Vec::new(),
+            d_arcs: ConflictArcs::new(self.sys.len()),
+            visited: HashSet::new(),
+            stats: SearchStats::default(),
+            truncated: false,
+        };
+        let found = search.dfs();
+        let stats = search.stats;
+        let verdict = match found {
+            Some(w) => Verdict::CounterExample(w),
+            None if search.truncated => Verdict::Inconclusive {
+                states: stats.states,
+            },
+            None => Verdict::Holds,
+        };
+        (verdict, stats)
+    }
+}
+
+trait MapCounterexample<T> {
+    fn map_counterexample<U>(self, f: impl FnOnce(T) -> U) -> (Verdict<U>, SearchStats);
+}
+
+impl<T> MapCounterexample<T> for (Verdict<T>, SearchStats) {
+    fn map_counterexample<U>(self, f: impl FnOnce(T) -> U) -> (Verdict<U>, SearchStats) {
+        let v = match self.0 {
+            Verdict::Holds => Verdict::Holds,
+            Verdict::Inconclusive { states } => Verdict::Inconclusive { states },
+            Verdict::CounterExample(t) => Verdict::CounterExample(f(t)),
+        };
+        (v, self.1)
+    }
+}
+
+#[derive(Debug)]
+struct Witness {
+    schedule: Schedule,
+    prefix: Option<SystemPrefix>,
+    cycle: Option<Vec<GlobalNode>>,
+}
+
+/// Dense arc matrix of the conflict digraph over ≤ 64 transactions, with
+/// incremental cycle detection.
+#[derive(Debug, Clone)]
+struct ConflictArcs {
+    rows: Vec<u64>,
+}
+
+impl ConflictArcs {
+    fn new(d: usize) -> Self {
+        assert!(d <= 64, "exhaustive explorer supports at most 64 transactions");
+        Self { rows: vec![0; d] }
+    }
+
+    fn has(&self, a: usize, b: usize) -> bool {
+        self.rows[a] & (1 << b) != 0
+    }
+
+    fn add(&mut self, a: usize, b: usize) -> bool {
+        let fresh = !self.has(a, b);
+        self.rows[a] |= 1 << b;
+        fresh
+    }
+
+    fn remove(&mut self, a: usize, b: usize) {
+        self.rows[a] &= !(1 << b);
+    }
+
+    /// Whether `to` can reach `from` — i.e. whether adding `from → to`
+    /// would close (or has closed) a cycle.
+    fn reaches(&self, src: usize, dst: usize) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen: u64 = 1 << src;
+        let mut frontier: u64 = self.rows[src];
+        while frontier != 0 {
+            if frontier & (1 << dst) != 0 {
+                return true;
+            }
+            let mut new = 0u64;
+            let mut f = frontier & !seen;
+            seen |= frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                new |= self.rows[v];
+            }
+            frontier = new & !seen;
+        }
+        false
+    }
+
+    fn words(&self) -> &[u64] {
+        &self.rows
+    }
+}
+
+struct Search<'a> {
+    sys: &'a TransactionSystem,
+    goal: Goal,
+    track_conflicts: bool,
+    max_states: usize,
+    cur: SystemPrefix,
+    holders: HashMap<EntityId, TxnId>,
+    path: Vec<GlobalNode>,
+    d_arcs: ConflictArcs,
+    visited: HashSet<Box<[u64]>>,
+    stats: SearchStats,
+    truncated: bool,
+}
+
+impl Search<'_> {
+    fn encode(&self) -> Box<[u64]> {
+        let mut v = Vec::new();
+        for (_, p) in self.cur.iter() {
+            v.extend_from_slice(p.executed().words());
+        }
+        if self.track_conflicts {
+            v.extend_from_slice(self.d_arcs.words());
+        }
+        v.into_boxed_slice()
+    }
+
+    fn dfs(&mut self) -> Option<Witness> {
+        if self.stats.states >= self.max_states {
+            self.truncated = true;
+            return None;
+        }
+        if !self.visited.insert(self.encode()) {
+            return None;
+        }
+        self.stats.states += 1;
+
+        let complete = self.cur.is_complete(self.sys.txns());
+
+        // Goal checks at the current state.
+        match self.goal {
+            Goal::DeadlockPrefix => {
+                let rg = ReductionGraph::build(self.sys, &self.cur);
+                if let Some(cycle) = rg.cycle(self.sys) {
+                    return Some(Witness {
+                        schedule: Schedule::from_steps(self.path.clone()),
+                        prefix: Some(self.cur.clone()),
+                        cycle: Some(cycle),
+                    });
+                }
+            }
+            Goal::UnserializableComplete if complete => {
+                // Cyclicity was checked incrementally on each lock; a
+                // complete state is only interesting if its D is cyclic,
+                // which would have been detected at arc-add time below.
+            }
+            _ => {}
+        }
+        if complete {
+            return None;
+        }
+
+        // Enumerate legal moves.
+        let mut any_move = false;
+        for ti in 0..self.sys.len() {
+            let t = TxnId::from_index(ti);
+            let txn = self.sys.txn(t);
+            let ready: Vec<NodeId> = self.cur.of(t).ready_nodes(txn);
+            for n in ready {
+                let op = txn.op(n);
+                if op.is_lock() && self.holders.contains_key(&op.entity) {
+                    continue;
+                }
+                any_move = true;
+                self.stats.moves += 1;
+
+                // Apply.
+                let mut released: Option<TxnId> = None;
+                let mut added_arcs: Vec<(usize, usize)> = Vec::new();
+                let mut cyclic_now = false;
+                if op.is_lock() {
+                    self.holders.insert(op.entity, t);
+                    if self.track_conflicts {
+                        // New arcs t → k for accessors k that have not yet
+                        // locked this entity (Lemma 1's D(S') definition).
+                        for (k, txn_k) in self.sys.iter() {
+                            if k == t || !txn_k.accesses(op.entity) {
+                                continue;
+                            }
+                            let lk = txn_k.lock_node_of(op.entity).expect("accesses");
+                            if !self.cur.of(k).contains(lk) {
+                                if self.d_arcs.reaches(k.index(), t.index()) {
+                                    cyclic_now = true;
+                                }
+                                if self.d_arcs.add(t.index(), k.index()) {
+                                    added_arcs.push((t.index(), k.index()));
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    released = self.holders.remove(&op.entity);
+                }
+                self.cur.of_mut(t).push(n);
+                self.path.push(GlobalNode::new(t, n));
+
+                let result = if cyclic_now
+                    && matches!(self.goal, Goal::ConflictCycle)
+                {
+                    Some(Witness {
+                        schedule: Schedule::from_steps(self.path.clone()),
+                        prefix: None,
+                        cycle: None,
+                    })
+                } else if cyclic_now
+                    && matches!(self.goal, Goal::UnserializableComplete)
+                {
+                    // D is cyclic; any completion of this partial schedule
+                    // is non-serializable. Try to complete it.
+                    self.try_complete().map(|s| Witness {
+                        schedule: s,
+                        prefix: None,
+                        cycle: None,
+                    })
+                } else {
+                    self.dfs()
+                };
+
+                // Undo.
+                self.path.pop();
+                self.cur.of_mut(t).unpush(n);
+                for (a, b) in added_arcs {
+                    self.d_arcs.remove(a, b);
+                }
+                if op.is_lock() {
+                    self.holders.remove(&op.entity);
+                } else if let Some(h) = released {
+                    self.holders.insert(op.entity, h);
+                }
+
+                if let Some(w) = result {
+                    return Some(w);
+                }
+            }
+        }
+
+        if !any_move && matches!(self.goal, Goal::Deadlock) {
+            // Stuck and incomplete: operational deadlock.
+            return Some(Witness {
+                schedule: Schedule::from_steps(self.path.clone()),
+                prefix: Some(self.cur.clone()),
+                cycle: None,
+            });
+        }
+        None
+    }
+
+    /// From the current (cyclic-D) state, search for any completion,
+    /// ignoring conflict tracking. Returns the full schedule if found.
+    fn try_complete(&mut self) -> Option<Schedule> {
+        let target = SystemPrefix::new(
+            self.sys
+                .txns()
+                .iter()
+                .map(ddlf_model::Prefix::full)
+                .collect(),
+        );
+        // Complete from the current state greedily with backtracking.
+        let mut sub = crate::reduction::find_schedule_for_prefix_from(
+            self.sys,
+            &target,
+            &self.cur,
+            &self.holders,
+            self.max_states,
+        )?;
+        let mut full = self.path.clone();
+        full.append(&mut sub);
+        Some(Schedule::from_steps(full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_model::{Database, Op, Transaction};
+
+    fn pair(t1_order: &[(bool, u32)], t2_order: &[(bool, u32)], n_entities: usize) -> TransactionSystem {
+        let db = Database::one_entity_per_site(n_entities);
+        let mk = |name: &str, ops: &[(bool, u32)]| {
+            let ops: Vec<Op> = ops
+                .iter()
+                .map(|&(lock, e)| {
+                    if lock {
+                        Op::lock(EntityId(e))
+                    } else {
+                        Op::unlock(EntityId(e))
+                    }
+                })
+                .collect();
+            Transaction::from_total_order(name, &ops, &db).unwrap()
+        };
+        let t1 = mk("T1", t1_order);
+        let t2 = mk("T2", t2_order);
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
+    /// T1 = Lx Ly Ux Uy, T2 = Ly Lx Uy Ux: the classic deadlock.
+    fn deadlocky() -> TransactionSystem {
+        pair(
+            &[(true, 0), (true, 1), (false, 0), (false, 1)],
+            &[(true, 1), (true, 0), (false, 1), (false, 0)],
+            2,
+        )
+    }
+
+    /// Both transactions lock x then y (same order): deadlock-free, safe.
+    fn same_order() -> TransactionSystem {
+        pair(
+            &[(true, 0), (true, 1), (false, 0), (false, 1)],
+            &[(true, 0), (true, 1), (false, 0), (false, 1)],
+            2,
+        )
+    }
+
+    /// Non-two-phase, non-safe but deadlock-free pair:
+    /// T1 = Lx Ux Ly Uy ; T2 = Lx Ux Ly Uy (sequential lock/unlock).
+    fn unsafe_df() -> TransactionSystem {
+        pair(
+            &[(true, 0), (false, 0), (true, 1), (false, 1)],
+            &[(true, 0), (false, 0), (true, 1), (false, 1)],
+            2,
+        )
+    }
+
+    #[test]
+    fn deadlock_found_in_classic_pair() {
+        let sys = deadlocky();
+        let ex = Explorer::new(&sys, 1_000_000);
+        let (v, stats) = ex.find_deadlock();
+        let w = v.counterexample().expect("deadlock");
+        // The witness is a legal partial schedule.
+        let vs = w.validate(&sys).unwrap();
+        assert!(!vs.complete);
+        assert!(stats.states > 0);
+    }
+
+    #[test]
+    fn same_order_is_deadlock_free_and_safe() {
+        let sys = same_order();
+        let ex = Explorer::new(&sys, 1_000_000);
+        assert!(ex.find_deadlock().0.holds());
+        assert!(ex.find_deadlock_prefix().0.holds());
+        assert!(ex.find_conflict_cycle().0.holds());
+        assert!(ex.find_unserializable().0.holds());
+    }
+
+    #[test]
+    fn theorem1_agreement_on_classic_pair() {
+        let sys = deadlocky();
+        let ex = Explorer::new(&sys, 1_000_000);
+        let (dl, _) = ex.find_deadlock();
+        let (dp, _) = ex.find_deadlock_prefix();
+        assert!(dl.violated());
+        assert!(dp.violated());
+        let w = dp.counterexample().unwrap();
+        // The witness prefix really is a deadlock prefix.
+        w.schedule.validate(&sys).unwrap();
+        let rg = ReductionGraph::build(&sys, &w.prefix);
+        assert!(rg.is_cyclic());
+    }
+
+    #[test]
+    fn sequential_pair_is_unsafe_but_deadlock_free() {
+        let sys = unsafe_df();
+        let ex = Explorer::new(&sys, 1_000_000);
+        assert!(ex.find_deadlock().0.holds(), "no deadlock possible");
+        let (unsafe_v, _) = ex.find_unserializable();
+        let w = unsafe_v.counterexample().expect("non-serializable schedule");
+        assert!(!w.is_serializable(&sys).unwrap());
+        // Lemma 1 must flag it too (safe+DF is violated).
+        assert!(ex.find_conflict_cycle().0.violated());
+    }
+
+    #[test]
+    fn conflict_cycle_detects_classic_deadlock_too() {
+        // A deadlock also violates safe+DF (Lemma 1), even though every
+        // complete schedule of this pair happens to be serializable.
+        let sys = deadlocky();
+        let ex = Explorer::new(&sys, 1_000_000);
+        assert!(ex.find_conflict_cycle().0.violated());
+        assert!(ex.find_unserializable().0.holds(), "complete schedules are serializable");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_inconclusive() {
+        let sys = deadlocky();
+        let ex = Explorer::new(&sys, 1);
+        let (v, _) = ex.find_conflict_cycle();
+        assert!(matches!(v, Verdict::Inconclusive { .. }));
+    }
+
+    #[test]
+    fn single_transaction_trivially_fine() {
+        let db = Database::one_entity_per_site(1);
+        let t =
+            Transaction::from_total_order("T", &[Op::lock(EntityId(0)), Op::unlock(EntityId(0))], &db)
+                .unwrap();
+        let sys = TransactionSystem::new(db, vec![t]).unwrap();
+        let ex = Explorer::new(&sys, 10_000);
+        assert!(ex.find_deadlock().0.holds());
+        assert!(ex.find_conflict_cycle().0.holds());
+        assert!(ex.find_unserializable().0.holds());
+        assert!(ex.find_deadlock_prefix().0.holds());
+    }
+
+    #[test]
+    fn conflict_arcs_cycle_probe() {
+        let mut c = ConflictArcs::new(4);
+        assert!(c.add(0, 1));
+        assert!(c.add(1, 2));
+        assert!(!c.add(1, 2), "duplicate arc");
+        assert!(c.reaches(0, 2));
+        assert!(!c.reaches(2, 0));
+        c.add(2, 0);
+        assert!(c.reaches(2, 1));
+        c.remove(1, 2);
+        assert!(!c.reaches(0, 2));
+    }
+}

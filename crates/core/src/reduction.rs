@@ -1,0 +1,473 @@
+//! The **reduction graph** `R(A')` and deadlock prefixes (§3 of the paper).
+//!
+//! Given a prefix `A' = {T'₁, …, T'ₙ}` of a transaction system, the
+//! reduction graph captures the order constraints any continuation of a
+//! schedule of `A'` must obey:
+//!
+//! * its nodes are the *remaining* (unexecuted) operation nodes;
+//! * it contains every transaction arc between remaining nodes;
+//! * for each entity `x` locked-but-not-unlocked by `T'ᵢ`, it contains an
+//!   arc `Uⁱx → Lʲx` to every remaining `Lx` node of another transaction
+//!   (before anyone else may lock `x`, `Tᵢ` must unlock it).
+//!
+//! `A'` is a **deadlock prefix** when (1) it has a schedule, and (2) its
+//! reduction graph is cyclic. Theorem 1: a system is deadlock-free iff it
+//! has no deadlock prefix. The reduction graph generalizes the classic
+//! wait-for graph; unlike the wait-for graph it flags dooms *before* the
+//! operational deadlock state is reached, and — crucially for partial
+//! orders — acyclicity does **not** imply completability.
+
+use ddlf_model::{
+    DiGraph, GlobalNode, NodeId, Schedule, SystemPrefix, TransactionSystem, TxnId,
+};
+
+/// The reduction graph of a system prefix.
+#[derive(Debug, Clone)]
+pub struct ReductionGraph {
+    /// Digraph over dense global-node indices (executed nodes are present
+    /// but isolated, which does not affect cycle detection).
+    graph: DiGraph,
+    /// How many cross-transaction (`Ux → Lx`) arcs were added.
+    wait_arcs: usize,
+}
+
+impl ReductionGraph {
+    /// Builds `R(A')` for `prefix`.
+    pub fn build(sys: &TransactionSystem, prefix: &SystemPrefix) -> Self {
+        let mut graph = DiGraph::new(sys.total_nodes());
+        let mut wait_arcs = 0;
+
+        // Transaction arcs among remaining nodes. A prefix is downward
+        // closed, so a direct arc with its head outside the prefix has its
+        // tail outside too whenever the tail is remaining.
+        for (t, txn) in sys.iter() {
+            let p = prefix.of(t);
+            for a in txn.nodes() {
+                if p.contains(a) {
+                    continue;
+                }
+                for &b in txn.successors(a) {
+                    debug_assert!(!p.contains(b), "prefix not downward closed");
+                    graph.add_arc(
+                        sys.global_index(GlobalNode::new(t, a)),
+                        sys.global_index(GlobalNode::new(t, b)),
+                    );
+                }
+            }
+        }
+
+        // Wait arcs: for each held entity, its unlock precedes every other
+        // transaction's remaining lock of the same entity.
+        for (t, txn) in sys.iter() {
+            let p = prefix.of(t);
+            for e in p.held_entities(txn) {
+                let u = txn.unlock_node_of(e).expect("held entity is accessed");
+                let u_idx = sys.global_index(GlobalNode::new(t, u));
+                for (t2, txn2) in sys.iter() {
+                    if t2 == t || !txn2.accesses(e) {
+                        continue;
+                    }
+                    let l2 = txn2.lock_node_of(e).expect("accesses e");
+                    if !prefix.of(t2).contains(l2) {
+                        graph.add_arc(u_idx, sys.global_index(GlobalNode::new(t2, l2)));
+                        wait_arcs += 1;
+                    }
+                }
+            }
+        }
+
+        Self { graph, wait_arcs }
+    }
+
+    /// The underlying digraph (global-node indices).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Number of cross-transaction wait arcs.
+    pub fn wait_arc_count(&self) -> usize {
+        self.wait_arcs
+    }
+
+    /// Whether the reduction graph is cyclic.
+    pub fn is_cyclic(&self) -> bool {
+        self.graph.has_cycle()
+    }
+
+    /// A cycle witness as global nodes, if cyclic.
+    pub fn cycle(&self, sys: &TransactionSystem) -> Option<Vec<GlobalNode>> {
+        self.graph
+            .find_cycle()
+            .map(|c| c.into_iter().map(|i| sys.from_global_index(i)).collect())
+    }
+
+    /// Renders the reduction graph as Graphviz DOT: remaining nodes only,
+    /// transaction arcs solid, wait (`Ux → Lx`) arcs dashed and red —
+    /// the figure-1e style diagram for any prefix.
+    pub fn to_dot(&self, sys: &TransactionSystem, prefix: &SystemPrefix) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph reduction {{");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for (t, txn) in sys.iter() {
+            for n in txn.nodes() {
+                if prefix.of(t).contains(n) {
+                    continue;
+                }
+                let op = txn.op(n);
+                let idx = sys.global_index(GlobalNode::new(t, n));
+                let _ = writeln!(
+                    out,
+                    "  g{idx} [label=\"{}{} ({})\"];",
+                    if op.is_lock() { "L" } else { "U" },
+                    sys.db().name_of(op.entity),
+                    t
+                );
+            }
+        }
+        for u in 0..self.graph.len() {
+            let gu = sys.from_global_index(u);
+            if prefix.of(gu.txn).contains(gu.node) {
+                continue;
+            }
+            for &v in self.graph.successors(u) {
+                let gv = sys.from_global_index(v as usize);
+                let cross = gu.txn != gv.txn;
+                let style = if cross {
+                    " [style=dashed, color=red]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  g{u} -> g{v}{style};");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// A certified deadlock prefix: the prefix, a legal partial schedule
+/// executing it, and a cycle of its reduction graph.
+#[derive(Debug, Clone)]
+pub struct DeadlockPrefix {
+    /// The prefix `A'`.
+    pub prefix: SystemPrefix,
+    /// A schedule of `A'` (witnessing requirement (1)).
+    pub schedule: Schedule,
+    /// A cycle of `R(A')` (witnessing requirement (2)).
+    pub cycle: Vec<GlobalNode>,
+}
+
+/// Checks whether `prefix` is a deadlock prefix of `sys`: searches for a
+/// schedule of the prefix (exact search, exponential worst case — the
+/// problem is NP-hard) and tests the reduction graph for a cycle.
+///
+/// `budget` bounds the number of search states visited; `None` is returned
+/// both when the prefix is not a deadlock prefix and when the budget is
+/// exhausted (callers needing the distinction use
+/// [`find_schedule_for_prefix`] directly).
+pub fn check_deadlock_prefix(
+    sys: &TransactionSystem,
+    prefix: &SystemPrefix,
+    budget: usize,
+) -> Option<DeadlockPrefix> {
+    let rg = ReductionGraph::build(sys, prefix);
+    let cycle = rg.cycle(sys)?;
+    let schedule = find_schedule_for_prefix(sys, prefix, budget)?;
+    Some(DeadlockPrefix {
+        prefix: prefix.clone(),
+        schedule,
+        cycle,
+    })
+}
+
+/// Searches for a legal schedule that executes exactly `target` (each
+/// transaction runs precisely its prefix). Depth-first search over
+/// scheduler states with memoization; `budget` caps visited states.
+pub fn find_schedule_for_prefix(
+    sys: &TransactionSystem,
+    target: &SystemPrefix,
+    budget: usize,
+) -> Option<Schedule> {
+    let start = SystemPrefix::empty(sys.txns());
+    let holders = std::collections::HashMap::new();
+    find_schedule_for_prefix_from(sys, target, &start, &holders, budget)
+        .map(Schedule::from_steps)
+}
+
+/// Attempts to extend a legal partial schedule to a complete one
+/// (searching over lock-respecting continuations). Returns the full
+/// schedule if the partial schedule is completable, `None` if it is
+/// doomed (every continuation deadlocks) or the budget ran out.
+pub fn complete_schedule(
+    sys: &TransactionSystem,
+    partial: &Schedule,
+    budget: usize,
+) -> Option<Schedule> {
+    let v = partial.validate(sys).ok()?;
+    let holders: std::collections::HashMap<ddlf_model::EntityId, TxnId> = sys
+        .iter()
+        .flat_map(|(t, txn)| {
+            v.prefix
+                .of(t)
+                .held_entities(txn)
+                .into_iter()
+                .map(move |e| (e, t))
+        })
+        .collect();
+    let target = SystemPrefix::new(sys.txns().iter().map(ddlf_model::Prefix::full).collect());
+    let mut steps = partial.steps().to_vec();
+    let continuation = find_schedule_for_prefix_from(sys, &target, &v.prefix, &holders, budget)?;
+    steps.extend(continuation);
+    Some(Schedule::from_steps(steps))
+}
+
+/// Like [`find_schedule_for_prefix`], but resuming from an intermediate
+/// state (`start` prefixes with `holders` currently holding locks);
+/// returns only the continuation steps. Used by the exhaustive explorer
+/// to complete a schedule from mid-search.
+pub(crate) fn find_schedule_for_prefix_from(
+    sys: &TransactionSystem,
+    target: &SystemPrefix,
+    start: &SystemPrefix,
+    holders: &std::collections::HashMap<ddlf_model::EntityId, TxnId>,
+    budget: usize,
+) -> Option<Vec<GlobalNode>> {
+    use std::collections::{HashMap, HashSet};
+
+    struct Ctx<'a> {
+        sys: &'a TransactionSystem,
+        target: &'a SystemPrefix,
+        visited: HashSet<Box<[u64]>>,
+        states: usize,
+        budget: usize,
+        total_target: usize,
+    }
+
+    fn encode(cur: &SystemPrefix) -> Box<[u64]> {
+        let mut v = Vec::new();
+        for (_, p) in cur.iter() {
+            v.extend_from_slice(p.executed().words());
+        }
+        v.into_boxed_slice()
+    }
+
+    fn dfs(
+        ctx: &mut Ctx<'_>,
+        cur: &mut SystemPrefix,
+        holders: &mut HashMap<ddlf_model::EntityId, TxnId>,
+        path: &mut Vec<GlobalNode>,
+    ) -> bool {
+        if cur.total_len() == ctx.total_target {
+            return true;
+        }
+        if ctx.states >= ctx.budget {
+            return false;
+        }
+        ctx.states += 1;
+        if !ctx.visited.insert(encode(cur)) {
+            return false;
+        }
+        for ti in 0..ctx.sys.len() {
+            let t = TxnId::from_index(ti);
+            let txn = ctx.sys.txn(t);
+            let ready: Vec<NodeId> = cur
+                .of(t)
+                .ready_nodes(txn)
+                .into_iter()
+                .filter(|&n| ctx.target.of(t).contains(n))
+                .collect();
+            for n in ready {
+                let op = txn.op(n);
+                let mut released = None;
+                if op.is_lock() {
+                    if holders.contains_key(&op.entity) {
+                        continue;
+                    }
+                    holders.insert(op.entity, t);
+                } else {
+                    released = holders.remove(&op.entity);
+                }
+                cur.of_mut(t).push(n);
+                path.push(GlobalNode::new(t, n));
+                if dfs(ctx, cur, holders, path) {
+                    return true;
+                }
+                path.pop();
+                cur.of_mut(t).unpush(n);
+                if op.is_lock() {
+                    holders.remove(&op.entity);
+                } else if let Some(h) = released {
+                    holders.insert(op.entity, h);
+                }
+            }
+        }
+        false
+    }
+
+    // The start state must be consistent with the target.
+    for (t, p) in start.iter() {
+        if !p.executed().is_subset(target.of(t).executed()) {
+            return None;
+        }
+    }
+
+    let mut ctx = Ctx {
+        sys,
+        target,
+        visited: HashSet::new(),
+        states: 0,
+        budget,
+        total_target: target.total_len(),
+    };
+    let mut cur = start.clone();
+    let mut holders = holders.clone();
+    let mut path = Vec::new();
+    if dfs(&mut ctx, &mut cur, &mut holders, &mut path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_model::{Database, EntityId, Op, Prefix, Transaction};
+
+    /// Classic 2-transaction, 2-entity deadlock on total orders:
+    /// T1 = Lx Ly Ux Uy ; T2 = Ly Lx Uy Ux.
+    fn classic_pair() -> TransactionSystem {
+        let db = Database::one_entity_per_site(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let t1 = Transaction::from_total_order(
+            "T1",
+            &[Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)],
+            &db,
+        )
+        .unwrap();
+        let t2 = Transaction::from_total_order(
+            "T2",
+            &[Op::lock(y), Op::lock(x), Op::unlock(y), Op::unlock(x)],
+            &db,
+        )
+        .unwrap();
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
+    #[test]
+    fn classic_deadlock_prefix_detected() {
+        let sys = classic_pair();
+        // Prefix: T1 executed Lx; T2 executed Ly.
+        let prefix = SystemPrefix::new(vec![
+            Prefix::from_nodes(sys.txn(TxnId(0)), [NodeId(0)]).unwrap(),
+            Prefix::from_nodes(sys.txn(TxnId(1)), [NodeId(0)]).unwrap(),
+        ]);
+        let rg = ReductionGraph::build(&sys, &prefix);
+        assert!(rg.is_cyclic());
+        assert_eq!(rg.wait_arc_count(), 2);
+        let dp = check_deadlock_prefix(&sys, &prefix, 10_000).expect("deadlock prefix");
+        assert_eq!(dp.schedule.len(), 2);
+        dp.schedule.validate(&sys).unwrap();
+        // The cycle goes U1x → L2x → U2y → L1y (4 nodes), possibly longer
+        // through transaction arcs.
+        assert!(dp.cycle.len() >= 4);
+    }
+
+    #[test]
+    fn empty_prefix_reduction_graph_acyclic() {
+        let sys = classic_pair();
+        let prefix = SystemPrefix::empty(sys.txns());
+        let rg = ReductionGraph::build(&sys, &prefix);
+        assert!(!rg.is_cyclic());
+        assert_eq!(rg.wait_arc_count(), 0);
+        assert!(rg.cycle(&sys).is_none());
+    }
+
+    #[test]
+    fn safe_order_prefix_not_deadlock() {
+        let sys = classic_pair();
+        // T1 executed Lx Ly — holds both; T2 nothing. Reduction graph has
+        // wait arcs U1x → L2x, U1y → L2y but no cycle.
+        let prefix = SystemPrefix::new(vec![
+            Prefix::from_nodes(sys.txn(TxnId(0)), [NodeId(0), NodeId(1)]).unwrap(),
+            Prefix::empty(sys.txn(TxnId(1))),
+        ]);
+        let rg = ReductionGraph::build(&sys, &prefix);
+        assert!(!rg.is_cyclic());
+        assert_eq!(rg.wait_arc_count(), 2);
+        assert!(check_deadlock_prefix(&sys, &prefix, 10_000).is_none());
+    }
+
+    #[test]
+    fn reduction_dot_renders_wait_arcs() {
+        let sys = classic_pair();
+        let prefix = SystemPrefix::new(vec![
+            Prefix::from_nodes(sys.txn(TxnId(0)), [NodeId(0)]).unwrap(),
+            Prefix::from_nodes(sys.txn(TxnId(1)), [NodeId(0)]).unwrap(),
+        ]);
+        let rg = ReductionGraph::build(&sys, &prefix);
+        let dot = rg.to_dot(&sys, &prefix);
+        assert!(dot.contains("digraph reduction"));
+        assert!(dot.contains("style=dashed"), "wait arcs must be dashed");
+        // Executed nodes (the two executed locks) are not rendered.
+        assert_eq!(dot.matches("Le0").count() + dot.matches("Le1").count(), 2);
+    }
+
+    #[test]
+    fn completion_api() {
+        let sys = classic_pair();
+        // T1 holds x and y: completable (T1 finishes, then T2).
+        let ok = Schedule::from_steps(vec![
+            ddlf_model::GlobalNode::new(TxnId(0), NodeId(0)),
+            ddlf_model::GlobalNode::new(TxnId(0), NodeId(1)),
+        ]);
+        let full = complete_schedule(&sys, &ok, 1_000_000).expect("completable");
+        assert!(full.validate(&sys).unwrap().complete);
+        // Crossed holds: doomed.
+        let doomed = Schedule::from_steps(vec![
+            ddlf_model::GlobalNode::new(TxnId(0), NodeId(0)),
+            ddlf_model::GlobalNode::new(TxnId(1), NodeId(0)),
+        ]);
+        assert!(complete_schedule(&sys, &doomed, 1_000_000).is_none());
+    }
+
+    #[test]
+    fn schedule_search_finds_nontrivial_order() {
+        // Target: T1 fully done, T2 fully done — requires interleaving
+        // discipline (T1 must finish x before T2 locks it or vice versa).
+        let sys = classic_pair();
+        let target = SystemPrefix::new(vec![
+            Prefix::full(sys.txn(TxnId(0))),
+            Prefix::full(sys.txn(TxnId(1))),
+        ]);
+        let s = find_schedule_for_prefix(&sys, &target, 100_000).expect("completable");
+        assert_eq!(s.len(), 8);
+        let v = s.validate(&sys).unwrap();
+        assert!(v.complete);
+    }
+
+    #[test]
+    fn unschedulable_prefix_rejected() {
+        // Prefix where both transactions hold x: impossible.
+        let db = Database::one_entity_per_site(1);
+        let x = EntityId(0);
+        let t = Transaction::from_total_order("T", &[Op::lock(x), Op::unlock(x)], &db).unwrap();
+        let sys = TransactionSystem::new(db, vec![t.clone(), t.with_name("T2")]).unwrap();
+        let target = SystemPrefix::new(vec![
+            Prefix::from_nodes(sys.txn(TxnId(0)), [NodeId(0)]).unwrap(),
+            Prefix::from_nodes(sys.txn(TxnId(1)), [NodeId(0)]).unwrap(),
+        ]);
+        assert!(find_schedule_for_prefix(&sys, &target, 100_000).is_none());
+    }
+
+    #[test]
+    fn budget_zero_is_inconclusive_none() {
+        let sys = classic_pair();
+        let target = SystemPrefix::new(vec![
+            Prefix::full(sys.txn(TxnId(0))),
+            Prefix::full(sys.txn(TxnId(1))),
+        ]);
+        assert!(find_schedule_for_prefix(&sys, &target, 0).is_none());
+    }
+}

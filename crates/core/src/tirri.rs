@@ -1,0 +1,130 @@
+//! The two-entity deadlock pattern underlying Tirri's PODC'83
+//! polynomial-time test — the **flawed baseline** the paper corrects.
+//!
+//! Tirri's algorithm rests on the premise that a deadlock between two
+//! transactions implies two entities `x`, `y` with
+//!
+//! * `L¹y ≺ U¹x` and `L²x ≺ U²y` (each can request the second entity
+//!   while still holding the first), and
+//! * `¬(L¹y ≺ L¹x)` and `¬(L²x ≺ L²y)` (the requests are not forced to
+//!   serialize),
+//!
+//! i.e. the classical hold-and-wait pattern through exactly two entities.
+//! §3 of the paper shows the premise is wrong in a distributed database:
+//! Fig. 2 exhibits two transactions of identical syntax with **no** such
+//! pair of entities whose reduction graph nevertheless has a cycle through
+//! four entities. This module implements the pattern test so the
+//! counterexample can be demonstrated and benchmarked against the exact
+//! procedures.
+
+use ddlf_model::{EntityId, Transaction};
+
+/// Searches for the two-entity hold-and-wait pattern between `t1` and
+/// `t2`. Returns the witnessing pair `(x, y)` if present.
+///
+/// Interpreting the result:
+/// * `Some(_)` — a two-entity deadlock is *reachable* (this direction is
+///   sound: the four conditions let both transactions acquire their first
+///   entity and then block on the other's).
+/// * `None` — Tirri's premise concludes "deadlock-free", which is
+///   **unsound** for distributed transactions (Fig. 2).
+pub fn tirri_two_entity_pattern(
+    t1: &Transaction,
+    t2: &Transaction,
+) -> Option<(EntityId, EntityId)> {
+    let mut common = t1.entity_set().clone();
+    common.intersect_with(t2.entity_set());
+    let common: Vec<EntityId> = common.iter().map(EntityId::from_index).collect();
+
+    for &x in &common {
+        for &y in &common {
+            if x == y {
+                continue;
+            }
+            let (l1x, u1x) = (
+                t1.lock_node_of(x).expect("common"),
+                t1.unlock_node_of(x).expect("common"),
+            );
+            let l1y = t1.lock_node_of(y).expect("common");
+            let (l2x, l2y) = (
+                t2.lock_node_of(x).expect("common"),
+                t2.lock_node_of(y).expect("common"),
+            );
+            let u2y = t2.unlock_node_of(y).expect("common");
+
+            if t1.precedes(l1y, u1x)
+                && t2.precedes(l2x, u2y)
+                && !t1.precedes(l1y, l1x)
+                && !t2.precedes(l2x, l2y)
+            {
+                return Some((x, y));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_model::{Database, Op};
+
+    #[test]
+    fn classic_opposite_order_pair_detected() {
+        let db = Database::one_entity_per_site(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let t1 = Transaction::from_total_order(
+            "T1",
+            &[Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)],
+            &db,
+        )
+        .unwrap();
+        let t2 = Transaction::from_total_order(
+            "T2",
+            &[Op::lock(y), Op::lock(x), Op::unlock(y), Op::unlock(x)],
+            &db,
+        )
+        .unwrap();
+        // T1 holds x, requests y; T2 holds y, requests x.
+        assert_eq!(tirri_two_entity_pattern(&t1, &t2), Some((x, y)));
+    }
+
+    #[test]
+    fn same_order_pair_clean() {
+        let db = Database::one_entity_per_site(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let ops = [Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)];
+        let t1 = Transaction::from_total_order("T1", &ops, &db).unwrap();
+        let t2 = Transaction::from_total_order("T2", &ops, &db).unwrap();
+        assert_eq!(tirri_two_entity_pattern(&t1, &t2), None);
+    }
+
+    #[test]
+    fn sequential_locking_clean() {
+        let db = Database::one_entity_per_site(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let ops = [Op::lock(x), Op::unlock(x), Op::lock(y), Op::unlock(y)];
+        let t1 = Transaction::from_total_order("T1", &ops, &db).unwrap();
+        let t2 = Transaction::from_total_order("T2", &ops, &db).unwrap();
+        assert_eq!(tirri_two_entity_pattern(&t1, &t2), None);
+    }
+
+    #[test]
+    fn unordered_requests_detected_in_partial_orders() {
+        // Both transactions: Lx ∥ Ly with Lx → Uy and Ly → Ux (each may
+        // grab either entity first and then wait for the other).
+        let db = Database::one_entity_per_site(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let mk = |name: &str| {
+            let mut b = Transaction::builder(name);
+            let (lx, ux) = b.lock_unlock(x);
+            let (ly, uy) = b.lock_unlock(y);
+            b.arc(lx, uy);
+            b.arc(ly, ux);
+            b.build(&db).unwrap()
+        };
+        let t1 = mk("T1");
+        let t2 = mk("T2");
+        assert!(tirri_two_entity_pattern(&t1, &t2).is_some());
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types for model construction and schedule validation.
+
+use crate::ids::{EntityId, GlobalNode, NodeId, SiteId, TxnId};
+use std::fmt;
+
+/// Errors raised while building or validating transactions and systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An arc or operation referenced a node index that does not exist.
+    UnknownNode(NodeId),
+    /// An operation referenced an entity not present in the database.
+    UnknownEntity(EntityId),
+    /// A transaction referenced a site not present in the database.
+    UnknownSite(SiteId),
+    /// The transaction's precedence relation is cyclic, i.e. not a partial
+    /// order.
+    CyclicTransaction {
+        /// A node lying on the detected cycle.
+        on_cycle: NodeId,
+    },
+    /// An entity has a number of Lock nodes different from one.
+    LockCount {
+        /// The offending entity.
+        entity: EntityId,
+        /// How many Lock nodes it has.
+        count: usize,
+    },
+    /// An entity has a number of Unlock nodes different from one.
+    UnlockCount {
+        /// The offending entity.
+        entity: EntityId,
+        /// How many Unlock nodes it has.
+        count: usize,
+    },
+    /// The Lock node of an entity does not precede its Unlock node.
+    LockNotBeforeUnlock {
+        /// The offending entity.
+        entity: EntityId,
+    },
+    /// Two nodes touching entities of the same site are incomparable,
+    /// violating the model's per-site total order requirement (§2).
+    SiteNotTotallyOrdered {
+        /// The site whose operations are unordered.
+        site: SiteId,
+        /// First incomparable node.
+        a: NodeId,
+        /// Second incomparable node.
+        b: NodeId,
+    },
+    /// A transaction system referenced a transaction index out of range.
+    UnknownTxn(TxnId),
+    /// A schedule step referenced a node outside its transaction.
+    BadScheduleStep(GlobalNode),
+    /// A schedule step ran before one of its predecessors in the same
+    /// transaction (not a linear extension of a prefix).
+    PrecedenceViolated {
+        /// The step that ran too early.
+        step: GlobalNode,
+        /// A predecessor of `step` that had not run yet.
+        missing: NodeId,
+    },
+    /// A schedule repeated a node of a transaction.
+    DuplicateStep(GlobalNode),
+    /// A Lock step ran while another transaction held the entity: the
+    /// schedule does not respect the locks ("between every two Lx there is
+    /// a Ux").
+    LockHeld {
+        /// The offending Lock step.
+        step: GlobalNode,
+        /// The entity being locked.
+        entity: EntityId,
+        /// The transaction currently holding the lock.
+        holder: TxnId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ModelError::UnknownEntity(e) => write!(f, "unknown entity {e}"),
+            ModelError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            ModelError::CyclicTransaction { on_cycle } => {
+                write!(f, "transaction precedence is cyclic (through {on_cycle})")
+            }
+            ModelError::LockCount { entity, count } => {
+                write!(f, "entity {entity} has {count} Lock nodes, expected exactly 1")
+            }
+            ModelError::UnlockCount { entity, count } => {
+                write!(f, "entity {entity} has {count} Unlock nodes, expected exactly 1")
+            }
+            ModelError::LockNotBeforeUnlock { entity } => {
+                write!(f, "Lock {entity} does not precede Unlock {entity}")
+            }
+            ModelError::SiteNotTotallyOrdered { site, a, b } => write!(
+                f,
+                "nodes {a} and {b} touch site {site} but are incomparable; \
+                 same-site operations must be totally ordered"
+            ),
+            ModelError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            ModelError::BadScheduleStep(g) => write!(f, "schedule step {g} is out of range"),
+            ModelError::PrecedenceViolated { step, missing } => write!(
+                f,
+                "schedule step {step} ran before its predecessor {missing}"
+            ),
+            ModelError::DuplicateStep(g) => write!(f, "schedule step {g} appears twice"),
+            ModelError::LockHeld {
+                step,
+                entity,
+                holder,
+            } => write!(
+                f,
+                "schedule step {step} locks {entity} while {holder} still holds it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::LockHeld {
+            step: GlobalNode::new(TxnId(1), NodeId(3)),
+            entity: EntityId(7),
+            holder: TxnId(0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("T1.n3") && s.contains("e7") && s.contains("T0"));
+        let e2 = ModelError::SiteNotTotallyOrdered {
+            site: SiteId(2),
+            a: NodeId(0),
+            b: NodeId(1),
+        };
+        assert!(e2.to_string().contains("s2"));
+    }
+}

@@ -1,0 +1,596 @@
+//! Locked transactions as partial orders of Lock/Unlock operations (§2).
+//!
+//! A [`Transaction`] is a DAG whose nodes are `Lx`/`Ux` operations. The
+//! model's well-formedness rules are enforced at build time:
+//!
+//! 1. the precedence relation is a partial order (acyclic);
+//! 2. every accessed entity has exactly one `Lx` and one `Ux`, with
+//!    `Lx ≺ Ux`;
+//! 3. nodes touching entities of the same site are totally ordered — the
+//!    restriction that makes a one-site transaction an ordinary sequence.
+//!
+//! The strict transitive closure is precomputed as a bit matrix, so all
+//! precedence queries (`≺`, the paper's `R_T(s)` and `L_T(s)` sets, …) are
+//! `O(1)`/`O(n/64)`.
+
+use crate::bitset::{BitMatrix, BitSet};
+use crate::database::Database;
+use crate::error::ModelError;
+use crate::graph::DiGraph;
+use crate::ids::{EntityId, NodeId};
+use crate::op::{Op, OpKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A validated locked transaction over a [`Database`].
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    name: String,
+    ops: Vec<Op>,
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    /// Strict reachability: `reach.get(a, b)` ⇔ `a ≺ b`.
+    reach: BitMatrix,
+    lock_node: HashMap<EntityId, NodeId>,
+    unlock_node: HashMap<EntityId, NodeId>,
+    /// Sorted list of accessed entities, `R(T)` in the paper.
+    entities: Vec<EntityId>,
+    /// Same as `entities`, as a bitset over the database's entity space.
+    entity_set: BitSet,
+}
+
+impl Transaction {
+    /// Starts building a transaction with a display name.
+    pub fn builder(name: impl Into<String>) -> TransactionBuilder {
+        TransactionBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Builds a *centralized* transaction (a total order) from an operation
+    /// sequence, chaining consecutive operations.
+    pub fn from_total_order(
+        name: impl Into<String>,
+        ops: &[Op],
+        db: &Database,
+    ) -> Result<Self, ModelError> {
+        let mut b = Self::builder(name);
+        let nodes: Vec<NodeId> = ops.iter().map(|&op| b.op(op)).collect();
+        for w in nodes.windows(2) {
+            b.arc(w[0], w[1]);
+        }
+        b.build(db)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operation nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operation at node `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn op(&self, n: NodeId) -> Op {
+        self.ops[n.index()]
+    }
+
+    /// All node ids, in construction order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.ops.len()).map(NodeId::from_index)
+    }
+
+    /// Direct successors of `n` (arcs of the partial order, not the closure).
+    #[inline]
+    pub fn successors(&self, n: NodeId) -> &[NodeId] {
+        &self.succ[n.index()]
+    }
+
+    /// Direct predecessors of `n`.
+    #[inline]
+    pub fn predecessors(&self, n: NodeId) -> &[NodeId] {
+        &self.pred[n.index()]
+    }
+
+    /// Strict precedence: whether `a ≺ b` in the partial order.
+    #[inline]
+    pub fn precedes(&self, a: NodeId, b: NodeId) -> bool {
+        self.reach.get(a.index(), b.index())
+    }
+
+    /// Reflexive precedence: `a ⪯ b`.
+    #[inline]
+    pub fn precedes_eq(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || self.precedes(a, b)
+    }
+
+    /// The set of nodes strictly after `a`, as a bitset over node indices.
+    #[inline]
+    pub fn descendants(&self, a: NodeId) -> &BitSet {
+        self.reach.row(a.index())
+    }
+
+    /// The `Lx` node for entity `e`, if `e` is accessed.
+    #[inline]
+    pub fn lock_node_of(&self, e: EntityId) -> Option<NodeId> {
+        self.lock_node.get(&e).copied()
+    }
+
+    /// The `Ux` node for entity `e`, if `e` is accessed.
+    #[inline]
+    pub fn unlock_node_of(&self, e: EntityId) -> Option<NodeId> {
+        self.unlock_node.get(&e).copied()
+    }
+
+    /// `R(T)`: the sorted entities accessed by this transaction.
+    #[inline]
+    pub fn entities(&self) -> &[EntityId] {
+        &self.entities
+    }
+
+    /// `R(T)` as a bitset over the database entity space.
+    #[inline]
+    pub fn entity_set(&self) -> &BitSet {
+        &self.entity_set
+    }
+
+    /// Whether the transaction accesses `e`.
+    #[inline]
+    pub fn accesses(&self, e: EntityId) -> bool {
+        self.lock_node.contains_key(&e)
+    }
+
+    /// The paper's `R_T(s)`: entities `z` with `Lz ≺ s`.
+    pub fn r_set(&self, s: NodeId) -> BitSet {
+        let mut out = BitSet::new(self.entity_set.capacity());
+        for (&e, &ln) in &self.lock_node {
+            if self.precedes(ln, s) {
+                out.insert(e.index());
+            }
+        }
+        out
+    }
+
+    /// The paper's asymmetric `L_T(s)`: entities `z` such that `s ⪯ Uz` and
+    /// not `s ⪯ Lz` — the entities that are locked-but-not-unlocked right
+    /// before `s` in a linear extension that schedules after `s` *only*
+    /// the steps that must follow `s`. Consistent with the usual
+    /// locked-set when `T` is a total order (§5 of the paper).
+    pub fn l_set(&self, s: NodeId) -> BitSet {
+        let mut out = BitSet::new(self.entity_set.capacity());
+        for (&e, &un) in &self.unlock_node {
+            let ln = self.lock_node[&e];
+            if self.precedes_eq(s, un) && !self.precedes_eq(s, ln) {
+                out.insert(e.index());
+            }
+        }
+        out
+    }
+
+    /// A copy of the precedence DAG (direct arcs) as a generic digraph.
+    pub fn as_digraph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.node_count());
+        for n in 0..self.node_count() {
+            for &s in &self.succ[n] {
+                g.add_arc(n, s.index());
+            }
+        }
+        g
+    }
+
+    /// One linear extension (topological order) of the transaction.
+    pub fn any_total_order(&self) -> Vec<NodeId> {
+        self.as_digraph()
+            .topo_order()
+            .expect("validated transaction is acyclic")
+            .into_iter()
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Renames the transaction (used when instantiating copies).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.name)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builder for [`Transaction`]. Add operation nodes, then arcs, then call
+/// [`TransactionBuilder::build`] to validate against a database.
+#[derive(Debug, Clone)]
+pub struct TransactionBuilder {
+    name: String,
+    ops: Vec<Op>,
+    arcs: Vec<(NodeId, NodeId)>,
+}
+
+impl TransactionBuilder {
+    /// Adds an operation node and returns its id.
+    pub fn op(&mut self, op: Op) -> NodeId {
+        let id = NodeId::from_index(self.ops.len());
+        self.ops.push(op);
+        id
+    }
+
+    /// Adds a `Lock e` node.
+    pub fn lock(&mut self, e: EntityId) -> NodeId {
+        self.op(Op::lock(e))
+    }
+
+    /// Adds an `Unlock e` node.
+    pub fn unlock(&mut self, e: EntityId) -> NodeId {
+        self.op(Op::unlock(e))
+    }
+
+    /// Adds a precedence arc `a → b`.
+    pub fn arc(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.arcs.push((a, b));
+        self
+    }
+
+    /// Chains a sequence of nodes with arcs: `ns[0] → ns[1] → …`.
+    pub fn chain(&mut self, ns: &[NodeId]) -> &mut Self {
+        for w in ns.windows(2) {
+            self.arcs.push((w[0], w[1]));
+        }
+        self
+    }
+
+    /// Adds a `Lock e … Unlock e` pair with the `L → U` arc, returning the
+    /// pair of node ids.
+    pub fn lock_unlock(&mut self, e: EntityId) -> (NodeId, NodeId) {
+        let l = self.lock(e);
+        let u = self.unlock(e);
+        self.arc(l, u);
+        (l, u)
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Validates and freezes the transaction.
+    pub fn build(self, db: &Database) -> Result<Transaction, ModelError> {
+        let n = self.ops.len();
+
+        // Entity references must exist.
+        for op in &self.ops {
+            db.check_entity(op.entity)?;
+        }
+
+        // Arc endpoints must exist.
+        let mut succ: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut pred: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(a, b) in &self.arcs {
+            if a.index() >= n {
+                return Err(ModelError::UnknownNode(a));
+            }
+            if b.index() >= n {
+                return Err(ModelError::UnknownNode(b));
+            }
+            succ[a.index()].push(b);
+            pred[b.index()].push(a);
+        }
+
+        // Acyclicity + closure.
+        let mut g = DiGraph::new(n);
+        for (a, ss) in succ.iter().enumerate() {
+            for &b in ss {
+                g.add_arc(a, b.index());
+            }
+        }
+        if let Some(cycle) = g.find_cycle() {
+            return Err(ModelError::CyclicTransaction {
+                on_cycle: NodeId::from_index(cycle[0]),
+            });
+        }
+        let reach = g.transitive_closure();
+
+        // Exactly one Lock and one Unlock per accessed entity.
+        let mut lock_node: HashMap<EntityId, NodeId> = HashMap::new();
+        let mut unlock_node: HashMap<EntityId, NodeId> = HashMap::new();
+        let mut lock_counts: HashMap<EntityId, usize> = HashMap::new();
+        let mut unlock_counts: HashMap<EntityId, usize> = HashMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            match op.kind {
+                OpKind::Lock => {
+                    *lock_counts.entry(op.entity).or_default() += 1;
+                    lock_node.insert(op.entity, id);
+                }
+                OpKind::Unlock => {
+                    *unlock_counts.entry(op.entity).or_default() += 1;
+                    unlock_node.insert(op.entity, id);
+                }
+            }
+        }
+        let mut entities: Vec<EntityId> = lock_counts
+            .keys()
+            .chain(unlock_counts.keys())
+            .copied()
+            .collect();
+        entities.sort_unstable();
+        entities.dedup();
+        for &e in &entities {
+            let lc = lock_counts.get(&e).copied().unwrap_or(0);
+            if lc != 1 {
+                return Err(ModelError::LockCount { entity: e, count: lc });
+            }
+            let uc = unlock_counts.get(&e).copied().unwrap_or(0);
+            if uc != 1 {
+                return Err(ModelError::UnlockCount { entity: e, count: uc });
+            }
+            let (l, u) = (lock_node[&e], unlock_node[&e]);
+            if !reach.get(l.index(), u.index()) {
+                return Err(ModelError::LockNotBeforeUnlock { entity: e });
+            }
+        }
+
+        // Per-site total order: any two nodes on entities of the same site
+        // must be comparable.
+        let mut by_site: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            by_site
+                .entry(db.site_of(op.entity).0)
+                .or_default()
+                .push(NodeId::from_index(i));
+        }
+        for (site, nodes) in &by_site {
+            for (i, &a) in nodes.iter().enumerate() {
+                for &b in &nodes[i + 1..] {
+                    if !reach.get(a.index(), b.index()) && !reach.get(b.index(), a.index()) {
+                        return Err(ModelError::SiteNotTotallyOrdered {
+                            site: crate::ids::SiteId(*site),
+                            a,
+                            b,
+                        });
+                    }
+                }
+            }
+        }
+
+        let entity_set =
+            BitSet::from_indices(db.entity_count(), entities.iter().map(|e| e.index()));
+
+        Ok(Transaction {
+            name: self.name,
+            ops: self.ops,
+            succ,
+            pred,
+            reach,
+            lock_node,
+            unlock_node,
+            entities,
+            entity_set,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_site_db() -> (Database, EntityId, EntityId) {
+        let mut b = Database::builder();
+        let s0 = b.add_site();
+        let s1 = b.add_site();
+        let x = b.add_entity("x", s0);
+        let y = b.add_entity("y", s1);
+        (b.build(), x, y)
+    }
+
+    #[test]
+    fn build_simple_two_phase() {
+        let (db, x, y) = two_site_db();
+        let mut b = Transaction::builder("T");
+        let lx = b.lock(x);
+        let ly = b.lock(y);
+        let ux = b.unlock(x);
+        let uy = b.unlock(y);
+        b.chain(&[lx, ly, ux, uy]);
+        let t = b.build(&db).unwrap();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.entities(), &[x, y]);
+        assert!(t.precedes(lx, uy));
+        assert!(!t.precedes(uy, lx));
+        assert!(t.precedes_eq(lx, lx));
+        assert_eq!(t.lock_node_of(x), Some(lx));
+        assert_eq!(t.unlock_node_of(y), Some(uy));
+        assert!(t.accesses(x) && !t.accesses(EntityId(99)));
+    }
+
+    #[test]
+    fn parallel_sites_allowed() {
+        // x on site 0, y on site 1, no cross arcs: a genuinely partial order.
+        let (db, x, y) = two_site_db();
+        let mut b = Transaction::builder("T");
+        let (lx, ux) = b.lock_unlock(x);
+        let (ly, uy) = b.lock_unlock(y);
+        let t = b.build(&db).unwrap();
+        assert!(!t.precedes(lx, ly) && !t.precedes(ly, lx));
+        assert!(t.precedes(lx, ux) && t.precedes(ly, uy));
+    }
+
+    #[test]
+    fn same_site_must_be_ordered() {
+        let db = Database::centralized(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let mut b = Transaction::builder("T");
+        b.lock_unlock(x);
+        b.lock_unlock(y);
+        let err = b.build(&db).unwrap_err();
+        assert!(matches!(err, ModelError::SiteNotTotallyOrdered { .. }));
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let (db, x, _) = two_site_db();
+        let mut b = Transaction::builder("T");
+        let lx = b.lock(x);
+        let ux = b.unlock(x);
+        b.arc(lx, ux);
+        b.arc(ux, lx);
+        assert!(matches!(
+            b.build(&db).unwrap_err(),
+            ModelError::CyclicTransaction { .. }
+        ));
+    }
+
+    #[test]
+    fn lock_must_precede_unlock() {
+        let (db, x, y) = two_site_db();
+        let mut b = Transaction::builder("T");
+        let _lx = b.lock(x);
+        let _ux = b.unlock(x); // no arc between them
+        let (_, _) = b.lock_unlock(y);
+        assert_eq!(
+            b.build(&db).unwrap_err(),
+            ModelError::LockNotBeforeUnlock { entity: x }
+        );
+    }
+
+    #[test]
+    fn missing_unlock_rejected() {
+        let (db, x, _) = two_site_db();
+        let mut b = Transaction::builder("T");
+        b.lock(x);
+        assert_eq!(
+            b.build(&db).unwrap_err(),
+            ModelError::UnlockCount { entity: x, count: 0 }
+        );
+    }
+
+    #[test]
+    fn double_lock_rejected() {
+        let (db, x, _) = two_site_db();
+        let mut b = Transaction::builder("T");
+        let l1 = b.lock(x);
+        let l2 = b.lock(x);
+        let u = b.unlock(x);
+        b.chain(&[l1, l2, u]);
+        assert_eq!(
+            b.build(&db).unwrap_err(),
+            ModelError::LockCount { entity: x, count: 2 }
+        );
+    }
+
+    #[test]
+    fn bad_arc_rejected() {
+        let (db, x, _) = two_site_db();
+        let mut b = Transaction::builder("T");
+        let lx = b.lock(x);
+        b.arc(lx, NodeId(77));
+        assert_eq!(b.build(&db).unwrap_err(), ModelError::UnknownNode(NodeId(77)));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let (db, _, _) = two_site_db();
+        let mut b = Transaction::builder("T");
+        b.lock_unlock(EntityId(9));
+        assert_eq!(
+            b.build(&db).unwrap_err(),
+            ModelError::UnknownEntity(EntityId(9))
+        );
+    }
+
+    #[test]
+    fn r_set_and_l_set_on_total_order() {
+        // t = Lx Ly Ux Uy; at step Ux: R = {x, y}, L = {x, y}.
+        // At step Ly: R = {x}, L = {x}.
+        let (db, x, y) = two_site_db();
+        let t = Transaction::from_total_order(
+            "t",
+            &[Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)],
+            &db,
+        )
+        .unwrap();
+        let ly = t.lock_node_of(y).unwrap();
+        let ux = t.unlock_node_of(x).unwrap();
+        assert_eq!(t.r_set(ly).iter().collect::<Vec<_>>(), vec![x.index()]);
+        assert_eq!(t.l_set(ly).iter().collect::<Vec<_>>(), vec![x.index()]);
+        assert_eq!(
+            t.r_set(ux).iter().collect::<Vec<_>>(),
+            vec![x.index(), y.index()]
+        );
+        // At Ux: x itself is locked (Ux ⪯ Ux holds, Ux ⪯ Lx fails) → in L.
+        assert_eq!(
+            t.l_set(ux).iter().collect::<Vec<_>>(),
+            vec![x.index(), y.index()]
+        );
+    }
+
+    #[test]
+    fn l_set_excludes_own_lock_target() {
+        // y ∉ L_T(Ly): the lock being issued is not yet held.
+        let (db, x, y) = two_site_db();
+        let t = Transaction::from_total_order(
+            "t",
+            &[Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)],
+            &db,
+        )
+        .unwrap();
+        let ly = t.lock_node_of(y).unwrap();
+        assert!(!t.l_set(ly).contains(y.index()));
+    }
+
+    #[test]
+    fn l_set_on_partial_order_sees_unordered_unlocks() {
+        // x ∥ y across two sites: L_T(Ly) contains x iff ¬(Ly ⪯ Lx) and
+        // Ly ⪯ Ux; with no cross arcs both fail ⇒ x ∉ L_T(Ly).
+        let (db, x, y) = two_site_db();
+        let mut b = Transaction::builder("T");
+        b.lock_unlock(x);
+        let (ly, _) = b.lock_unlock(y);
+        let t = b.build(&db).unwrap();
+        assert!(!t.l_set(ly).contains(x.index()));
+        assert!(t.r_set(ly).is_empty());
+    }
+
+    #[test]
+    fn any_total_order_is_consistent() {
+        let (db, x, y) = two_site_db();
+        let mut b = Transaction::builder("T");
+        let (lx, ux) = b.lock_unlock(x);
+        let (ly, uy) = b.lock_unlock(y);
+        b.arc(lx, uy);
+        let t = b.build(&db).unwrap();
+        let order = t.any_total_order();
+        let pos = |n: NodeId| order.iter().position(|&m| m == n).unwrap();
+        assert!(pos(lx) < pos(ux));
+        assert!(pos(ly) < pos(uy));
+        assert!(pos(lx) < pos(uy));
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let (db, x, _) = two_site_db();
+        let mut b = Transaction::builder("T");
+        b.lock_unlock(x);
+        let t = b.build(&db).unwrap();
+        assert_eq!(t.to_string(), "T[Le0 Ue0]");
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for the model substrate: bitsets, graphs, linear
+//! extensions, prefixes, and schedule validation.
+
+use ddlf_model::{
+    count_linear_extensions, linear_extensions, BitSet, Database, DiGraph, EntityId, NodeId, Op,
+    Prefix, Schedule, Transaction, TransactionSystem, TxnId, UnGraph,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BitSet behaves like a reference HashSet under a random op sequence.
+    #[test]
+    fn bitset_matches_reference(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..120)) {
+        let mut bs = BitSet::new(200);
+        let mut reference = std::collections::HashSet::new();
+        for (i, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(i), reference.insert(i));
+            } else {
+                prop_assert_eq!(bs.remove(i), reference.remove(&i));
+            }
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        let mut sorted: Vec<usize> = reference.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), sorted);
+    }
+
+    /// Set algebra laws on random bitsets.
+    #[test]
+    fn bitset_algebra_laws(
+        a in prop::collection::hash_set(0usize..128, 0..40),
+        b in prop::collection::hash_set(0usize..128, 0..40),
+    ) {
+        let sa = BitSet::from_indices(128, a.iter().copied());
+        let sb = BitSet::from_indices(128, b.iter().copied());
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        prop_assert_eq!(union.len(), a.union(&b).count());
+        prop_assert_eq!(inter.len(), a.intersection(&b).count());
+        prop_assert_eq!(diff.len(), a.difference(&b).count());
+        prop_assert!(inter.is_subset(&sa) && inter.is_subset(&sb));
+        prop_assert!(sa.is_subset(&union) && sb.is_subset(&union));
+        prop_assert!(diff.is_disjoint(&sb));
+        prop_assert_eq!(
+            sa.first_common(&sb),
+            a.intersection(&b).min().copied()
+        );
+    }
+
+    /// The transitive closure of a random DAG equals per-node DFS
+    /// reachability.
+    #[test]
+    fn closure_matches_dfs(arcs in prop::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        // Orient arcs upward to guarantee acyclicity.
+        let mut g = DiGraph::new(12);
+        for (a, b) in arcs {
+            if a < b {
+                g.add_arc(a, b);
+            } else if b < a {
+                g.add_arc(b, a);
+            }
+        }
+        let closure = g.transitive_closure();
+        for v in 0..12 {
+            let reach = g.reachable_from(v);
+            for w in 0..12 {
+                prop_assert_eq!(closure.get(v, w), reach.contains(w), "({}, {})", v, w);
+            }
+        }
+    }
+
+    /// Undirected simple-cycle enumeration returns distinct canonical
+    /// cycles whose edges all exist.
+    #[test]
+    fn simple_cycles_are_valid(edges in prop::collection::vec((0usize..7, 0usize..7), 0..14)) {
+        let mut g = UnGraph::new(7);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        let cycles = g.simple_cycles(3, 10_000);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cycles {
+            prop_assert!(c.len() >= 3);
+            prop_assert!(seen.insert(c.clone()), "duplicate cycle {:?}", c);
+            // Canonical form.
+            prop_assert_eq!(*c.iter().min().unwrap(), c[0]);
+            prop_assert!(c[1] < *c.last().unwrap());
+            // All edges present, all vertices distinct.
+            let distinct: std::collections::HashSet<_> = c.iter().collect();
+            prop_assert_eq!(distinct.len(), c.len());
+            for i in 0..c.len() {
+                prop_assert!(g.has_edge(c[i], c[(i + 1) % c.len()]));
+            }
+        }
+    }
+
+    /// Every enumerated linear extension respects the partial order, and
+    /// the count for an antichain of k two-chains is (2k)! / 2^k.
+    #[test]
+    fn linear_extension_properties(k in 1usize..4) {
+        let db = Database::one_entity_per_site(k);
+        let mut b = Transaction::builder("T");
+        for e in 0..k {
+            b.lock_unlock(EntityId(e as u32));
+        }
+        let t = b.build(&db).unwrap();
+        let expected: usize = {
+            // (2k)! / 2^k
+            let f: usize = (1..=2 * k).product();
+            f >> k
+        };
+        prop_assert_eq!(count_linear_extensions(&t, usize::MAX), expected);
+        for ext in linear_extensions(&t, 50) {
+            let pos = |n: NodeId| ext.iter().position(|&m| m == n).unwrap();
+            for a in t.nodes() {
+                for &s in t.successors(a) {
+                    prop_assert!(pos(a) < pos(s));
+                }
+            }
+        }
+    }
+
+    /// Serial schedules of random 2PL systems validate, complete, and are
+    /// serializable; truncations are valid partial schedules whose
+    /// executed prefixes are downward closed.
+    #[test]
+    fn serial_schedules_and_truncations(
+        seed in 0u64..1000,
+        d in 1usize..4,
+        cut in 0usize..20,
+    ) {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = Database::one_entity_per_site(3);
+        let txns: Vec<Transaction> = (0..d)
+            .map(|i| {
+                let mut order: Vec<u32> = (0..3).collect();
+                order.shuffle(&mut rng);
+                let ops: Vec<Op> = order
+                    .iter()
+                    .map(|&e| Op::lock(EntityId(e)))
+                    .chain(order.iter().rev().map(|&e| Op::unlock(EntityId(e))))
+                    .collect();
+                Transaction::from_total_order(format!("T{i}"), &ops, &db).unwrap()
+            })
+            .collect();
+        let sys = TransactionSystem::new(db, txns).unwrap();
+        let order: Vec<TxnId> = (0..d).map(TxnId::from_index).collect();
+        let s = Schedule::serial(&sys, &order);
+        let v = s.validate(&sys).unwrap();
+        prop_assert!(v.complete);
+        prop_assert!(s.is_serializable(&sys).unwrap());
+
+        let trunc = s.truncated(cut.min(s.len()));
+        let tv = trunc.validate(&sys).unwrap();
+        for (t_id, p) in tv.prefix.iter() {
+            prop_assert!(
+                Prefix::from_nodes(sys.txn(t_id), p.iter()).is_some(),
+                "executed set must be downward closed"
+            );
+        }
+    }
+
+    /// maximal_avoiding really is maximal: adding any ready node outside
+    /// it would lock an avoided entity or have an unexecuted predecessor.
+    #[test]
+    fn maximal_avoiding_is_maximal(
+        seed in 0u64..500,
+        avoid_bits in prop::collection::hash_set(0usize..4, 0..4),
+    ) {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = Database::one_entity_per_site(4);
+        let mut order: Vec<u32> = (0..4).collect();
+        order.shuffle(&mut rng);
+        let ops: Vec<Op> = order
+            .iter()
+            .map(|&e| Op::lock(EntityId(e)))
+            .chain(order.iter().rev().map(|&e| Op::unlock(EntityId(e))))
+            .collect();
+        let t = Transaction::from_total_order("T", &ops, &db).unwrap();
+        let avoid = BitSet::from_indices(4, avoid_bits.iter().copied());
+        let p = Prefix::maximal_avoiding(&t, &avoid);
+        // No avoided lock inside.
+        for n in p.iter() {
+            let op = t.op(n);
+            prop_assert!(!(op.is_lock() && avoid.contains(op.entity.index())));
+        }
+        // Maximality: every ready node outside locks an avoided entity.
+        for n in p.ready_nodes(&t) {
+            let op = t.op(n);
+            prop_assert!(
+                op.is_lock() && avoid.contains(op.entity.index()),
+                "prefix not maximal: could add {n:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! A DPLL satisfiability solver with unit propagation and pure-literal
+//! elimination.
+//!
+//! This is the *independent oracle* used to validate the Theorem 2
+//! reduction: satisfiability decided here must coincide with
+//! deadlock-prefix existence decided by graph search on the constructed
+//! transactions. It is a classic recursive DPLL — ample for the formula
+//! sizes 3SAT′ experiments use (3SAT′ formulas have exactly `3n` literal
+//! occurrences, so they are always small relative to `n`).
+
+use crate::cnf::{Assignment, Cnf, Lit, Var};
+
+/// The solver result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness assignment (one `bool` per variable).
+    Sat(Assignment),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the formula was satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The witness, if satisfiable.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        match self {
+            SatResult::Sat(a) => Some(a),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// Decides satisfiability of `f` by DPLL.
+pub fn solve(f: &Cnf) -> SatResult {
+    let mut assign: Vec<Option<bool>> = vec![None; f.n_vars as usize];
+    if dpll(f, &mut assign) {
+        // Unconstrained variables default to `false`.
+        SatResult::Sat(assign.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        SatResult::Unsat
+    }
+}
+
+/// Clause status under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    Unit(Lit),
+    Unresolved,
+}
+
+fn clause_state(clause: &[Lit], assign: &[Option<bool>]) -> ClauseState {
+    let mut unassigned: Option<Lit> = None;
+    let mut n_unassigned = 0;
+    for &l in clause {
+        match assign[l.var.index()] {
+            Some(v) if l.satisfied_by(v) => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                n_unassigned += 1;
+                unassigned = Some(l);
+            }
+        }
+    }
+    match n_unassigned {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted")),
+        _ => ClauseState::Unresolved,
+    }
+}
+
+fn dpll(f: &Cnf, assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<Var> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in &f.clauses {
+            match clause_state(clause, assign) {
+                ClauseState::Conflict => {
+                    for v in trail {
+                        assign[v.index()] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(l) => {
+                    assign[l.var.index()] = Some(l.positive);
+                    trail.push(l.var);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pure literal elimination.
+    {
+        let n = f.n_vars as usize;
+        let mut seen_pos = vec![false; n];
+        let mut seen_neg = vec![false; n];
+        for clause in &f.clauses {
+            if matches!(clause_state(clause, assign), ClauseState::Satisfied) {
+                continue;
+            }
+            for &l in clause {
+                if assign[l.var.index()].is_none() {
+                    if l.positive {
+                        seen_pos[l.var.index()] = true;
+                    } else {
+                        seen_neg[l.var.index()] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if assign[v].is_none() && (seen_pos[v] ^ seen_neg[v]) {
+                assign[v] = Some(seen_pos[v]);
+                trail.push(Var(v as u32));
+            }
+        }
+    }
+
+    // Pick the first unassigned variable appearing in an unsatisfied clause.
+    let branch_var = f
+        .clauses
+        .iter()
+        .filter(|c| !matches!(clause_state(c, assign), ClauseState::Satisfied))
+        .flat_map(|c| c.iter())
+        .find(|l| assign[l.var.index()].is_none())
+        .map(|l| l.var);
+
+    let Some(v) = branch_var else {
+        // Every clause satisfied (a conflict would have been caught above,
+        // and an unresolved clause always has an unassigned literal).
+        let ok = f
+            .clauses
+            .iter()
+            .all(|c| matches!(clause_state(c, assign), ClauseState::Satisfied));
+        if !ok {
+            for v in trail {
+                assign[v.index()] = None;
+            }
+        }
+        return ok;
+    };
+
+    for value in [true, false] {
+        assign[v.index()] = Some(value);
+        if dpll(f, assign) {
+            return true;
+        }
+        assign[v.index()] = None;
+    }
+    for v in trail {
+        assign[v.index()] = None;
+    }
+    false
+}
+
+/// Brute-force satisfiability over all `2^n` assignments; the oracle the
+/// DPLL solver itself is tested against (usable for `n ≤ ~20`).
+pub fn solve_brute_force(f: &Cnf) -> SatResult {
+    let n = f.n_vars as usize;
+    assert!(n <= 24, "brute force limited to 24 variables");
+    for bits in 0..(1u64 << n) {
+        let a: Assignment = (0..n).map(|i| bits & (1 << i) != 0).collect();
+        if f.evaluate(&a) {
+            return SatResult::Sat(a);
+        }
+    }
+    SatResult::Unsat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Cnf, Lit, Var};
+
+    #[test]
+    fn paper_example_sat() {
+        let f = Cnf::paper_example();
+        let r = solve(&f);
+        assert!(r.is_sat());
+        assert!(f.evaluate(r.assignment().unwrap()));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        // (x) ∧ (¬x)
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::neg(Var(0))]);
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn smallest_unsat_three_sat_prime() {
+        // (x)(x)(¬x): valid 3SAT′ (2 pos + 1 neg), unsatisfiable.
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::neg(Var(0))]);
+        f.validate_three_sat_prime().unwrap();
+        assert_eq!(solve(&f), SatResult::Unsat);
+        assert_eq!(solve_brute_force(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2)
+        let mut f = Cnf::new(3);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::neg(Var(0)), Lit::pos(Var(1))]);
+        f.add_clause(vec![Lit::neg(Var(1)), Lit::pos(Var(2))]);
+        let r = solve(&f);
+        assert_eq!(r.assignment().unwrap(), &vec![true, true, true]);
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let f = Cnf::new(2);
+        assert!(solve(&f).is_sat());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_exhaustively() {
+        // All 3-variable formulas with 3 random-ish structured clauses.
+        let vars = [Var(0), Var(1), Var(2)];
+        let lits: Vec<Lit> = vars
+            .iter()
+            .flat_map(|&v| [Lit::pos(v), Lit::neg(v)])
+            .collect();
+        // Systematic: clauses (l_a ∨ l_b) for all pairs, in triples.
+        let mut count = 0;
+        for a in 0..lits.len() {
+            for b in 0..lits.len() {
+                for c in 0..lits.len() {
+                    let mut f = Cnf::new(3);
+                    f.add_clause(vec![lits[a], lits[(a + 1) % 6]]);
+                    f.add_clause(vec![lits[b], lits[(b + 3) % 6]]);
+                    f.add_clause(vec![lits[c]]);
+                    assert_eq!(
+                        solve(&f).is_sat(),
+                        solve_brute_force(&f).is_sat(),
+                        "mismatch on {f}"
+                    );
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, 216);
+    }
+}

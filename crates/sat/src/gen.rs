@@ -1,0 +1,149 @@
+//! Random generation of 3SAT′ instances.
+//!
+//! A 3SAT′ formula over `n` variables has exactly `3n` literal occurrences
+//! (each variable: two positive, one negative). The generator shuffles that
+//! multiset of occurrences into clause slots of size ≤ 3, retrying until no
+//! clause contains complementary or duplicate literals of the same
+//! variable (which would make the instance degenerate).
+
+use crate::cnf::{Cnf, Lit, Var};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for the 3SAT′ generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeSatPrimeGen {
+    /// Number of variables.
+    pub n_vars: u32,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl ThreeSatPrimeGen {
+    /// Generates one valid 3SAT′ instance.
+    ///
+    /// # Panics
+    /// Panics if `n_vars == 0`.
+    pub fn generate(&self) -> Cnf {
+        assert!(self.n_vars > 0, "need at least one variable");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        loop {
+            if let Some(f) = try_generate(self.n_vars, &mut rng) {
+                debug_assert!(f.validate_three_sat_prime().is_ok());
+                return f;
+            }
+        }
+    }
+}
+
+fn try_generate(n_vars: u32, rng: &mut StdRng) -> Option<Cnf> {
+    // The multiset of literal occurrences: x, x, ¬x per variable.
+    let mut slots: Vec<Lit> = Vec::with_capacity(3 * n_vars as usize);
+    for v in 0..n_vars {
+        slots.push(Lit::pos(Var(v)));
+        slots.push(Lit::pos(Var(v)));
+        slots.push(Lit::neg(Var(v)));
+    }
+    slots.shuffle(rng);
+
+    // Partition `3n` slots into clauses of sizes 1..=3. Draw sizes until
+    // they sum exactly.
+    let total = slots.len();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut acc = 0;
+    while acc < total {
+        let remaining = total - acc;
+        let s = if remaining <= 3 {
+            remaining.min(1 + rng.gen_range(0..remaining))
+        } else {
+            1 + rng.gen_range(0..3usize)
+        };
+        sizes.push(s);
+        acc += s;
+    }
+
+    let mut f = Cnf::new(n_vars);
+    let mut it = slots.into_iter();
+    for s in sizes {
+        let clause: Vec<Lit> = (&mut it).take(s).collect();
+        // Reject clauses with repeated variables (tautological or
+        // duplicated literals) — retry the whole instance.
+        for i in 0..clause.len() {
+            for j in (i + 1)..clause.len() {
+                if clause[i].var == clause[j].var {
+                    return None;
+                }
+            }
+        }
+        f.add_clause(clause);
+    }
+    Some(f)
+}
+
+/// Generates a batch of `count` distinct-seeded instances.
+pub fn generate_batch(n_vars: u32, base_seed: u64, count: usize) -> Vec<Cnf> {
+    (0..count)
+        .map(|i| {
+            ThreeSatPrimeGen {
+                n_vars,
+                seed: base_seed.wrapping_add(i as u64),
+            }
+            .generate()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::{solve, solve_brute_force};
+
+    #[test]
+    fn generated_instances_are_valid() {
+        for n in 1..=6 {
+            for seed in 0..10 {
+                let f = ThreeSatPrimeGen { n_vars: n, seed }.generate();
+                f.validate_three_sat_prime().unwrap();
+                assert_eq!(
+                    f.clauses.iter().map(Vec::len).sum::<usize>(),
+                    3 * n as usize
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ThreeSatPrimeGen { n_vars: 4, seed: 7 }.generate();
+        let b = ThreeSatPrimeGen { n_vars: 4, seed: 7 }.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let batch = generate_batch(4, 0, 20);
+        assert!(batch.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn dpll_matches_brute_force_on_generated() {
+        for n in 1..=5 {
+            for seed in 0..20 {
+                let f = ThreeSatPrimeGen { n_vars: n, seed }.generate();
+                assert_eq!(
+                    solve(&f).is_sat(),
+                    solve_brute_force(&f).is_sat(),
+                    "mismatch on n={n} seed={seed}: {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_sat_and_unsat_instances_occur() {
+        let batch = generate_batch(2, 0, 200);
+        let sat = batch.iter().filter(|f| solve(f).is_sat()).count();
+        assert!(sat > 0, "no satisfiable instances in 200 draws");
+        assert!(sat < 200, "no unsatisfiable instances in 200 draws");
+    }
+}

@@ -1,0 +1,25 @@
+//! # ddlf-sat — CNF, 3SAT′, and a DPLL solver
+//!
+//! Substrate for Theorem 2 of Wolfson & Yannakakis (PODS 1985): the
+//! coNP-completeness of two-transaction deadlock-freedom is proved by a
+//! reduction from **3SAT′** — CNF with clauses of ≤ 3 literals where each
+//! variable occurs exactly twice positively and once negatively.
+//!
+//! This crate provides:
+//! * [`Cnf`] formulas with 3SAT′ shape validation ([`Cnf::validate_three_sat_prime`]);
+//! * a recursive DPLL solver ([`dpll::solve`]) plus a brute-force oracle;
+//! * a deterministic random 3SAT′ instance generator ([`gen::ThreeSatPrimeGen`]).
+//!
+//! The transaction gadget itself lives in `ddlf-core::sat_reduction`; this
+//! crate is deliberately independent of the transaction model so the SAT
+//! side of the equivalence is decided by unrelated code.
+
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dpll;
+pub mod gen;
+
+pub use cnf::{Assignment, Clause, Cnf, Lit, ThreeSatPrimeError, Var, VarOccurrences};
+pub use dpll::{solve, solve_brute_force, SatResult};
+pub use gen::{generate_batch, ThreeSatPrimeGen};

@@ -1,0 +1,407 @@
+//! A real-threads runtime: sites and transaction coordinators as OS
+//! threads exchanging crossbeam channel messages.
+//!
+//! This is the "production-shaped" counterpart of the deterministic
+//! discrete-event engine in [`crate::des`]: each site thread owns its
+//! lock table, each transaction runs in its own coordinator thread, and
+//! deadlocks are broken by lock-wait timeouts with randomized backoff —
+//! the pragmatic scheme real systems fall back to when they neither
+//! certify statically nor run a global detector.
+//!
+//! The global history is appended under a `parking_lot` mutex at the
+//! moment each grant/unlock becomes effective, so the committed
+//! projection can be audited with the model's `D(S)` test exactly like a
+//! simulated run.
+
+use crate::history::{History, HistoryEvent};
+use crate::lockmgr::{Acquire, LockTable};
+use crate::time::SimTime;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ddlf_model::{EntityId, NodeId, Prefix, TransactionSystem, TxnId};
+use parking_lot::Mutex;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the threaded runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// How long a coordinator waits on a lock before aborting its attempt.
+    pub lock_timeout: Duration,
+    /// Maximum attempts per transaction.
+    pub max_attempts: u32,
+    /// Simulated per-lock work (kept tiny in tests).
+    pub work: Duration,
+    /// Base restart backoff (jittered per attempt).
+    pub backoff: Duration,
+    /// RNG seed for jitter.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        Self {
+            lock_timeout: Duration::from_millis(25),
+            max_attempts: 200,
+            work: Duration::from_micros(200),
+            backoff: Duration::from_millis(2),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// Transactions that committed.
+    pub committed: usize,
+    /// Aborted attempts across all transactions.
+    pub aborted_attempts: usize,
+    /// Transactions that exhausted their attempt budget.
+    pub failed: Vec<TxnId>,
+    /// `D(S)` audit of the committed projection (`None` if any failed).
+    pub serializable: Option<bool>,
+    /// Recorded history length.
+    pub history_len: usize,
+}
+
+enum SiteMsg {
+    Acquire {
+        txn: TxnId,
+        entity: EntityId,
+        attempt: u32,
+        reply: Sender<(EntityId, u32)>,
+    },
+    Release {
+        txn: TxnId,
+        entity: EntityId,
+    },
+    Shutdown,
+}
+
+struct Shared {
+    history: Mutex<History>,
+    clock: AtomicU64,
+}
+
+impl Shared {
+    fn record(&self, txn: TxnId, attempt: u32, node: NodeId) {
+        // The logical clock makes times strictly increasing; the lock on
+        // the history serializes appends so the order is a real-time
+        // linearization.
+        let t = self.clock.fetch_add(1, Ordering::SeqCst);
+        self.history.lock().record(HistoryEvent {
+            time: SimTime(t),
+            txn,
+            attempt,
+            node,
+        });
+    }
+}
+
+fn site_thread(rx: Receiver<SiteMsg>, shared: Arc<Shared>, sys: Arc<TransactionSystem>) {
+    let mut table = LockTable::new();
+    // Pending reply channels: (txn, entity) → (reply, attempt).
+    type Waiters = std::collections::HashMap<(TxnId, EntityId), (Sender<(EntityId, u32)>, u32)>;
+    let mut waiters: Waiters = Waiters::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            SiteMsg::Acquire {
+                txn,
+                entity,
+                attempt,
+                reply,
+            } => match table.acquire(txn, entity) {
+                Acquire::Granted => {
+                    let node = sys.txn(txn).lock_node_of(entity).expect("accessed");
+                    shared.record(txn, attempt, node);
+                    let _ = reply.send((entity, attempt));
+                }
+                Acquire::Queued { .. } => {
+                    waiters.insert((txn, entity), (reply, attempt));
+                }
+            },
+            SiteMsg::Release { txn, entity } => {
+                waiters.remove(&(txn, entity));
+                if let Some(next) = table.release(txn, entity) {
+                    if let Some((reply, attempt)) = waiters.remove(&(next, entity)) {
+                        let node = sys.txn(next).lock_node_of(entity).expect("accessed");
+                        shared.record(next, attempt, node);
+                        let _ = reply.send((entity, attempt));
+                    } else {
+                        // The waiter vanished (aborted attempt whose
+                        // Release already passed); free the lock again.
+                        table.release(next, entity);
+                    }
+                }
+            }
+            SiteMsg::Shutdown => break,
+        }
+    }
+}
+
+struct WorkerOutcome {
+    committed_attempt: Option<u32>,
+    aborted: u32,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_thread(
+    txn: TxnId,
+    sys: Arc<TransactionSystem>,
+    sites: Vec<Sender<SiteMsg>>,
+    shared: Arc<Shared>,
+    cfg: ThreadedConfig,
+) -> WorkerOutcome {
+    let t = sys.txn(txn);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (txn.0 as u64) << 32 | 0x5DEECE66D);
+    let mut aborted = 0u32;
+
+    for attempt in 0..cfg.max_attempts {
+        let (reply_tx, reply_rx) = unbounded::<(EntityId, u32)>();
+        let mut executed = Prefix::empty(t);
+        let mut issued: Vec<bool> = vec![false; t.node_count()];
+        let mut requested: Vec<EntityId> = Vec::new();
+        let ok;
+
+        'attempt: loop {
+            // Issue all ready, unissued ops.
+            let mut waiting_for_grant = false;
+            loop {
+                let ready: Vec<NodeId> = executed
+                    .ready_nodes(t)
+                    .into_iter()
+                    .filter(|&n| !issued[n.index()])
+                    .collect();
+                if ready.is_empty() {
+                    break;
+                }
+                let mut unlocked_any = false;
+                for n in ready {
+                    let op = t.op(n);
+                    issued[n.index()] = true;
+                    let site = sys.db().site_of(op.entity);
+                    if op.is_lock() {
+                        requested.push(op.entity);
+                        let _ = sites[site.index()].send(SiteMsg::Acquire {
+                            txn,
+                            entity: op.entity,
+                            attempt,
+                            reply: reply_tx.clone(),
+                        });
+                        waiting_for_grant = true;
+                    } else {
+                        shared.record(txn, attempt, n);
+                        executed.push(n);
+                        requested.retain(|&e| e != op.entity);
+                        let _ = sites[site.index()].send(SiteMsg::Release {
+                            txn,
+                            entity: op.entity,
+                        });
+                        unlocked_any = true;
+                    }
+                }
+                if !unlocked_any {
+                    break;
+                }
+            }
+
+            if executed.is_complete(t) {
+                return WorkerOutcome {
+                    committed_attempt: Some(attempt),
+                    aborted,
+                };
+            }
+
+            // Await a grant (there must be at least one outstanding lock,
+            // otherwise the transaction would be complete).
+            debug_assert!(waiting_for_grant || !requested.is_empty());
+            match reply_rx.recv_timeout(cfg.lock_timeout) {
+                Ok((entity, granted_attempt)) => {
+                    if granted_attempt != attempt {
+                        continue 'attempt; // stale; cannot happen with per-attempt channels
+                    }
+                    if !cfg.work.is_zero() {
+                        std::thread::sleep(cfg.work);
+                    }
+                    let node = t.lock_node_of(entity).expect("accessed");
+                    executed.push(node);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    ok = false;
+                    break 'attempt;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    ok = false;
+                    break 'attempt;
+                }
+            }
+        }
+
+        if !ok {
+            // Abort: release everything we hold or queue for.
+            aborted += 1;
+            for &e in &requested {
+                let site = sys.db().site_of(e);
+                let _ = sites[site.index()].send(SiteMsg::Release { txn, entity: e });
+            }
+            // Also release entities we locked but did not unlock yet.
+            for &e in t.entities() {
+                let l = t.lock_node_of(e).expect("accessed");
+                let u = t.unlock_node_of(e).expect("accessed");
+                if executed.contains(l) && !executed.contains(u) {
+                    let site = sys.db().site_of(e);
+                    let _ = sites[site.index()].send(SiteMsg::Release { txn, entity: e });
+                }
+            }
+            drop(reply_rx);
+            let jitter = rng.gen_range(0..=cfg.backoff.as_micros() as u64);
+            std::thread::sleep(cfg.backoff + Duration::from_micros(jitter * (1 + attempt as u64 % 4)));
+        }
+    }
+
+    WorkerOutcome {
+        committed_attempt: None,
+        aborted,
+    }
+}
+
+/// Runs the system on real threads. Blocks until every transaction
+/// commits or exhausts its attempts.
+pub fn run_threaded(sys: &TransactionSystem, cfg: ThreadedConfig) -> ThreadedReport {
+    let sys = Arc::new(sys.clone());
+    let shared = Arc::new(Shared {
+        history: Mutex::new(History::new()),
+        clock: AtomicU64::new(0),
+    });
+
+    let mut site_txs = Vec::new();
+    let mut site_handles = Vec::new();
+    for _ in 0..sys.db().site_count() {
+        let (tx, rx) = unbounded::<SiteMsg>();
+        site_txs.push(tx);
+        let shared = Arc::clone(&shared);
+        let sys = Arc::clone(&sys);
+        site_handles.push(std::thread::spawn(move || site_thread(rx, shared, sys)));
+    }
+
+    let mut worker_handles = Vec::new();
+    for (t, _) in sys.iter() {
+        let sys = Arc::clone(&sys);
+        let shared = Arc::clone(&shared);
+        let sites = site_txs.clone();
+        worker_handles.push(std::thread::spawn(move || {
+            worker_thread(t, sys, sites, shared, cfg)
+        }));
+    }
+
+    let outcomes: Vec<WorkerOutcome> = worker_handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+
+    for tx in &site_txs {
+        let _ = tx.send(SiteMsg::Shutdown);
+    }
+    for h in site_handles {
+        let _ = h.join();
+    }
+
+    let committed_attempt: Vec<Option<u32>> =
+        outcomes.iter().map(|o| o.committed_attempt).collect();
+    let failed: Vec<TxnId> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.committed_attempt.is_none())
+        .map(|(i, _)| TxnId::from_index(i))
+        .collect();
+    let history = shared.history.lock();
+    let serializable = if failed.is_empty() {
+        history.audit(&sys, &committed_attempt).ok()
+    } else {
+        None
+    };
+
+    ThreadedReport {
+        committed: outcomes.iter().filter(|o| o.committed_attempt.is_some()).count(),
+        aborted_attempts: outcomes.iter().map(|o| o.aborted as usize).sum(),
+        failed,
+        serializable,
+        history_len: history.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_model::{Database, Op, Transaction};
+
+    fn quick_cfg() -> ThreadedConfig {
+        ThreadedConfig {
+            lock_timeout: Duration::from_millis(20),
+            max_attempts: 500,
+            work: Duration::from_micros(50),
+            backoff: Duration::from_millis(1),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn same_order_pair_commits_without_aborts_needed() {
+        let db = Database::one_entity_per_site(2);
+        let ops = [
+            Op::lock(EntityId(0)),
+            Op::lock(EntityId(1)),
+            Op::unlock(EntityId(0)),
+            Op::unlock(EntityId(1)),
+        ];
+        let t1 = Transaction::from_total_order("T1", &ops, &db).unwrap();
+        let t2 = Transaction::from_total_order("T2", &ops, &db).unwrap();
+        let sys = TransactionSystem::new(db, vec![t1, t2]).unwrap();
+        let r = run_threaded(&sys, quick_cfg());
+        assert_eq!(r.committed, 2, "{r:?}");
+        assert_eq!(r.serializable, Some(true));
+    }
+
+    #[test]
+    fn opposite_order_pair_commits_via_timeouts() {
+        let db = Database::one_entity_per_site(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let t1 = Transaction::from_total_order(
+            "T1",
+            &[Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)],
+            &db,
+        )
+        .unwrap();
+        let t2 = Transaction::from_total_order(
+            "T2",
+            &[Op::lock(y), Op::lock(x), Op::unlock(y), Op::unlock(x)],
+            &db,
+        )
+        .unwrap();
+        let sys = TransactionSystem::new(db, vec![t1, t2]).unwrap();
+        let r = run_threaded(&sys, quick_cfg());
+        assert_eq!(r.committed, 2, "{r:?}");
+        assert_eq!(r.serializable, Some(true), "{r:?}");
+    }
+
+    #[test]
+    fn many_transactions_on_shared_hotspot() {
+        let db = Database::one_entity_per_site(3);
+        let ops = [
+            Op::lock(EntityId(0)),
+            Op::lock(EntityId(1)),
+            Op::lock(EntityId(2)),
+            Op::unlock(EntityId(2)),
+            Op::unlock(EntityId(1)),
+            Op::unlock(EntityId(0)),
+        ];
+        let t = Transaction::from_total_order("T", &ops, &db).unwrap();
+        let sys = TransactionSystem::copies(db, &t, 6).unwrap();
+        let r = run_threaded(&sys, quick_cfg());
+        assert_eq!(r.committed, 6, "{r:?}");
+        assert_eq!(r.serializable, Some(true), "{r:?}");
+    }
+}

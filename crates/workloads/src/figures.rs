@@ -1,0 +1,282 @@
+//! Executable reconstructions of the paper's figures.
+//!
+//! The 1986 scan's figure drawings are not machine-readable; each
+//! construction below is reconstructed from the *properties the text
+//! states about it*, which the test suite (and the E1–E3/E7 experiments)
+//! verifies. Deviations are documented per figure.
+
+use ddlf_model::{Database, EntityId, Prefix, SystemPrefix, Transaction, TransactionSystem};
+
+/// Entities of [`fig1`], in database order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig1Entities {
+    /// Entity `x` (site 1).
+    pub x: EntityId,
+    /// Entity `y` (site 1).
+    pub y: EntityId,
+    /// Entity `z` (site 2).
+    pub z: EntityId,
+}
+
+/// **Figure 1**: three transactions over two sites with a prefix whose
+/// reduction graph contains the cycle
+/// `L¹z → U¹y → L²y → U²x → L³x → U³z → L¹z` (§3's worked example).
+///
+/// Reconstruction: the text fixes the cycle, which forces
+/// * `T₁` to hold `y` while its remaining `Lz` precedes `Uy`,
+/// * `T₂` to hold `x` while its remaining `Ly` precedes `Ux`,
+/// * `T₃` to hold `z` while its remaining `Lx` precedes `Uz`.
+///
+/// We place `x, y` on site 1 and `z` on site 2 (two sites as drawn) and
+/// order same-site operations compatibly. The returned prefix executes
+/// exactly `{L¹y, L²x, L³z}`.
+pub fn fig1() -> (TransactionSystem, SystemPrefix, Fig1Entities) {
+    let mut b = Database::builder();
+    let s1 = b.add_site();
+    let s2 = b.add_site();
+    let x = b.add_entity("x", s1);
+    let y = b.add_entity("y", s1);
+    let z = b.add_entity("z", s2);
+    let db = b.build();
+
+    // T1 accesses y (site 1) and z (site 2); holds y, will want z, and
+    // Lz ≺ Uy.
+    let mut t1 = Transaction::builder("T1");
+    let (l1y, u1y) = t1.lock_unlock(y);
+    let (l1z, _u1z) = t1.lock_unlock(z);
+    t1.arc(l1y, l1z); // y locked first (prefix cut after L1y)
+    t1.arc(l1z, u1y); // the cycle arc L1z → U1y
+    let t1 = t1.build(&db).unwrap();
+
+    // T2 accesses x and y (both site 1, totally ordered): Lx Ly Ux Uy.
+    let mut t2 = Transaction::builder("T2");
+    let l2x = t2.lock(x);
+    let l2y = t2.lock(y);
+    let u2x = t2.unlock(x);
+    let u2y = t2.unlock(y);
+    t2.chain(&[l2x, l2y, u2x, u2y]);
+    let t2 = t2.build(&db).unwrap();
+
+    // T3 accesses z (site 2) and x (site 1); holds z, wants x, Lx ≺ Uz.
+    let mut t3 = Transaction::builder("T3");
+    let (l3z, u3z) = t3.lock_unlock(z);
+    let (l3x, _u3x) = t3.lock_unlock(x);
+    t3.arc(l3z, l3x);
+    t3.arc(l3x, u3z); // the cycle arc L3x → U3z
+    let t3 = t3.build(&db).unwrap();
+
+    let sys = TransactionSystem::new(db, vec![t1, t2, t3]).unwrap();
+    let prefix = SystemPrefix::new(vec![
+        Prefix::from_nodes(sys.txn(ddlf_model::TxnId(0)), [ddlf_model::NodeId(0)]).unwrap(),
+        Prefix::from_nodes(sys.txn(ddlf_model::TxnId(1)), [ddlf_model::NodeId(0)]).unwrap(),
+        Prefix::from_nodes(sys.txn(ddlf_model::TxnId(2)), [ddlf_model::NodeId(0)]).unwrap(),
+    ]);
+    (sys, prefix, Fig1Entities { x, y, z })
+}
+
+/// **Figure 2**: the transaction that defeats Tirri's two-entity premise.
+///
+/// Four entities `v, t, z, w` (each on its own site), arcs
+/// `Lv → Ut`, `Lt → Uz`, `Lz → Uw`, `Lw → Uv` (plus each `L → U`).
+/// Two copies of this dag contain **no** pair `x, y` with `Ly ≺ Ux` and
+/// `Lx ≺ Uy`, yet the prefix `{L²v, L¹t, L²z, L¹w}` has the nine-node
+/// reduction cycle the text lists — deadlock through four entities.
+pub fn fig2_transaction(db: &Database, name: &str) -> Transaction {
+    let (v, t, z, w) = (EntityId(0), EntityId(1), EntityId(2), EntityId(3));
+    let mut b = Transaction::builder(name);
+    let (lv, uv) = b.lock_unlock(v);
+    let (lt, ut) = b.lock_unlock(t);
+    let (lz, uz) = b.lock_unlock(z);
+    let (lw, uw) = b.lock_unlock(w);
+    b.arc(lv, ut);
+    b.arc(lt, uz);
+    b.arc(lz, uw);
+    b.arc(lw, uv);
+    b.build(db).unwrap()
+}
+
+/// The two-copy Figure 2 system, plus the deadlock prefix
+/// `{L²v, L¹t, L²z, L¹w}` from the text.
+pub fn fig2() -> (TransactionSystem, SystemPrefix) {
+    let db = Database::one_entity_per_site(4);
+    let t1 = fig2_transaction(&db, "T1");
+    let t2 = fig2_transaction(&db, "T2");
+    let sys = TransactionSystem::new(db, vec![t1, t2]).unwrap();
+    // T1 holds t and w; T2 holds v and z.
+    let grab = |ti: u32, entities: &[u32]| {
+        let t = sys.txn(ddlf_model::TxnId(ti));
+        Prefix::from_nodes(
+            t,
+            entities
+                .iter()
+                .map(|&e| t.lock_node_of(EntityId(e)).expect("accessed")),
+        )
+        .unwrap()
+    };
+    let prefix = SystemPrefix::new(vec![grab(0, &[1, 3]), grab(1, &[0, 2])]);
+    (sys, prefix)
+}
+
+/// **Figure 3**: the dag whose *partial orders* are deadlock-free although
+/// particular linear extensions deadlock.
+///
+/// Two entities `x, y` on different sites with only `Lx → Ux`, `Ly → Uy`
+/// (the two pairs fully parallel). The extensions
+/// `t₁ = Lx Ly Ux Uy ∈ T₁` and `t₂ = Ly Lx Ux Uy ∈ T₂` deadlock as
+/// centralized transactions, but `{T₁, T₂}` as partial orders cannot: an
+/// unlock is always available.
+pub fn fig3_transaction(db: &Database, name: &str) -> Transaction {
+    let mut b = Transaction::builder(name);
+    b.lock_unlock(EntityId(0));
+    b.lock_unlock(EntityId(1));
+    b.build(db).unwrap()
+}
+
+/// The two-copy Figure 3 system.
+pub fn fig3() -> TransactionSystem {
+    let db = Database::one_entity_per_site(2);
+    let t1 = fig3_transaction(&db, "T1");
+    let t2 = fig3_transaction(&db, "T2");
+    TransactionSystem::new(db, vec![t1, t2]).unwrap()
+}
+
+/// The deadlocking pair of linear extensions from the Figure 3 discussion,
+/// as centralized (total-order) transactions over a fresh 2-entity,
+/// 1-site database.
+pub fn fig3_deadlocking_extensions() -> TransactionSystem {
+    use ddlf_model::Op;
+    let db = Database::centralized(2);
+    let (x, y) = (EntityId(0), EntityId(1));
+    let t1 = Transaction::from_total_order(
+        "t1",
+        &[Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)],
+        &db,
+    )
+    .unwrap();
+    let t2 = Transaction::from_total_order(
+        "t2",
+        &[Op::lock(y), Op::lock(x), Op::unlock(x), Op::unlock(y)],
+        &db,
+    )
+    .unwrap();
+    TransactionSystem::new(db, vec![t1, t2]).unwrap()
+}
+
+/// **Figure 6**: a transaction syntax where **three** copies can deadlock
+/// but **two** cannot — the counterexample showing Theorem 5 fails for
+/// deadlock-freedom alone.
+///
+/// Reconstruction: three entities `a, b, c` on three sites, arcs
+/// `La → Ub`, `Lb → Uc`, `Lc → Ua` (a cyclic hold-and-wait template of
+/// odd length; with two copies every reduction-graph cycle would need an
+/// even alternation, with three copies the ring closes).
+pub fn fig6_transaction(db: &Database, name: &str) -> Transaction {
+    let (a, b_, c) = (EntityId(0), EntityId(1), EntityId(2));
+    let mut b = Transaction::builder(name);
+    let (la, ua) = b.lock_unlock(a);
+    let (lb, ub) = b.lock_unlock(b_);
+    let (lc, uc) = b.lock_unlock(c);
+    b.arc(la, ub);
+    b.arc(lb, uc);
+    b.arc(lc, ua);
+    b.build(db).unwrap()
+}
+
+/// A system of `d` copies of the Figure 6 transaction.
+pub fn fig6(d: usize) -> TransactionSystem {
+    let db = Database::one_entity_per_site(3);
+    let t = fig6_transaction(&db, "T");
+    TransactionSystem::copies(db, &t, d).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_core::explore::Explorer;
+    use ddlf_core::reduction::{check_deadlock_prefix, ReductionGraph};
+    use ddlf_core::tirri::tirri_two_entity_pattern;
+    use ddlf_model::TxnId;
+
+    #[test]
+    fn fig1_prefix_is_a_deadlock_prefix_with_stated_cycle() {
+        let (sys, prefix, ents) = fig1();
+        let rg = ReductionGraph::build(&sys, &prefix);
+        assert!(rg.is_cyclic());
+        let dp = check_deadlock_prefix(&sys, &prefix, 100_000).expect("deadlock prefix");
+        // The cycle visits nodes of all three transactions and the three
+        // entities x, y, z.
+        let txns: std::collections::HashSet<_> = dp.cycle.iter().map(|g| g.txn).collect();
+        assert_eq!(txns.len(), 3);
+        let entities: std::collections::HashSet<_> = dp
+            .cycle
+            .iter()
+            .map(|g| sys.txn(g.txn).op(g.node).entity)
+            .collect();
+        assert!(entities.contains(&ents.x));
+        assert!(entities.contains(&ents.y));
+        assert!(entities.contains(&ents.z));
+    }
+
+    #[test]
+    fn fig1_system_actually_deadlocks() {
+        let (sys, _, _) = fig1();
+        let ex = Explorer::new(&sys, 2_000_000);
+        assert!(ex.find_deadlock().0.violated());
+    }
+
+    #[test]
+    fn fig2_defeats_tirri_but_deadlocks() {
+        let (sys, prefix) = fig2();
+        // No two-entity pattern …
+        assert_eq!(
+            tirri_two_entity_pattern(sys.txn(TxnId(0)), sys.txn(TxnId(1))),
+            None
+        );
+        // … yet the stated prefix is a deadlock prefix with a ≥ 8-node
+        // cycle (through all four entities).
+        let dp = check_deadlock_prefix(&sys, &prefix, 1_000_000).expect("deadlock prefix");
+        assert!(dp.cycle.len() >= 8);
+        let entities: std::collections::HashSet<_> = dp
+            .cycle
+            .iter()
+            .map(|g| sys.txn(g.txn).op(g.node).entity)
+            .collect();
+        assert_eq!(entities.len(), 4, "cycle passes through all four entities");
+    }
+
+    #[test]
+    fn fig3_partial_orders_deadlock_free_but_extensions_deadlock() {
+        let sys = fig3();
+        let ex = Explorer::new(&sys, 1_000_000);
+        assert!(ex.find_deadlock().0.holds(), "partial orders are deadlock-free");
+        assert!(ex.find_deadlock_prefix().0.holds());
+
+        let ext = fig3_deadlocking_extensions();
+        let ex2 = Explorer::new(&ext, 1_000_000);
+        assert!(
+            ex2.find_deadlock().0.violated(),
+            "chosen linear extensions deadlock"
+        );
+    }
+
+    #[test]
+    fn fig6_three_copies_deadlock_two_do_not() {
+        let two = fig6(2);
+        let ex2 = Explorer::new(&two, 5_000_000);
+        assert!(ex2.find_deadlock().0.holds(), "two copies never deadlock");
+
+        let three = fig6(3);
+        let ex3 = Explorer::new(&three, 5_000_000);
+        assert!(ex3.find_deadlock().0.violated(), "three copies deadlock");
+    }
+
+    #[test]
+    fn fig6_is_not_safe_even_for_two_copies() {
+        // Theorem 5 talks about safe+DF; Fig. 6 only separates
+        // deadlock-freedom. Two copies fail Corollary 3 (no global first
+        // lock), consistent with the theorem.
+        let db = Database::one_entity_per_site(3);
+        let t = fig6_transaction(&db, "T");
+        assert!(ddlf_core::copies::copies_safe_df(&t).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # ddlf-workloads — figures, generators, and scenarios
+//!
+//! Workload constructions for the Wolfson & Yannakakis reproduction:
+//!
+//! * [`figures`] — every figure of the paper as an executable artifact
+//!   (Fig. 1 deadlock prefix, Fig. 2 Tirri counterexample, Fig. 3
+//!   partial-order/extension separation, Fig. 6 copies separation);
+//! * [`random`] — deterministic random transaction-system generators
+//!   across locking disciplines, used by property tests and benches;
+//! * [`scenarios`] — banking and warehouse workloads exercising the
+//!   public API on the kind of multi-site transactions the paper's
+//!   introduction motivates.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod random;
+pub mod scenarios;
+
+pub use figures::{
+    fig1, fig2, fig2_transaction, fig3, fig3_deadlocking_extensions, fig6, fig6_transaction,
+};
+pub use random::{
+    generate_transaction, ring_system, scaling_pair, star_system, two_phase_total_order,
+    LockDiscipline, SystemGen,
+};
+pub use scenarios::{bank_greedy_pair, bank_ordered_pair, Bank, Warehouse};

@@ -1,0 +1,229 @@
+//! Domain scenarios: realistic multi-site workloads of the kind the
+//! paper's introduction motivates (banking transfers, order fulfilment),
+//! expressed in the locked-transaction model.
+
+use ddlf_model::{Database, EntityId, SiteId, Transaction, TransactionSystem};
+
+/// A bank with `n_branches` branch sites, each holding `accounts_per_branch`
+/// account entities, plus a head-office site with one audit-ledger entity
+/// per branch.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    /// The database schema.
+    pub db: Database,
+    /// `accounts[b][a]` = account `a` at branch `b`.
+    pub accounts: Vec<Vec<EntityId>>,
+    /// `ledgers[b]` = head-office ledger entity for branch `b`.
+    pub ledgers: Vec<EntityId>,
+    /// Branch sites.
+    pub branch_sites: Vec<SiteId>,
+    /// Head-office site.
+    pub head_office: SiteId,
+}
+
+impl Bank {
+    /// Builds the schema.
+    pub fn new(n_branches: usize, accounts_per_branch: usize) -> Self {
+        let mut b = Database::builder();
+        let mut accounts = Vec::with_capacity(n_branches);
+        let mut branch_sites = Vec::with_capacity(n_branches);
+        for br in 0..n_branches {
+            let site = b.add_site();
+            branch_sites.push(site);
+            accounts.push(
+                (0..accounts_per_branch)
+                    .map(|a| b.add_entity(format!("acct_b{br}_{a}"), site))
+                    .collect(),
+            );
+        }
+        let head_office = b.add_site();
+        let ledgers = (0..n_branches)
+            .map(|br| b.add_entity(format!("ledger_b{br}"), head_office))
+            .collect();
+        Self {
+            db: b.build(),
+            accounts,
+            ledgers,
+            branch_sites,
+            head_office,
+        }
+    }
+
+    /// A cross-branch transfer: locks the source account, the destination
+    /// account, and both branches' ledgers, strictly two-phase, in a
+    /// canonical global order (accounts by entity id, then ledgers by
+    /// entity id). Canonical ordering makes any set of transfers
+    /// certifiable by Theorem 4.
+    pub fn transfer_ordered(
+        &self,
+        name: &str,
+        from: (usize, usize),
+        to: (usize, usize),
+    ) -> Transaction {
+        let mut entities = vec![
+            self.accounts[from.0][from.1],
+            self.accounts[to.0][to.1],
+            self.ledgers[from.0],
+            self.ledgers[to.0],
+        ];
+        entities.sort_unstable();
+        entities.dedup();
+        crate::random::two_phase_total_order(&self.db, name, &entities)
+    }
+
+    /// A "greedy" transfer that locks the source side completely before
+    /// the destination side (source account, source ledger, destination
+    /// account, destination ledger). Two opposite-direction greedy
+    /// transfers are the classic distributed deadlock.
+    pub fn transfer_greedy(
+        &self,
+        name: &str,
+        from: (usize, usize),
+        to: (usize, usize),
+    ) -> Transaction {
+        let mut entities = vec![
+            self.accounts[from.0][from.1],
+            self.ledgers[from.0],
+            self.accounts[to.0][to.1],
+            self.ledgers[to.0],
+        ];
+        entities.dedup();
+        crate::random::two_phase_total_order(&self.db, name, &entities)
+    }
+
+    /// A branch audit: locks every account of the branch (ascending) and
+    /// its ledger, two-phase.
+    pub fn audit(&self, name: &str, branch: usize) -> Transaction {
+        let mut entities: Vec<EntityId> = self.accounts[branch].clone();
+        entities.push(self.ledgers[branch]);
+        entities.sort_unstable();
+        crate::random::two_phase_total_order(&self.db, name, &entities)
+    }
+}
+
+/// The motivating "two greedy transfers in opposite directions" system:
+/// `T₀` moves money branch 0 → branch 1, `T₁` moves branch 1 → branch 0,
+/// each locking its source side first. Deadlock-prone and rejected by the
+/// certifier; contrast with [`bank_ordered_pair`].
+pub fn bank_greedy_pair() -> (Bank, TransactionSystem) {
+    let bank = Bank::new(2, 2);
+    let t0 = bank.transfer_greedy("transfer_0_to_1", (0, 0), (1, 0));
+    let t1 = bank.transfer_greedy("transfer_1_to_0", (1, 1), (0, 1));
+    // Make them conflict on the ledgers (shared), accounts are distinct.
+    let sys = TransactionSystem::new(bank.db.clone(), vec![t0, t1]).unwrap();
+    (bank, sys)
+}
+
+/// The same two transfers with canonical global lock ordering — passes
+/// certification.
+pub fn bank_ordered_pair() -> (Bank, TransactionSystem) {
+    let bank = Bank::new(2, 2);
+    let t0 = bank.transfer_ordered("transfer_0_to_1", (0, 0), (1, 0));
+    let t1 = bank.transfer_ordered("transfer_1_to_0", (1, 1), (0, 1));
+    let sys = TransactionSystem::new(bank.db.clone(), vec![t0, t1]).unwrap();
+    (bank, sys)
+}
+
+/// An order-fulfilment scenario: warehouse sites hold stock entities; an
+/// order locks stock at several warehouses plus a shared order-log.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    /// The database schema.
+    pub db: Database,
+    /// `stock[w][s]` = stock item `s` at warehouse `w`.
+    pub stock: Vec<Vec<EntityId>>,
+    /// The shared order log entity.
+    pub order_log: EntityId,
+}
+
+impl Warehouse {
+    /// Builds the schema.
+    pub fn new(n_warehouses: usize, items_per_warehouse: usize) -> Self {
+        let mut b = Database::builder();
+        let mut stock = Vec::with_capacity(n_warehouses);
+        for w in 0..n_warehouses {
+            let site = b.add_site();
+            stock.push(
+                (0..items_per_warehouse)
+                    .map(|s| b.add_entity(format!("stock_w{w}_{s}"), site))
+                    .collect(),
+            );
+        }
+        let log_site = b.add_site();
+        let order_log = b.add_entity("order_log", log_site);
+        Self {
+            db: b.build(),
+            stock,
+            order_log,
+        }
+    }
+
+    /// An order that first claims the order log (the global "ticket"),
+    /// then item stocks in ascending order — the root-lock discipline
+    /// that Corollary 3 blesses for identical copies.
+    pub fn order_with_ticket(&self, name: &str, items: &[(usize, usize)]) -> Transaction {
+        let mut entities: Vec<EntityId> =
+            items.iter().map(|&(w, s)| self.stock[w][s]).collect();
+        entities.sort_unstable();
+        entities.dedup();
+        let mut all = vec![self.order_log];
+        all.extend(entities);
+        crate::random::two_phase_total_order(&self.db, name, &all)
+    }
+
+    /// An order that grabs stocks in the visit order given, without the
+    /// ticket — deadlock-prone when visit orders differ.
+    pub fn order_direct(&self, name: &str, items: &[(usize, usize)]) -> Transaction {
+        let mut entities: Vec<EntityId> =
+            items.iter().map(|&(w, s)| self.stock[w][s]).collect();
+        entities.dedup();
+        crate::random::two_phase_total_order(&self.db, name, &entities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_core::{certify_safe_and_deadlock_free, CertifyOptions};
+
+    #[test]
+    fn greedy_transfers_rejected_ordered_accepted() {
+        let (_, greedy) = bank_greedy_pair();
+        assert!(certify_safe_and_deadlock_free(&greedy, CertifyOptions::default()).is_err());
+        let (_, ordered) = bank_ordered_pair();
+        assert!(certify_safe_and_deadlock_free(&ordered, CertifyOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn greedy_transfers_really_deadlock() {
+        let (_, greedy) = bank_greedy_pair();
+        let ex = ddlf_core::Explorer::new(&greedy, 5_000_000);
+        assert!(ex.find_deadlock().0.violated());
+    }
+
+    #[test]
+    fn ticketed_orders_certify_as_copies() {
+        let wh = Warehouse::new(3, 2);
+        let t = wh.order_with_ticket("order", &[(0, 0), (1, 1), (2, 0)]);
+        assert!(ddlf_core::copies_safe_df(&t).is_ok());
+    }
+
+    #[test]
+    fn direct_orders_with_crossed_visit_orders_rejected() {
+        let wh = Warehouse::new(2, 1);
+        let a = wh.order_direct("A", &[(0, 0), (1, 0)]);
+        let b = wh.order_direct("B", &[(1, 0), (0, 0)]);
+        let sys = TransactionSystem::new(wh.db.clone(), vec![a, b]).unwrap();
+        assert!(certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_err());
+    }
+
+    #[test]
+    fn audits_and_transfers_coexist_when_ordered() {
+        let bank = Bank::new(2, 2);
+        let t0 = bank.transfer_ordered("x", (0, 0), (1, 0));
+        let t1 = bank.audit("audit0", 0);
+        let t2 = bank.audit("audit1", 1);
+        let sys = TransactionSystem::new(bank.db.clone(), vec![t0, t1, t2]).unwrap();
+        assert!(certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_ok());
+    }
+}

@@ -1,0 +1,114 @@
+//! Runtime policy comparison on a contended banking workload: static
+//! certification vs. deadlock detection vs. wound-wait vs. wait-die.
+//!
+//! Run with: `cargo run --example banking --release`
+
+use ddlf::core::{certify_safe_and_deadlock_free, CertifyOptions};
+use ddlf::model::TransactionSystem;
+use ddlf::sim::{run, DeadlockPolicy, SimConfig};
+use ddlf::workloads::Bank;
+
+fn build_workload(greedy: bool) -> TransactionSystem {
+    let bank = Bank::new(4, 4);
+    let routes = [
+        ((0, 0), (1, 0)),
+        ((1, 1), (2, 1)),
+        ((2, 2), (3, 2)),
+        ((3, 3), (0, 3)),
+        ((1, 2), (0, 1)),
+        ((3, 0), (2, 3)),
+    ];
+    let txns = routes
+        .iter()
+        .enumerate()
+        .map(|(i, &(from, to))| {
+            if greedy {
+                bank.transfer_greedy(&format!("transfer{i}"), from, to)
+            } else {
+                bank.transfer_ordered(&format!("transfer{i}"), from, to)
+            }
+        })
+        .collect();
+    TransactionSystem::new(bank.db.clone(), txns).unwrap()
+}
+
+fn summarize(name: &str, sys: &TransactionSystem, policy: DeadlockPolicy, seeds: u64) {
+    let mut committed = 0usize;
+    let mut aborts = 0usize;
+    let mut stalls = 0usize;
+    let mut msgs = 0u64;
+    let mut end = 0u64;
+    let mut nonserial = 0usize;
+    for seed in 0..seeds {
+        let r = run(
+            sys,
+            SimConfig {
+                policy,
+                seed,
+                ..Default::default()
+            },
+        );
+        committed += r.committed;
+        aborts += r.aborted_attempts;
+        stalls += usize::from(!r.stalled.is_empty());
+        msgs += r.messages;
+        end += r.end_time.micros();
+        if r.serializable == Some(false) {
+            nonserial += 1;
+        }
+    }
+    println!(
+        "{name:<28} committed {committed:>3}/{} | aborts {aborts:>3} | deadlocked runs {stalls:>2}/{seeds} | avg msgs {:>5} | avg time {:>7}µs | non-serializable {nonserial}",
+        sys.len() * seeds as usize,
+        msgs / seeds,
+        end / seeds,
+    );
+}
+
+fn main() {
+    let ordered = build_workload(false);
+    let greedy = build_workload(true);
+
+    println!("== certification ==");
+    println!(
+        "ordered transfers: {}",
+        match certify_safe_and_deadlock_free(&ordered, CertifyOptions::default()) {
+            Ok(_) => "CERTIFIED safe + deadlock-free".to_string(),
+            Err(v) => format!("rejected ({v})"),
+        }
+    );
+    println!(
+        "greedy transfers : {}",
+        match certify_safe_and_deadlock_free(&greedy, CertifyOptions::default()) {
+            Ok(_) => "CERTIFIED safe + deadlock-free".to_string(),
+            Err(v) => format!("rejected ({v})"),
+        }
+    );
+
+    let seeds = 20;
+    println!("\n== certified (ordered) workload across policies, {seeds} seeds ==");
+    summarize("Nothing (certified!)", &ordered, DeadlockPolicy::Nothing, seeds);
+    summarize(
+        "Detect 5ms",
+        &ordered,
+        DeadlockPolicy::Detect { period_us: 5_000 },
+        seeds,
+    );
+    summarize("WoundWait", &ordered, DeadlockPolicy::WoundWait, seeds);
+    summarize("WaitDie", &ordered, DeadlockPolicy::WaitDie, seeds);
+
+    println!("\n== uncertified (greedy) workload across policies, {seeds} seeds ==");
+    summarize("Nothing (uncertified)", &greedy, DeadlockPolicy::Nothing, seeds);
+    summarize(
+        "Detect 5ms",
+        &greedy,
+        DeadlockPolicy::Detect { period_us: 5_000 },
+        seeds,
+    );
+    summarize("WoundWait", &greedy, DeadlockPolicy::WoundWait, seeds);
+    summarize("WaitDie", &greedy, DeadlockPolicy::WaitDie, seeds);
+
+    println!("\nTakeaway: the certified workload needs no runtime deadlock machinery");
+    println!("(zero aborts under `Nothing`), while the greedy workload stalls without");
+    println!("a policy and pays aborts under every dynamic scheme.");
+}

@@ -1,0 +1,53 @@
+//! # ddlf — Deadlock-Freedom (and Safety) of Transactions in a Distributed Database
+//!
+//! A Rust reproduction of Wolfson & Yannakakis (PODS 1985 / JCSS 1986):
+//! static analysis of locked distributed transactions — deadlock
+//! characterization via reduction graphs (Theorem 1), coNP-completeness
+//! via the 3SAT′ gadget (Theorem 2), and polynomial safety-and-
+//! deadlock-freedom tests (Theorems 3–5) — together with the distributed
+//! database runtime the analyses govern.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`model`] — entities/sites, partial-order transactions, schedules,
+//!   conflict graphs (§2);
+//! * [`core`] — reduction graphs, exhaustive ground truth, the pairwise /
+//!   many-transaction / copies certifiers, Tirri baseline, SAT gadget
+//!   (§3–§5);
+//! * [`sat`] — 3SAT′ formulas and a DPLL solver;
+//! * [`sim`] — discrete-event and threaded runtimes with deadlock
+//!   detection/prevention policies;
+//! * [`workloads`] — the paper's figures, random generators, scenarios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ddlf::model::{Database, Transaction, TransactionSystem};
+//! use ddlf::core::{certify_safe_and_deadlock_free, CertifyOptions};
+//!
+//! // Two entities on two sites; both transactions lock x first (a shared
+//! // "entry ticket"), hold it across y — certifiably safe & deadlock-free.
+//! let mut b = Database::builder();
+//! let s0 = b.add_site();
+//! let s1 = b.add_site();
+//! let x = b.add_entity("x", s0);
+//! let y = b.add_entity("y", s1);
+//! let db = b.build();
+//!
+//! let mut tb = Transaction::builder("T");
+//! let lx = tb.lock(x);
+//! let ly = tb.lock(y);
+//! let uy = tb.unlock(y);
+//! let ux = tb.unlock(x);
+//! tb.chain(&[lx, ly, uy, ux]);
+//! let t = tb.build(&db).unwrap();
+//!
+//! let sys = TransactionSystem::copies(db, &t, 2).unwrap();
+//! assert!(certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_ok());
+//! ```
+
+pub use ddlf_core as core;
+pub use ddlf_model as model;
+pub use ddlf_sat as sat;
+pub use ddlf_sim as sim;
+pub use ddlf_workloads as workloads;

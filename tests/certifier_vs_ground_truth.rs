@@ -1,0 +1,182 @@
+//! The central soundness/completeness property: the polynomial certifier
+//! (Theorems 3 and 4) agrees exactly with the exhaustive Lemma 1 ground
+//! truth, and a certificate really implies both safety and
+//! deadlock-freedom separately.
+
+use ddlf::core::{certify_safe_and_deadlock_free, CertifyOptions, Explorer};
+use ddlf::workloads::{LockDiscipline, SystemGen};
+use proptest::prelude::*;
+
+fn arb_discipline() -> impl Strategy<Value = LockDiscipline> {
+    prop_oneof![
+        Just(LockDiscipline::RandomLegal),
+        Just(LockDiscipline::RandomTwoPhase),
+        Just(LockDiscipline::LockUnlockShaped),
+        Just(LockDiscipline::OrderedTwoPhase),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// certify == Lemma 1 exhaustive search, exactly.
+    #[test]
+    fn certifier_matches_lemma1_ground_truth(
+        seed in 0u64..10_000,
+        d in 2usize..4,
+        n_e in 2usize..4,
+        disc in arb_discipline(),
+    ) {
+        let sys = SystemGen {
+            n_sites: n_e,
+            entities_per_site: 1,
+            n_txns: d,
+            entities_per_txn: n_e,
+            discipline: disc,
+            seed,
+        }
+        .generate();
+        let certified =
+            certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_ok();
+        let ground = Explorer::new(&sys, 5_000_000).find_conflict_cycle().0;
+        prop_assert_eq!(
+            certified,
+            ground.holds(),
+            "certifier disagrees with Lemma 1 ground truth"
+        );
+    }
+
+    /// A certificate implies deadlock-freedom AND safety individually.
+    #[test]
+    fn certificate_implies_both_properties(
+        seed in 0u64..10_000,
+        d in 2usize..4,
+        disc in arb_discipline(),
+    ) {
+        let sys = SystemGen {
+            n_sites: 3,
+            entities_per_site: 1,
+            n_txns: d,
+            entities_per_txn: 3,
+            discipline: disc,
+            seed,
+        }
+        .generate();
+        if certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_ok() {
+            let ex = Explorer::new(&sys, 5_000_000);
+            prop_assert!(ex.find_deadlock().0.holds(), "certified system deadlocked");
+            prop_assert!(
+                ex.find_unserializable().0.holds(),
+                "certified system has a non-serializable schedule"
+            );
+        }
+    }
+
+    /// Ordered two-phase locking (global lock order, hold till end) is
+    /// always certified — the classic prevention discipline is a special
+    /// case of the paper's condition.
+    #[test]
+    fn ordered_two_phase_always_certifies(
+        seed in 0u64..10_000,
+        d in 2usize..5,
+        n_e in 2usize..5,
+    ) {
+        let sys = SystemGen {
+            n_sites: n_e,
+            entities_per_site: 1,
+            n_txns: d,
+            entities_per_txn: n_e,
+            discipline: LockDiscipline::OrderedTwoPhase,
+            seed,
+        }
+        .generate();
+        prop_assert!(
+            certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_ok()
+        );
+    }
+
+    /// Theorem 3's violation witnesses point at real phenomena: when the
+    /// pairwise test rejects, the ground truth must find a cyclic-D
+    /// partial schedule.
+    #[test]
+    fn pairwise_rejections_are_sound(
+        seed in 0u64..10_000,
+        disc in arb_discipline(),
+    ) {
+        let sys = SystemGen {
+            n_sites: 3,
+            entities_per_site: 1,
+            n_txns: 2,
+            entities_per_txn: 3,
+            discipline: disc,
+            seed,
+        }
+        .generate();
+        use ddlf::model::TxnId;
+        if ddlf::core::pairwise_safe_df(sys.txn(TxnId(0)), sys.txn(TxnId(1))).is_err() {
+            let ground = Explorer::new(&sys, 5_000_000).find_conflict_cycle().0;
+            prop_assert!(ground.violated(), "rejection without a real violation");
+        }
+    }
+
+    /// The two pairwise implementations (O(n²) Theorem 3 and O(n³)
+    /// minimal-prefix) agree on the overall verdict.
+    #[test]
+    fn pairwise_variants_agree(
+        seed in 0u64..10_000,
+        n_e in 2usize..5,
+        disc in arb_discipline(),
+    ) {
+        let sys = SystemGen {
+            n_sites: n_e,
+            entities_per_site: 1,
+            n_txns: 2,
+            entities_per_txn: n_e,
+            discipline: disc,
+            seed,
+        }
+        .generate();
+        use ddlf::model::TxnId;
+        let (t1, t2) = (sys.txn(TxnId(0)), sys.txn(TxnId(1)));
+        prop_assert_eq!(
+            ddlf::core::pairwise_safe_df(t1, t2).is_ok(),
+            ddlf::core::pairwise_safe_df_minimal_prefix(t1, t2).is_ok()
+        );
+    }
+}
+
+/// Theorem 5 as a deterministic sweep: for identical copies, the d-copy
+/// Theorem 4 verdict equals the 2-copy Corollary 3 verdict for d up to 5.
+#[test]
+fn theorem5_copies_sweep() {
+    use ddlf::core::{copies_safe_df, many_safe_df, ManyOptions};
+    use ddlf::model::TransactionSystem;
+
+    for seed in 0..30u64 {
+        for disc in [
+            LockDiscipline::RandomLegal,
+            LockDiscipline::RandomTwoPhase,
+            LockDiscipline::OrderedTwoPhase,
+        ] {
+            let sys = SystemGen {
+                n_sites: 3,
+                entities_per_site: 1,
+                n_txns: 1,
+                entities_per_txn: 3,
+                discipline: disc,
+                seed: 0x75_000 + seed,
+            }
+            .generate();
+            let t = sys.txn(ddlf::model::TxnId(0));
+            let two = copies_safe_df(t).is_ok();
+            for d in 2..=5usize {
+                let copies = TransactionSystem::copies(sys.db().clone(), t, d).unwrap();
+                let many = many_safe_df(&copies, ManyOptions::default()).is_ok();
+                assert_eq!(
+                    two, many,
+                    "Theorem 5 failed: d={d} seed={seed} disc={disc:?} txn={t}"
+                );
+            }
+        }
+    }
+}

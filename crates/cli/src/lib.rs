@@ -7,8 +7,13 @@
 //! ddlf-audit certify  system.json          # Theorems 3/4: safe + deadlock-free?
 //! ddlf-audit deadlock system.json          # exhaustive deadlock search (small systems)
 //! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
+//! ddlf-audit run      system.json [--txns N] [--threads K] [--force-fallback]
 //! ddlf-audit dot      system.json          # Graphviz rendering
 //! ```
+//!
+//! `run` executes the system on the `ddlf-engine` key-value store:
+//! certified systems take the no-detector path, uncertified ones fall
+//! back to wait-die.
 //!
 //! The command logic lives in this library crate so it is unit-testable;
 //! `main.rs` only parses arguments.
@@ -42,6 +47,17 @@ pub enum Command {
         /// Number of seeds to run.
         seeds: u64,
     },
+    /// `run <spec> [--txns N] [--threads K] [--force-fallback]`
+    Run {
+        /// Path to the spec JSON.
+        spec: String,
+        /// Transaction instances to execute.
+        txns: usize,
+        /// Worker threads.
+        threads: usize,
+        /// Run wait-die even if the system certifies.
+        force_fallback: bool,
+    },
     /// `dot <spec>`
     Dot {
         /// Path to the spec JSON.
@@ -65,21 +81,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
-                    "--policy" => {
-                        policy = rest
-                            .get(i + 1)
-                            .ok_or("missing value for --policy".to_string())?
-                            .to_string();
-                        i += 2;
-                    }
-                    "--seeds" => {
-                        seeds = rest
-                            .get(i + 1)
-                            .ok_or("missing value for --seeds".to_string())?
-                            .parse()
-                            .map_err(|e| format!("bad --seeds: {e}"))?;
-                        i += 2;
-                    }
+                    "--policy" => policy = take_value(&rest, &mut i, "--policy")?.to_string(),
+                    "--seeds" => seeds = parse_value(&rest, &mut i, "--seeds")?,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -89,13 +92,62 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seeds,
             })
         }
+        "run" => {
+            let mut txns = 64usize;
+            let mut threads = 4usize;
+            let mut force_fallback = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--txns" => {
+                        txns = parse_value(&rest, &mut i, "--txns")?;
+                        if txns > u32::MAX as usize {
+                            return Err(format!("bad --txns: {txns} exceeds {}", u32::MAX));
+                        }
+                    }
+                    "--threads" => threads = parse_value(&rest, &mut i, "--threads")?,
+                    "--force-fallback" => {
+                        force_fallback = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Run {
+                spec,
+                txns,
+                threads,
+                force_fallback,
+            })
+        }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
 
+/// Consumes the value following the flag at `rest[*i]`.
+fn take_value<'a>(rest: &[&'a String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    let v = rest
+        .get(*i + 1)
+        .ok_or_else(|| format!("missing value for {flag}"))?;
+    *i += 2;
+    Ok(v)
+}
+
+/// [`take_value`] plus `FromStr` parsing with a uniform error shape.
+fn parse_value<T: std::str::FromStr>(rest: &[&String], i: &mut usize, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    take_value(rest, i, flag)?
+        .parse()
+        .map_err(|e| format!("bad {flag}: {e}"))
+}
+
 fn usage() -> String {
-    "usage: ddlf-audit <certify|deadlock|simulate|dot> <system.json> \
-     [--policy nothing|detect|wound-wait|wait-die] [--seeds N]"
+    "usage: ddlf-audit <certify|deadlock|simulate|run|dot> <system.json> \
+     [--policy nothing|detect|wound-wait|wait-die] [--seeds N] \
+     [--txns N] [--threads K] [--force-fallback]"
         .to_string()
 }
 
@@ -185,6 +237,37 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                 );
                 bad |= !r.stalled.is_empty() || r.serializable == Some(false);
             }
+            (out, i32::from(bad))
+        }
+        Command::Run {
+            txns,
+            threads,
+            force_fallback,
+            ..
+        } => {
+            let engine = ddlf_engine::Engine::new(
+                sys.clone(),
+                ddlf_engine::EngineConfig {
+                    threads: *threads,
+                    instances: *txns,
+                    force_fallback: *force_fallback,
+                    ..Default::default()
+                },
+            );
+            let mut out = String::new();
+            let _ = writeln!(out, "admission: {}", engine.registry().verdict());
+            let report = engine.run();
+            let _ = writeln!(out, "{}", report.summary());
+            let _ = writeln!(
+                out,
+                "store: {} entities, {} committed writes, Σint {}",
+                sys.db().entity_count(),
+                engine.store().total_versions(),
+                engine.store().total_int()
+            );
+            let bad = !report.all_committed()
+                || report.serializable == Some(false)
+                || report.dirty_aborts > 0;
             (out, i32::from(bad))
         }
         Command::Dot { .. } => (ddlf_model::dot::system_to_dot(sys), 0),
@@ -281,6 +364,61 @@ mod tests {
             seeds: 1,
         };
         assert_eq!(execute(&bad, &sys).1, 2);
+    }
+
+    #[test]
+    fn run_command_parses_with_flags() {
+        let c = parse_args(&[
+            "run".into(),
+            "f.json".into(),
+            "--txns".into(),
+            "12".into(),
+            "--threads".into(),
+            "3".into(),
+            "--force-fallback".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                spec: "f.json".into(),
+                txns: 12,
+                threads: 3,
+                force_fallback: true
+            }
+        );
+        assert!(parse_args(&["run".into(), "f".into(), "--txns".into()]).is_err());
+        assert!(parse_args(&["run".into(), "f".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn run_executes_certified_system_clean() {
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 8,
+            threads: 2,
+            force_fallback: false,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("certified"), "{out}");
+        assert!(out.contains("no-detector"), "{out}");
+        assert!(out.contains("aborts 0"), "{out}");
+    }
+
+    #[test]
+    fn run_executes_uncertified_system_via_wait_die() {
+        let sys = load_system(DEADLOCKY).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 8,
+            threads: 2,
+            force_fallback: false,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("fallback to wait-die"), "{out}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ fn main() {
         ddlf_cli::Command::Certify { spec }
         | ddlf_cli::Command::Deadlock { spec }
         | ddlf_cli::Command::Simulate { spec, .. }
+        | ddlf_cli::Command::Run { spec, .. }
         | ddlf_cli::Command::Dot { spec } => spec.clone(),
     };
     let json = match std::fs::read_to_string(&path) {

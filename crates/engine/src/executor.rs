@@ -1,0 +1,457 @@
+//! The worker-pool executor: drains a queue of transaction instances,
+//! acquires locks across shards in partial-order-respecting order, and
+//! applies the template's reads/writes.
+//!
+//! Two lock-wait disciplines, selected by the cached admission verdict:
+//!
+//! * **Certified (`Nothing` policy)** — a worker issues every ready lock
+//!   request, parks on its grant channel, and *never* times out, aborts,
+//!   or consults a detector. Safety and deadlock-freedom of the
+//!   registered system (Theorems 3/4) make this correct; the per-template
+//!   admission gate keeps the in-flight mix a subsystem of the certified
+//!   system.
+//! * **Fallback (wait-die)** — lock waits are polls that re-check the
+//!   wait-die rule against the *current* holder each round (re-checking
+//!   keeps every sustained wait older→younger, so no cycle can close);
+//!   younger requesters abort, back off, and retry with their original
+//!   timestamp.
+//!
+//! Every effective lock/unlock is appended to a shared
+//! [`ddlf_sim::History`] and the committed projection is audited with the
+//! model's `D(S)` test after the run.
+
+use crate::report::{LatencyStats, Report};
+use crate::store::{LockOutcome, Store};
+use crate::template::TemplateRegistry;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ddlf_model::{EntityId, Prefix, Transaction, TransactionSystem, TxnId};
+use ddlf_sim::SharedHistory;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads draining the instance queue.
+    pub threads: usize,
+    /// Total transaction instances to run (assigned round-robin over the
+    /// registered templates). Capped at `u32::MAX`; [`Engine::run`]
+    /// panics beyond that (instance ids double as wait-die timestamps).
+    pub instances: usize,
+    /// Attempt budget per instance on the wait-die path (the certified
+    /// path needs exactly one).
+    pub max_attempts: u32,
+    /// Base retry backoff after a wait-die abort (jittered).
+    pub backoff: Duration,
+    /// Poll interval while an older requester waits on the fallback path.
+    pub poll: Duration,
+    /// Simulated per-lock work while holding the grant (widens contention
+    /// windows; keep zero for raw throughput).
+    pub work: Duration,
+    /// RNG seed for jitter.
+    pub seed: u64,
+    /// Initial integer payload of every entity.
+    pub initial_value: u64,
+    /// Run wait-die even when the system certifies (for benchmarking the
+    /// cost of not trusting the certificate).
+    pub force_fallback: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            instances: 64,
+            max_attempts: 1000,
+            backoff: Duration::from_micros(300),
+            poll: Duration::from_micros(50),
+            work: Duration::ZERO,
+            seed: 0,
+            initial_value: 1_000,
+            force_fallback: false,
+        }
+    }
+}
+
+/// The sharded execution engine: a certified-or-not template registry,
+/// the versioned store, and a worker pool.
+pub struct Engine {
+    registry: TemplateRegistry,
+    store: Store,
+    cfg: EngineConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Instance {
+    /// Global instance id; doubles as the wait-die timestamp (smaller =
+    /// older) and as the transaction id in the audited history.
+    id: u32,
+    template: TxnId,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Outcome {
+    committed_attempt: Option<u32>,
+    aborts: u32,
+    dirty_aborts: u32,
+    reads: u64,
+    writes: u64,
+    latency_us: u64,
+}
+
+enum AttemptResult {
+    Committed { reads: u64, writes: u64 },
+    Died { dirty: bool },
+}
+
+impl Engine {
+    /// Builds an engine over `sys`: certifies it (cached in the
+    /// registry) and initializes the sharded store.
+    pub fn new(sys: TransactionSystem, cfg: EngineConfig) -> Self {
+        let store = Store::new(sys.db(), cfg.initial_value);
+        let registry = TemplateRegistry::register(sys);
+        Self {
+            registry,
+            store,
+            cfg,
+        }
+    }
+
+    /// Builds an engine from an already-certified registry (custom
+    /// programs installed).
+    pub fn with_registry(registry: TemplateRegistry, cfg: EngineConfig) -> Self {
+        let store = Store::new(registry.system().db(), cfg.initial_value);
+        Self {
+            registry,
+            store,
+            cfg,
+        }
+    }
+
+    /// The template registry (with its cached verdict).
+    pub fn registry(&self) -> &TemplateRegistry {
+        &self.registry
+    }
+
+    /// The sharded store (inspect after a run).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Whether this run executes the no-detector path.
+    fn certified_path(&self) -> bool {
+        self.registry.verdict().is_certified() && !self.cfg.force_fallback
+    }
+
+    /// Runs `cfg.instances` instances on `cfg.threads` workers and
+    /// reports. Reusable; the store accumulates writes across runs.
+    pub fn run(&self) -> Report {
+        let sys = self.registry.system().clone();
+        let shared = SharedHistory::new();
+        if sys.is_empty() || self.cfg.instances == 0 {
+            return self.build_report(&sys, &[], &[], shared, Duration::ZERO);
+        }
+        let instances: Vec<Instance> = (0..self.cfg.instances)
+            .map(|i| Instance {
+                id: u32::try_from(i).expect("instance count fits u32"),
+                template: TxnId::from_index(i % sys.len().max(1)),
+            })
+            .collect();
+
+        let (work_tx, work_rx) = unbounded::<Instance>();
+        for inst in &instances {
+            work_tx.send(*inst).expect("receiver alive");
+        }
+        drop(work_tx);
+
+        let (done_tx, done_rx) = unbounded::<(u32, Outcome)>();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.threads.max(1) {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                let shared = &shared;
+                scope.spawn(move || self.worker(work_rx, done_tx, shared));
+            }
+        });
+        let wall = started.elapsed();
+        drop(done_tx);
+
+        let mut outcomes: Vec<Outcome> = vec![Outcome::default(); instances.len()];
+        for (id, out) in done_rx.iter() {
+            outcomes[id as usize] = out;
+        }
+        self.build_report(&sys, &instances, &outcomes, shared, wall)
+    }
+
+    fn worker(
+        &self,
+        work_rx: Receiver<Instance>,
+        done_tx: Sender<(u32, Outcome)>,
+        shared: &SharedHistory,
+    ) {
+        // The queue is fully loaded (and its sender dropped) before
+        // workers start, so the first failed receive means drained.
+        while let Ok(inst) = work_rx.try_recv() {
+            let out = self.execute_instance(inst, shared);
+            let _ = done_tx.send((inst.id, out));
+        }
+    }
+
+    fn execute_instance(&self, inst: Instance, shared: &SharedHistory) -> Outcome {
+        let started = Instant::now();
+        let tmpl = self.registry.template(inst.template);
+        // Admission gate: one live instance per template (see template.rs).
+        let _gate = tmpl.gate.lock();
+        let t = self.registry.system().txn(inst.template);
+        let certified = self.certified_path();
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ (u64::from(inst.id) << 20) ^ 0x00E9_97D1);
+        let mut out = Outcome::default();
+
+        let budget = if certified { 1 } else { self.cfg.max_attempts };
+        for attempt in 0..budget {
+            let result = if certified {
+                self.attempt_blocking(inst, t, attempt, shared)
+            } else {
+                self.attempt_wait_die(inst, t, attempt, shared)
+            };
+            match result {
+                AttemptResult::Committed { reads, writes } => {
+                    out.committed_attempt = Some(attempt);
+                    out.reads += reads;
+                    out.writes += writes;
+                    break;
+                }
+                AttemptResult::Died { dirty } => {
+                    out.aborts += 1;
+                    out.dirty_aborts += u32::from(dirty);
+                    let jitter = rng.gen_range(0..=self.cfg.backoff.as_micros() as u64);
+                    std::thread::sleep(
+                        self.cfg.backoff + Duration::from_micros(jitter * (1 + u64::from(attempt % 4))),
+                    );
+                }
+            }
+        }
+        out.latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        out
+    }
+
+    /// The `Nothing`-policy attempt: issue every ready lock, park on the
+    /// grant channel, never abort. Single attempt, cannot fail.
+    fn attempt_blocking(
+        &self,
+        inst: Instance,
+        t: &Transaction,
+        attempt: u32,
+        shared: &SharedHistory,
+    ) -> AttemptResult {
+        let me = TxnId(inst.id);
+        let tmpl = self.registry.template(inst.template);
+        let (grant_tx, grant_rx) = unbounded::<EntityId>();
+        let mut executed = Prefix::empty(t);
+        let mut issued = vec![false; t.node_count()];
+        let (mut reads, mut writes) = (0u64, 0u64);
+
+        loop {
+            let mut progressed = false;
+            for n in executed.ready_nodes(t) {
+                if issued[n.index()] {
+                    continue;
+                }
+                issued[n.index()] = true;
+                let op = t.op(n);
+                let shard = self.store.shard_of(op.entity);
+                if op.is_lock() {
+                    match shard.request(me, op.entity, &grant_tx) {
+                        LockOutcome::Granted => {
+                            reads += 1;
+                            self.simulate_work();
+                            shared.record(me, attempt, n);
+                            executed.push(n);
+                            progressed = true;
+                        }
+                        LockOutcome::Queued { .. } => {} // grant arrives later
+                    }
+                } else {
+                    let w = tmpl.program.write_for(op.entity);
+                    writes += u64::from(w.is_some());
+                    shared.record(me, attempt, n);
+                    executed.push(n);
+                    shard.write_and_release(me, op.entity, w);
+                    progressed = true;
+                }
+            }
+            if executed.is_complete(t) {
+                return AttemptResult::Committed { reads, writes };
+            }
+            if progressed {
+                continue;
+            }
+            // Every ready op is a queued lock: park until any grant.
+            let entity = grant_rx
+                .recv()
+                .expect("grant channel lives as long as this attempt");
+            let n = t.lock_node_of(entity).expect("granted entity is accessed");
+            reads += 1;
+            self.simulate_work();
+            shared.record(me, attempt, n);
+            executed.push(n);
+        }
+    }
+
+    /// The wait-die attempt: process ready ops sequentially; lock waits
+    /// are polls that re-check the wait-die rule against the current
+    /// holder; younger requesters die.
+    fn attempt_wait_die(
+        &self,
+        inst: Instance,
+        t: &Transaction,
+        attempt: u32,
+        shared: &SharedHistory,
+    ) -> AttemptResult {
+        let me = TxnId(inst.id);
+        let tmpl = self.registry.template(inst.template);
+        let (grant_tx, _grant_rx) = unbounded::<EntityId>();
+        let mut executed = Prefix::empty(t);
+        let (mut reads, mut writes) = (0u64, 0u64);
+
+        while !executed.is_complete(t) {
+            let ready = executed.ready_nodes(t);
+            // Unlocks never block; drain them first.
+            let next = ready
+                .iter()
+                .copied()
+                .find(|&n| !t.op(n).is_lock())
+                .or_else(|| ready.first().copied())
+                .expect("incomplete prefix has a ready node");
+            let op = t.op(next);
+            let shard = self.store.shard_of(op.entity);
+            if op.is_lock() {
+                loop {
+                    match shard.request(me, op.entity, &grant_tx) {
+                        LockOutcome::Granted => {
+                            reads += 1;
+                            self.simulate_work();
+                            shared.record(me, attempt, next);
+                            executed.push(next);
+                            break;
+                        }
+                        LockOutcome::Queued { holder } => {
+                            // Never park in the FIFO queue on this path:
+                            // withdraw, then either poll-wait (older) or
+                            // die (younger).
+                            if shard.withdraw(me, op.entity) {
+                                // Promoted in the race: the lock is ours.
+                                reads += 1;
+                                self.simulate_work();
+                                shared.record(me, attempt, next);
+                                executed.push(next);
+                                break;
+                            }
+                            if me.0 < holder.0 {
+                                std::thread::sleep(self.cfg.poll);
+                            } else {
+                                let dirty = self.abort_attempt(me, t, &executed);
+                                return AttemptResult::Died { dirty };
+                            }
+                        }
+                    }
+                }
+            } else {
+                let w = tmpl.program.write_for(op.entity);
+                writes += u64::from(w.is_some());
+                shared.record(me, attempt, next);
+                executed.push(next);
+                shard.write_and_release(me, op.entity, w);
+            }
+        }
+        AttemptResult::Committed { reads, writes }
+    }
+
+    fn simulate_work(&self) {
+        if !self.cfg.work.is_zero() {
+            std::thread::sleep(self.cfg.work);
+        }
+    }
+
+    /// Releases everything a dying attempt holds. Returns whether the
+    /// abort is dirty (an unlock had already executed, exposing its
+    /// write — impossible for two-phase templates, which die before
+    /// their first unlock).
+    fn abort_attempt(&self, me: TxnId, t: &Transaction, executed: &Prefix) -> bool {
+        for e in executed.held_entities(t) {
+            self.store.shard_of(e).write_and_release(me, e, None);
+        }
+        executed.iter().any(|n| !t.op(n).is_lock())
+    }
+
+    fn build_report(
+        &self,
+        sys: &TransactionSystem,
+        instances: &[Instance],
+        outcomes: &[Outcome],
+        shared: SharedHistory,
+        wall: Duration,
+    ) -> Report {
+        let committed_attempt: Vec<Option<u32>> =
+            outcomes.iter().map(|o| o.committed_attempt).collect();
+        let failed: Vec<u32> = instances
+            .iter()
+            .zip(outcomes)
+            .filter(|(_, o)| o.committed_attempt.is_none())
+            .map(|(i, _)| i.id)
+            .collect();
+        let history = shared.into_inner();
+        let dirty_aborts: usize = outcomes.iter().map(|o| o.dirty_aborts as usize).sum();
+
+        // Audit: one transaction per instance, so `D(S)` sees each
+        // instance as its own node set. A dirty abort voids the audit's
+        // premise (an aborted attempt left a durable write the committed
+        // projection cannot see), so report `None` rather than a verdict
+        // over the wrong schedule.
+        let serializable = if failed.is_empty() && !instances.is_empty() && dirty_aborts == 0 {
+            let txns: Vec<Transaction> = instances
+                .iter()
+                .map(|i| {
+                    let t = sys.txn(i.template);
+                    t.clone().with_name(format!("{}#{}", t.name(), i.id))
+                })
+                .collect();
+            TransactionSystem::new(sys.db().clone(), txns)
+                .ok()
+                .and_then(|audit_sys| history.audit(&audit_sys, &committed_attempt).ok())
+        } else {
+            None
+        };
+
+        let latency = LatencyStats::from_samples(
+            outcomes
+                .iter()
+                .filter(|o| o.committed_attempt.is_some())
+                .map(|o| o.latency_us)
+                .collect(),
+        );
+        Report {
+            verdict: self.registry.verdict().clone(),
+            forced_fallback: self.cfg.force_fallback,
+            instances: instances.len(),
+            committed: outcomes.iter().filter(|o| o.committed_attempt.is_some()).count(),
+            aborted_attempts: outcomes.iter().map(|o| o.aborts as usize).sum(),
+            dirty_aborts,
+            failed,
+            reads: outcomes.iter().map(|o| o.reads).sum(),
+            writes: outcomes.iter().map(|o| o.writes).sum(),
+            wall,
+            serializable,
+            history_len: history.len(),
+            latency,
+        }
+    }
+}
+
+/// Convenience: certify `sys`, run it, and report.
+pub fn run_system(sys: &TransactionSystem, cfg: EngineConfig) -> Report {
+    Engine::new(sys.clone(), cfg).run()
+}

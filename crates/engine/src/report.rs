@@ -1,0 +1,145 @@
+//! Run reports, following the `ddlf_sim::metrics` conventions
+//! (`throughput_per_sec`, `all_committed`, a `serializable` audit slot)
+//! but measured in wall-clock time on real threads.
+
+use crate::template::AdmissionVerdict;
+use std::time::Duration;
+
+/// Latency distribution over committed instances, in microseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Mean commit latency.
+    pub mean_us: f64,
+    /// Median commit latency.
+    pub p50_us: u64,
+    /// 99th percentile commit latency.
+    pub p99_us: u64,
+    /// Worst commit latency.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw per-instance latencies (destructive sort).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |p: f64| samples[(((n - 1) as f64) * p) as usize];
+        Self {
+            mean_us: samples.iter().sum::<u64>() as f64 / n as f64,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            max_us: samples[n - 1],
+        }
+    }
+}
+
+/// Counters and outcomes of one engine run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The admission verdict the run executed under.
+    pub verdict: AdmissionVerdict,
+    /// Whether the run was forced onto the wait-die path despite a
+    /// certificate (for apples-to-apples comparisons).
+    pub forced_fallback: bool,
+    /// Total transaction instances submitted.
+    pub instances: usize,
+    /// Instances that ran to commit.
+    pub committed: usize,
+    /// Aborted attempts — every abort is a wait-die victim that retried;
+    /// the certified path cannot abort, so this is always 0 there.
+    pub aborted_attempts: usize,
+    /// Aborts that happened after an unlock had already exposed a write
+    /// (impossible for two-phase templates). Nonzero voids the
+    /// serializability audit (`serializable` becomes `None`).
+    pub dirty_aborts: usize,
+    /// Instance ids that exhausted their attempt budget.
+    pub failed: Vec<u32>,
+    /// Reads performed under locks.
+    pub reads: u64,
+    /// Writes committed to the store.
+    pub writes: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Post-hoc `D(S)` audit of the committed schedule; `None` when not
+    /// every instance committed.
+    pub serializable: Option<bool>,
+    /// Lock/unlock events recorded.
+    pub history_len: usize,
+    /// Commit-latency distribution.
+    pub latency: LatencyStats,
+}
+
+impl Report {
+    /// Whether every submitted instance committed.
+    pub fn all_committed(&self) -> bool {
+        self.committed == self.instances && self.failed.is_empty()
+    }
+
+    /// Committed instances per wall-clock second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / secs
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} | committed {}/{} aborts {} | {:.0} txn/s | p50 {}µs p99 {}µs | serializable {:?}",
+            if self.verdict.is_certified() && !self.forced_fallback {
+                "no-detector"
+            } else {
+                "wait-die"
+            },
+            self.committed,
+            self.instances,
+            self.aborted_attempts,
+            self.throughput_per_sec(),
+            self.latency.p50_us,
+            self.latency.p99_us,
+            self.serializable,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles() {
+        let s = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+
+    #[test]
+    fn report_throughput() {
+        let r = Report {
+            verdict: AdmissionVerdict::Certified,
+            forced_fallback: false,
+            instances: 10,
+            committed: 10,
+            aborted_attempts: 0,
+            dirty_aborts: 0,
+            failed: vec![],
+            reads: 0,
+            writes: 0,
+            wall: Duration::from_secs(2),
+            serializable: Some(true),
+            history_len: 0,
+            latency: LatencyStats::default(),
+        };
+        assert!(r.all_committed());
+        assert!((r.throughput_per_sec() - 5.0).abs() < 1e-9);
+        assert!(r.summary().contains("no-detector"));
+    }
+}

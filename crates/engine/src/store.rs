@@ -1,0 +1,352 @@
+//! The sharded versioned key-value store.
+//!
+//! Entities live in one shard per database site, mirroring the paper's
+//! partition of entities into sites. Each shard owns its values *and*
+//! its exclusive lock table behind a single mutex, so a lock grant and
+//! the read it authorizes are one critical section — exactly the
+//! "scheduler of the site" from §2 of Wolfson & Yannakakis, with data
+//! attached.
+
+use crate::template::WriteOp;
+use crossbeam::channel::Sender;
+use ddlf_model::{Database, EntityId, SiteId, TxnId};
+use ddlf_sim::{Acquire, LockTable};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The payload an entity carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datum {
+    /// A 64-bit integer (balances, counters, stock levels).
+    Int(u64),
+    /// An opaque byte string.
+    Bytes(Vec<u8>),
+}
+
+impl Datum {
+    /// The integer payload, if this is an [`Datum::Int`].
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Datum::Int(n) => Some(*n),
+            Datum::Bytes(_) => None,
+        }
+    }
+}
+
+/// A versioned value: every committed write bumps `version`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// Monotone write counter (0 = never written).
+    pub version: u64,
+    /// Current payload.
+    pub datum: Datum,
+}
+
+/// What a lock request returned.
+#[derive(Debug)]
+pub(crate) enum LockOutcome {
+    /// Granted immediately; the caller may now read/write the entity.
+    Granted,
+    /// Queued behind the current holder; a grant will arrive on the
+    /// requester's channel.
+    Queued {
+        /// The instance currently holding the lock (wait-die examines it).
+        holder: TxnId,
+    },
+}
+
+/// Mutable state of one shard: values plus the site's lock table and the
+/// grant-delivery channels of queued requesters.
+pub(crate) struct ShardState {
+    pub values: HashMap<EntityId, VersionedValue>,
+    pub locks: LockTable,
+    /// `(instance, entity)` → where to deliver the eventual grant.
+    pub waiters: HashMap<(TxnId, EntityId), Sender<EntityId>>,
+}
+
+/// One shard: the entities of one [`SiteId`] behind a mutex.
+pub struct Shard {
+    pub(crate) state: Mutex<ShardState>,
+    site: SiteId,
+}
+
+impl Shard {
+    /// The site this shard serves.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Requests the exclusive lock on `entity` for `instance`. On a
+    /// queue, registers `grant_tx` so the releasing thread can hand the
+    /// lock (and wake the requester) later.
+    pub(crate) fn request(
+        &self,
+        instance: TxnId,
+        entity: EntityId,
+        grant_tx: &Sender<EntityId>,
+    ) -> LockOutcome {
+        let mut st = self.state.lock();
+        match st.locks.acquire(instance, entity) {
+            Acquire::Granted => LockOutcome::Granted,
+            Acquire::Queued { holder } => {
+                st.waiters.insert((instance, entity), grant_tx.clone());
+                LockOutcome::Queued { holder }
+            }
+        }
+    }
+
+    /// Withdraws a queued request (wait-die victim backing out). Returns
+    /// `true` if the request had already been promoted to a hold, in
+    /// which case the caller must release it instead.
+    pub(crate) fn withdraw(&self, instance: TxnId, entity: EntityId) -> bool {
+        let mut st = self.state.lock();
+        st.waiters.remove(&(instance, entity));
+        if st.locks.holder(entity) == Some(instance) {
+            true
+        } else {
+            st.locks.release(instance, entity); // drops the queue entry
+            false
+        }
+    }
+
+    /// Applies `write` (if any) under the still-held lock, then releases
+    /// `entity`, handing the lock to the next FIFO waiter.
+    pub(crate) fn write_and_release(
+        &self,
+        instance: TxnId,
+        entity: EntityId,
+        write: Option<&WriteOp>,
+    ) {
+        let mut st = self.state.lock();
+        if let Some(w) = write {
+            st.apply(entity, w);
+        }
+        st.release_and_promote(instance, entity);
+    }
+
+    /// Reads `entity` without taking a lock (engine-internal snapshots).
+    pub(crate) fn peek(&self, entity: EntityId) -> VersionedValue {
+        self.state.lock().read(entity)
+    }
+}
+
+impl ShardState {
+    fn read(&mut self, entity: EntityId) -> VersionedValue {
+        self.values
+            .get(&entity)
+            .cloned()
+            .unwrap_or(VersionedValue {
+                version: 0,
+                datum: Datum::Int(0),
+            })
+    }
+
+    fn apply(&mut self, entity: EntityId, write: &WriteOp) {
+        let slot = self.values.entry(entity).or_insert(VersionedValue {
+            version: 0,
+            datum: Datum::Int(0),
+        });
+        match write {
+            WriteOp::Add(delta) => {
+                let cur = slot.datum.as_int().unwrap_or(0);
+                slot.datum = Datum::Int(cur.wrapping_add_signed(*delta));
+            }
+            WriteOp::Put(v) => slot.datum = Datum::Int(*v),
+            WriteOp::PutBytes(b) => slot.datum = Datum::Bytes(b.clone()),
+        }
+        slot.version += 1;
+    }
+
+    /// Releases and hands the lock to the next FIFO waiter, delivering
+    /// the grant on the waiter's channel. A waiter whose channel is gone
+    /// (its attempt aborted between queueing and promotion) is skipped
+    /// and the lock freed onward.
+    fn release_and_promote(&mut self, instance: TxnId, entity: EntityId) {
+        let mut releasing = instance;
+        while let Some(next) = self.locks.release(releasing, entity) {
+            if let Some(tx) = self.waiters.remove(&(next, entity)) {
+                if tx.send(entity).is_ok() {
+                    return; // handed over
+                }
+            }
+            // Waiter vanished: free the lock again on its behalf.
+            releasing = next;
+        }
+    }
+}
+
+/// The sharded store: one [`Shard`] per database site.
+pub struct Store {
+    shards: Vec<Shard>,
+    db: Database,
+}
+
+impl Store {
+    /// Builds a store for `db`, initializing every entity to
+    /// `Datum::Int(initial)` at version 0.
+    pub fn new(db: &Database, initial: u64) -> Self {
+        let mut shards: Vec<Shard> = (0..db.site_count())
+            .map(|s| Shard {
+                state: Mutex::new(ShardState {
+                    values: HashMap::new(),
+                    locks: LockTable::new(),
+                    waiters: HashMap::new(),
+                }),
+                site: SiteId::from_index(s),
+            })
+            .collect();
+        for e in db.entities() {
+            let site = db.site_of(e);
+            shards[site.index()].state.get_mut().values.insert(
+                e,
+                VersionedValue {
+                    version: 0,
+                    datum: Datum::Int(initial),
+                },
+            );
+        }
+        Self {
+            shards,
+            db: db.clone(),
+        }
+    }
+
+    /// The shard owning `entity`.
+    pub fn shard_of(&self, entity: EntityId) -> &Shard {
+        &self.shards[self.db.site_of(entity).index()]
+    }
+
+    /// All shards, in site order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The schema the store was built for.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// A consistent-enough snapshot for post-run assertions (call when
+    /// quiescent).
+    pub fn snapshot(&self) -> Vec<(EntityId, VersionedValue)> {
+        let mut out: Vec<(EntityId, VersionedValue)> = self
+            .db
+            .entities()
+            .map(|e| (e, self.shard_of(e).peek(e)))
+            .collect();
+        out.sort_by_key(|(e, _)| *e);
+        out
+    }
+
+    /// Sum of all integer payloads — conservation checks for transfer
+    /// workloads.
+    pub fn total_int(&self) -> u64 {
+        self.snapshot()
+            .iter()
+            .filter_map(|(_, v)| v.datum.as_int())
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Sum of all versions — total committed writes.
+    pub fn total_versions(&self) -> u64 {
+        self.snapshot().iter().map(|(_, v)| v.version).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn store2() -> Store {
+        Store::new(&Database::one_entity_per_site(2), 100)
+    }
+
+    #[test]
+    fn initial_values_seeded() {
+        let s = store2();
+        assert_eq!(s.total_int(), 200);
+        assert_eq!(s.total_versions(), 0);
+        assert_eq!(
+            s.shard_of(EntityId(0)).peek(EntityId(0)).datum,
+            Datum::Int(100)
+        );
+    }
+
+    #[test]
+    fn grant_read_write_release_cycle() {
+        let s = store2();
+        let e = EntityId(0);
+        let (tx, _rx) = unbounded();
+        let got = s.shard_of(e).request(TxnId(0), e, &tx);
+        assert!(matches!(got, LockOutcome::Granted));
+        assert_eq!(s.shard_of(e).peek(e).datum, Datum::Int(100));
+        s.shard_of(e)
+            .write_and_release(TxnId(0), e, Some(&WriteOp::Add(-30)));
+        let after = s.shard_of(e).peek(e);
+        assert_eq!(after.datum, Datum::Int(70));
+        assert_eq!(after.version, 1);
+    }
+
+    #[test]
+    fn queued_request_gets_grant_on_release() {
+        let s = store2();
+        let e = EntityId(0);
+        let (tx0, _rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        assert!(matches!(
+            s.shard_of(e).request(TxnId(0), e, &tx0),
+            LockOutcome::Granted
+        ));
+        assert!(matches!(
+            s.shard_of(e).request(TxnId(1), e, &tx1),
+            LockOutcome::Queued { holder: TxnId(0) }
+        ));
+        s.shard_of(e).write_and_release(TxnId(0), e, None);
+        assert_eq!(rx1.try_recv(), Ok(e));
+        // T1 now holds it.
+        assert_eq!(s.shard_of(e).state.lock().locks.holder(e), Some(TxnId(1)));
+    }
+
+    #[test]
+    fn vanished_waiter_does_not_wedge_the_lock() {
+        let s = store2();
+        let e = EntityId(0);
+        let (tx0, _rx0) = unbounded();
+        assert!(matches!(
+            s.shard_of(e).request(TxnId(0), e, &tx0),
+            LockOutcome::Granted
+        ));
+        {
+            let (tx1, rx1) = unbounded();
+            assert!(matches!(
+                s.shard_of(e).request(TxnId(1), e, &tx1),
+                LockOutcome::Queued { .. }
+            ));
+            drop(rx1); // T1's attempt dies without withdrawing
+            drop(tx1);
+        }
+        let (tx2, rx2) = unbounded();
+        assert!(matches!(
+            s.shard_of(e).request(TxnId(2), e, &tx2),
+            LockOutcome::Queued { .. }
+        ));
+        s.shard_of(e).write_and_release(TxnId(0), e, None);
+        // T1's grant bounced; T2 must receive it.
+        assert_eq!(rx2.try_recv(), Ok(e));
+    }
+
+    #[test]
+    fn withdraw_cleans_the_queue() {
+        let s = store2();
+        let e = EntityId(0);
+        let (tx0, _rx0) = unbounded();
+        let (tx1, _rx1) = unbounded();
+        s.shard_of(e).request(TxnId(0), e, &tx0);
+        s.shard_of(e).request(TxnId(1), e, &tx1);
+        assert!(!s.shard_of(e).withdraw(TxnId(1), e));
+        assert!(s.shard_of(e).state.lock().locks.waiters(e).is_empty());
+        s.shard_of(e).write_and_release(TxnId(0), e, None);
+        assert_eq!(s.shard_of(e).state.lock().locks.holder(e), None);
+    }
+}

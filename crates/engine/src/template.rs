@@ -1,0 +1,240 @@
+//! Transaction templates and certify-then-run admission control.
+//!
+//! A *template* is one transaction shape of a [`TransactionSystem`]
+//! together with the data effects its instances apply. Registering a
+//! system runs the paper's certifier
+//! ([`ddlf_core::certify_safe_and_deadlock_free`]) **once** and caches
+//! the verdict:
+//!
+//! * **Certified** — instances execute under the `Nothing` policy: no
+//!   deadlock detector, no lock-wait timeouts, no aborts. Theorems 3/4
+//!   guarantee every interleaving commits and serializes.
+//! * **Fallback** — instances execute under wait-die with bounded
+//!   retries, the pragmatic scheme uncertified systems need.
+
+use ddlf_core::{certify_safe_and_deadlock_free, CertifyOptions};
+use ddlf_model::{EntityId, TransactionSystem, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A committed write against one entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Add a signed delta to the integer payload (wrapping).
+    Add(i64),
+    /// Overwrite with an integer.
+    Put(u64),
+    /// Overwrite with bytes.
+    PutBytes(Vec<u8>),
+}
+
+/// The data program of one template: every locked entity is read at
+/// lock-grant time; entities listed here are also written (the write
+/// becomes effective at unlock time, while the lock is still held).
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    writes: HashMap<EntityId, WriteOp>,
+}
+
+impl Program {
+    /// A read-only program.
+    pub fn read_only() -> Self {
+        Self::default()
+    }
+
+    /// A counter program: every entity the transaction accesses gets
+    /// `Add(1)` — the default when no program is registered.
+    pub fn counter(entities: &[EntityId]) -> Self {
+        let mut p = Self::default();
+        for &e in entities {
+            p.writes.insert(e, WriteOp::Add(1));
+        }
+        p
+    }
+
+    /// Adds/overwrites a write for `entity`.
+    pub fn write(mut self, entity: EntityId, op: WriteOp) -> Self {
+        self.writes.insert(entity, op);
+        self
+    }
+
+    /// A money-transfer program: `-amount` on `from`, `+amount` on `to`.
+    pub fn transfer(from: EntityId, to: EntityId, amount: i64) -> Self {
+        Self::default()
+            .write(from, WriteOp::Add(-amount))
+            .write(to, WriteOp::Add(amount))
+    }
+
+    /// The write for `entity`, if the program has one.
+    pub fn write_for(&self, entity: EntityId) -> Option<&WriteOp> {
+        self.writes.get(&entity)
+    }
+
+    /// Number of writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+/// The cached admission verdict for a registered system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// The certifier proved the system safe and deadlock-free: run with
+    /// no detector and no timeouts.
+    Certified,
+    /// Certification failed; run under wait-die. Carries the certifier's
+    /// rejection, verbatim.
+    Fallback {
+        /// Why certification rejected the system.
+        reason: String,
+    },
+}
+
+impl AdmissionVerdict {
+    /// Whether the no-detector path is admitted.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, AdmissionVerdict::Certified)
+    }
+}
+
+impl fmt::Display for AdmissionVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionVerdict::Certified => write!(f, "certified (no detector, no timeouts)"),
+            AdmissionVerdict::Fallback { reason } => write!(f, "fallback to wait-die: {reason}"),
+        }
+    }
+}
+
+/// One registered template.
+pub struct Template {
+    /// The transaction shape within the registered system.
+    pub txn: TxnId,
+    /// Its data program.
+    pub program: Program,
+    /// Admission gate: at most one live instance of a template at a
+    /// time, so the in-flight mix always embeds into the certified
+    /// system (the paper's guarantees quantify over the *fixed* set of
+    /// transactions).
+    pub(crate) gate: Mutex<()>,
+}
+
+/// The template registry: a certified-or-not transaction system plus
+/// per-template programs.
+pub struct TemplateRegistry {
+    sys: Arc<TransactionSystem>,
+    verdict: AdmissionVerdict,
+    templates: Vec<Template>,
+}
+
+impl TemplateRegistry {
+    /// Registers `sys`: runs the certifier once, caches the verdict, and
+    /// installs the default counter program for every template.
+    pub fn register(sys: TransactionSystem) -> Self {
+        Self::register_with(sys, CertifyOptions::default())
+    }
+
+    /// [`register`](Self::register) with explicit certifier options.
+    pub fn register_with(sys: TransactionSystem, opts: CertifyOptions) -> Self {
+        let verdict = match certify_safe_and_deadlock_free(&sys, opts) {
+            Ok(_cert) => AdmissionVerdict::Certified,
+            Err(v) => AdmissionVerdict::Fallback {
+                reason: v.to_string(),
+            },
+        };
+        let templates = sys
+            .iter()
+            .map(|(t, txn)| Template {
+                txn: t,
+                program: Program::counter(txn.entities()),
+                gate: Mutex::new(()),
+            })
+            .collect();
+        Self {
+            sys: Arc::new(sys),
+            verdict,
+            templates,
+        }
+    }
+
+    /// Replaces the program of template `t`.
+    pub fn set_program(&mut self, t: TxnId, program: Program) {
+        self.templates[t.index()].program = program;
+    }
+
+    /// The cached admission verdict.
+    pub fn verdict(&self) -> &AdmissionVerdict {
+        &self.verdict
+    }
+
+    /// The registered system.
+    pub fn system(&self) -> &Arc<TransactionSystem> {
+        &self.sys
+    }
+
+    /// The template for transaction `t`.
+    pub fn template(&self, t: TxnId) -> &Template {
+        &self.templates[t.index()]
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_model::{Database, Op, Transaction};
+
+    fn two_phase_pair(same_order: bool) -> TransactionSystem {
+        let db = Database::one_entity_per_site(2);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let fwd = [Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)];
+        let rev = [Op::lock(y), Op::lock(x), Op::unlock(y), Op::unlock(x)];
+        let t1 = Transaction::from_total_order("T1", &fwd, &db).unwrap();
+        let t2 = Transaction::from_total_order("T2", if same_order { &fwd } else { &rev }, &db)
+            .unwrap();
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
+    #[test]
+    fn ordered_pair_certifies() {
+        let reg = TemplateRegistry::register(two_phase_pair(true));
+        assert!(reg.verdict().is_certified());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn opposed_pair_falls_back_with_reason() {
+        let reg = TemplateRegistry::register(two_phase_pair(false));
+        let AdmissionVerdict::Fallback { reason } = reg.verdict() else {
+            panic!("opposed lock orders must not certify");
+        };
+        assert!(!reason.is_empty());
+    }
+
+    #[test]
+    fn default_program_counts_every_entity() {
+        let reg = TemplateRegistry::register(two_phase_pair(true));
+        let p = &reg.template(TxnId(0)).program;
+        assert_eq!(p.write_count(), 2);
+        assert_eq!(p.write_for(EntityId(0)), Some(&WriteOp::Add(1)));
+    }
+
+    #[test]
+    fn transfer_program_shape() {
+        let p = Program::transfer(EntityId(0), EntityId(1), 25);
+        assert_eq!(p.write_for(EntityId(0)), Some(&WriteOp::Add(-25)));
+        assert_eq!(p.write_for(EntityId(1)), Some(&WriteOp::Add(25)));
+        assert_eq!(Program::read_only().write_count(), 0);
+    }
+}

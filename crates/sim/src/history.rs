@@ -7,6 +7,7 @@
 
 use crate::time::SimTime;
 use ddlf_model::{GlobalNode, ModelError, NodeId, Schedule, TransactionSystem, TxnId};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// One recorded lock-manager event.
@@ -92,6 +93,48 @@ impl History {
     }
 }
 
+/// A thread-shared [`History`] with logical timestamps.
+///
+/// Concurrent runtimes (the threaded simulator, the engine's worker
+/// pool) append through [`record`](Self::record), which stamps each
+/// event with the event count *inside* the history critical section —
+/// the subtle part: deriving the timestamp outside the lock lets two
+/// threads append out of timestamp order, violating
+/// [`History::record`]'s monotonicity contract.
+#[derive(Debug, Default)]
+pub struct SharedHistory {
+    history: Mutex<History>,
+}
+
+impl SharedHistory {
+    /// An empty shared history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event stamped with the next logical time.
+    pub fn record(&self, txn: TxnId, attempt: u32, node: NodeId) {
+        let mut history = self.history.lock();
+        let t = history.len() as u64;
+        history.record(HistoryEvent {
+            time: SimTime(t),
+            txn,
+            attempt,
+            node,
+        });
+    }
+
+    /// Locks and exposes the history (audits, length checks).
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, History> {
+        self.history.lock()
+    }
+
+    /// Consumes the wrapper, returning the recorded history.
+    pub fn into_inner(self) -> History {
+        self.history.into_inner()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +205,28 @@ mod tests {
         let h = History::new();
         assert!(h.audit(&sys, &[None, None]).unwrap());
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn shared_history_timestamps_monotone_under_threads() {
+        use std::sync::Arc;
+        let shared = Arc::new(SharedHistory::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for a in 0..200 {
+                        shared.record(TxnId(t), a, NodeId(0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let history = Arc::try_unwrap(shared).unwrap().into_inner();
+        assert_eq!(history.len(), 800);
+        let times: Vec<_> = history.events().iter().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
     }
 }

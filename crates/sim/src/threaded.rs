@@ -13,15 +13,12 @@
 //! projection can be audited with the model's `D(S)` test exactly like a
 //! simulated run.
 
-use crate::history::{History, HistoryEvent};
+use crate::history::SharedHistory;
 use crate::lockmgr::{Acquire, LockTable};
-use crate::time::SimTime;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ddlf_model::{EntityId, NodeId, Prefix, TransactionSystem, TxnId};
-use parking_lot::Mutex;
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -81,27 +78,7 @@ enum SiteMsg {
     Shutdown,
 }
 
-struct Shared {
-    history: Mutex<History>,
-    clock: AtomicU64,
-}
-
-impl Shared {
-    fn record(&self, txn: TxnId, attempt: u32, node: NodeId) {
-        // The logical clock makes times strictly increasing; the lock on
-        // the history serializes appends so the order is a real-time
-        // linearization.
-        let t = self.clock.fetch_add(1, Ordering::SeqCst);
-        self.history.lock().record(HistoryEvent {
-            time: SimTime(t),
-            txn,
-            attempt,
-            node,
-        });
-    }
-}
-
-fn site_thread(rx: Receiver<SiteMsg>, shared: Arc<Shared>, sys: Arc<TransactionSystem>) {
+fn site_thread(rx: Receiver<SiteMsg>, shared: Arc<SharedHistory>, sys: Arc<TransactionSystem>) {
     let mut table = LockTable::new();
     // Pending reply channels: (txn, entity) → (reply, attempt).
     type Waiters = std::collections::HashMap<(TxnId, EntityId), (Sender<(EntityId, u32)>, u32)>;
@@ -152,7 +129,7 @@ fn worker_thread(
     txn: TxnId,
     sys: Arc<TransactionSystem>,
     sites: Vec<Sender<SiteMsg>>,
-    shared: Arc<Shared>,
+    shared: Arc<SharedHistory>,
     cfg: ThreadedConfig,
 ) -> WorkerOutcome {
     let t = sys.txn(txn);
@@ -272,10 +249,7 @@ fn worker_thread(
 /// commits or exhausts its attempts.
 pub fn run_threaded(sys: &TransactionSystem, cfg: ThreadedConfig) -> ThreadedReport {
     let sys = Arc::new(sys.clone());
-    let shared = Arc::new(Shared {
-        history: Mutex::new(History::new()),
-        clock: AtomicU64::new(0),
-    });
+    let shared = Arc::new(SharedHistory::new());
 
     let mut site_txs = Vec::new();
     let mut site_handles = Vec::new();
@@ -317,7 +291,7 @@ pub fn run_threaded(sys: &TransactionSystem, cfg: ThreadedConfig) -> ThreadedRep
         .filter(|(_, o)| o.committed_attempt.is_none())
         .map(|(i, _)| TxnId::from_index(i))
         .collect();
-    let history = shared.history.lock();
+    let history = shared.lock();
     let serializable = if failed.is_empty() {
         history.audit(&sys, &committed_attempt).ok()
     } else {

@@ -17,6 +17,10 @@
 //! * [`sat`] — 3SAT′ formulas and a DPLL solver;
 //! * [`sim`] — discrete-event and threaded runtimes with deadlock
 //!   detection/prevention policies;
+//! * [`engine`] — a sharded transactional key-value execution engine
+//!   whose admission control is the certifier: certified systems run
+//!   with **no detector and no timeouts**, uncertified ones fall back
+//!   to wait-die;
 //! * [`workloads`] — the paper's figures, random generators, scenarios.
 //!
 //! ## Quickstart
@@ -47,6 +51,7 @@
 //! ```
 
 pub use ddlf_core as core;
+pub use ddlf_engine as engine;
 pub use ddlf_model as model;
 pub use ddlf_sat as sat;
 pub use ddlf_sim as sim;

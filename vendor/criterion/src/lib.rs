@@ -1,0 +1,293 @@
+//! Offline stand-in for `criterion`: a wall-clock benchmark harness with
+//! the `criterion_group!` / `criterion_main!` macro surface and the
+//! `Criterion` / `BenchmarkGroup` / `Bencher` / `BenchmarkId` types the
+//! workspace benches use.
+//!
+//! Methodology is deliberately simple (no bootstrap statistics): each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! short measurement window; median-of-batches nanoseconds per iteration
+//! are printed. Honouring `--bench <filter>` substrings keeps `cargo
+//! bench -- <name>` usable.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; `--bench`/`--test` flags arrive from the harness.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+                break;
+            }
+        }
+        Self {
+            filter,
+            sample_size: 24,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(4);
+        self
+    }
+
+    /// Sets the target measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, name, &mut f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    /// Sets the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time(d);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by name.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"name/param"`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        Self {
+            text: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    batch_iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `batch_iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch_iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if !c.matches(id) {
+        return;
+    }
+    // Calibrate: find an iteration count that takes ≥ ~1/sample_size of
+    // the measurement window.
+    let mut bench = Bencher {
+        batch_iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let batch_target = c.measurement_time / u32::try_from(c.sample_size).unwrap_or(u32::MAX);
+    loop {
+        f(&mut bench);
+        if bench.elapsed >= batch_target || bench.batch_iters >= 1 << 30 {
+            break;
+        }
+        let grow = if bench.elapsed.is_zero() {
+            16
+        } else {
+            let need = batch_target.as_nanos() / bench.elapsed.as_nanos().max(1);
+            u64::try_from(need.clamp(2, 16)).expect("clamped")
+        };
+        bench.batch_iters = bench.batch_iters.saturating_mul(grow);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        f(&mut bench);
+        per_iter.push(bench.elapsed.as_nanos() as f64 / bench.batch_iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let best = per_iter[0];
+    println!("{id:<60} median {} best {}", fmt_ns(median), fmt_ns(best));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 24,
+            measurement_time: Duration::from_millis(300),
+        };
+        c.sample_size(4).measurement_time(Duration::from_millis(2));
+        c
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = fast_criterion();
+        let mut ran = false;
+        c.bench_function("t", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("g");
+        let mut count = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            count += 1;
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+        assert!(count > 0);
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = fast_criterion();
+        c.filter = Some("nomatch".to_string());
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1);
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline stand-in for `proptest`: random-sampling property tests with
+//! the same macro surface (`proptest!`, `prop_assert*`, `prop_oneof!`,
+//! `Just`, `any`, `prop::collection::{vec, hash_set}`), minus shrinking —
+//! on failure the panic message carries the failing case via the assert
+//! text instead of a minimized counterexample.
+//!
+//! Each test function draws `ProptestConfig::cases` samples from a
+//! deterministic per-test RNG (seeded from the test name), so failures
+//! reproduce across runs.
+
+use rand::prelude::*;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for a type: `any::<bool>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A uniform choice between boxed strategies (`prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options; must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Boxes a strategy (the `prop_oneof!` building block).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A hash set with size drawn from `len` (best effort: duplicate
+    /// draws collapse, like real proptest).
+    pub fn hash_set<S>(element: S, len: std::ops::Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, len }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            let mut out = HashSet::new();
+            // Bounded retries so impossible targets terminate.
+            for _ in 0..n * 4 + 8 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Deterministic seed derived from a test name.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{any, boxed, Arbitrary, Just, ProptestConfig, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` works.
+    pub mod prop {
+        pub use super::super::collection;
+    }
+}
+
+/// Runs property functions over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(
+                    let $pat = $crate::Strategy::sample(&($strat), &mut __rng);
+                )+
+                // Bodies are Result-typed like real proptest, so
+                // `return Ok(())` and `prop_assume!` work; assertion
+                // failures panic with the usual assert messages.
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!("property failed at case {}: {}", __case, __e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics with the case inline).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Skips the current case when the assumption fails (approximated as a
+/// vacuous pass; no case-count compensation).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// A uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( $crate::boxed($strat) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u32), Just(2u32), 5u32..7]) {
+            prop_assert!(k == 1 || k == 2 || k == 5 || k == 6);
+        }
+
+        #[test]
+        fn tuples_and_any((n, b) in (0usize..4, any::<bool>())) {
+            prop_assert!(n < 4);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = super::rng_for_test("x");
+        let mut b = super::rng_for_test("x");
+        assert_eq!(
+            super::Strategy::sample(&(0u64..1000), &mut a),
+            super::Strategy::sample(&(0u64..1000), &mut b)
+        );
+    }
+
+    #[test]
+    fn hash_set_strategy_terminates() {
+        let mut rng = super::rng_for_test("hs");
+        // Target sizes larger than the domain must still terminate.
+        let s = collection::hash_set(0usize..3, 0..10);
+        let v = super::Strategy::sample(&s, &mut rng);
+        assert!(v.len() <= 3);
+    }
+}

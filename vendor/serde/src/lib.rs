@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde`: the build environment has no crates.io
+//! access, so the workspace vendors a minimal serialization framework
+//! with the same *surface* (`Serialize`/`Deserialize` traits, derive
+//! macros, `#[serde(default)]` / `skip_serializing_if` attributes) over
+//! a concrete JSON-shaped [`Value`] data model instead of serde's
+//! visitor machinery.
+//!
+//! `serde_json` (also vendored) supplies the text round-trip. Swapping
+//! the real crates back in is a manifest change; call sites compile
+//! unmodified either way.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A dynamically-typed serialized value (the JSON data model, with
+/// lossless 64-bit integers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a field in object entries (first match wins, like serde).
+pub fn obj_get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the value data model.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from the value data model.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("negative value {n} for unsigned field")))?,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::msg(format!("expected unsigned integer, got {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::msg(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("value {n} too large for signed field")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::msg(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::msg(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("checked")),
+            other => Err(DeError::msg(format!("expected single-char string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| DeError::msg(format!("expected array of length {N}")))?;
+        if items.len() != N {
+            return Err(DeError::msg(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::msg("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::deserialize_value(a)?, B::deserialize_value(b)?)),
+            _ => Err(DeError::msg("expected two-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((
+                A::deserialize_value(a)?,
+                B::deserialize_value(b)?,
+                C::deserialize_value(c)?,
+            )),
+            _ => Err(DeError::msg("expected three-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize_value(&42u32.serialize_value()), Ok(42));
+        assert_eq!(i64::deserialize_value(&(-7i64).serialize_value()), Ok(-7));
+        assert_eq!(bool::deserialize_value(&true.serialize_value()), Ok(true));
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::U64(3)),
+            Ok(Some(3))
+        );
+        assert!(Some(5u32).serialize_value() == Value::U64(5));
+        assert!(None::<u32>.serialize_value().is_null());
+    }
+
+    #[test]
+    fn range_errors_detected() {
+        assert!(u8::deserialize_value(&Value::U64(300)).is_err());
+        assert!(u32::deserialize_value(&Value::I64(-1)).is_err());
+        assert!(bool::deserialize_value(&Value::U64(1)).is_err());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize_value(&v.serialize_value()), Ok(v));
+        let pair = ("a".to_string(), 9u64);
+        assert_eq!(
+            <(String, u64)>::deserialize_value(&pair.serialize_value()),
+            Ok(pair)
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stub.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this
+//! crate parses the item's raw `TokenStream` with a small recursive
+//! scanner and emits the impl as source text. Supported shapes — which
+//! cover every derive site in the workspace — are non-generic structs
+//! (named, tuple, unit) and enums (unit, tuple, and struct variants),
+//! with externally-tagged JSON representation like real serde.
+//!
+//! Attribute support: `#[serde(default)]` marks a field as defaultable
+//! when missing; fields of type `Option<..>` are defaultable implicitly
+//! and are omitted from output when `None` (subsuming the
+//! `skip_serializing_if = "Option::is_none"` sites).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: Option<String>,
+    optional: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(ts: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple(g.stream())))
+            }
+            _ => Body::Struct(Fields::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected struct or enum, got `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Skips leading attributes; returns whether any was `#[serde(.. default ..)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                has_default |= serde_attr_has_default(g.stream());
+                *i += 1;
+            }
+            other => panic!("serde_derive stub: malformed attribute: {other:?}"),
+        }
+    }
+    has_default
+}
+
+fn serde_attr_has_default(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream().into_iter().any(
+                |t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"),
+            )
+        }
+        _ => false,
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+    }
+}
+
+/// Consumes one type at `i`, stopping at a top-level `,` (angle-bracket
+/// depth aware). Returns whether the type's head is `Option`.
+fn skip_type(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut depth = 0i32;
+    let mut first: Option<String> = None;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Ident(id) if first.is_none() => first = Some(id.to_string()),
+            _ => {}
+        }
+        *i += 1;
+    }
+    first.as_deref() == Some("Option")
+}
+
+fn parse_named(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let has_default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let is_option = skip_type(&toks, &mut i);
+        // Skip the separating comma, if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name: Some(name),
+            optional: has_default || is_option,
+        });
+    }
+    fields
+}
+
+fn parse_tuple(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let has_default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let is_option = skip_type(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name: None,
+            optional: has_default || is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive stub: explicit discriminants are not supported");
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn ser_named_fields(access: &str, fields: &[Field], skip_null: bool) -> String {
+    // `access` formats a field name into a place expression, e.g. "&self.{}".
+    let mut out = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let name = f.name.as_deref().expect("named field");
+        let place = access.replace("{}", name);
+        out.push_str(&format!(
+            "{{ let __fv = ::serde::Serialize::serialize_value({place});\n"
+        ));
+        if skip_null {
+            out.push_str("if !__fv.is_null() {\n");
+        }
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), __fv));\n"
+        ));
+        if skip_null {
+            out.push_str("}\n");
+        }
+        out.push_str("}\n");
+    }
+    out.push_str("::serde::Value::Obj(__fields) }");
+    out
+}
+
+fn de_named_fields(ty_and_variant: &str, constructor: &str, obj_expr: &str, fields: &[Field]) -> String {
+    let mut out = format!("{constructor} {{\n");
+    for f in fields {
+        let name = f.name.as_deref().expect("named field");
+        let missing = if f.optional {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::msg(\
+                 \"{ty_and_variant}: missing field `{name}`\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::obj_get({obj_expr}, \"{name}\") {{\n\
+             Some(__x) => ::serde::Deserialize::deserialize_value(__x)?,\n\
+             None => {missing},\n}},\n"
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Struct(Fields::Tuple(fields)) if fields.len() == 1 => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Body::Struct(Fields::Tuple(fields)) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Named(fields)) => ser_named_fields("&self.{}", fields, true),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, vfields) in variants {
+                match vfields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Tuple(fs) => {
+                        let binds: Vec<String> = (0..fs.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fs.len() == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Obj(vec![\
+                             (::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs
+                            .iter()
+                            .map(|f| f.name.clone().expect("named field"))
+                            .collect();
+                        let inner = ser_named_fields("{}", fs, false);
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Obj(vec![\
+                             (::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::DeError::msg(\"{name}: expected null\")) }}"
+        ),
+        Body::Struct(Fields::Tuple(fields)) if fields.len() == 1 => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Body::Struct(Fields::Tuple(fields)) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __arr = __v.as_arr().ok_or_else(|| \
+                 ::serde::DeError::msg(\"{name}: expected array\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::msg(\"{name}: expected {n} elements\")); }}\n\
+                 ::std::result::Result::Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let ctor = de_named_fields(name, name, "__obj", fields);
+            format!(
+                "{{ let __obj = __v.as_obj().ok_or_else(|| \
+                 ::serde::DeError::msg(\"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({ctor}) }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, vfields) in variants {
+                match vfields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(fs) if fs.len() == 1 => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(fs) => {
+                        let n = fs.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __arr = __inner.as_arr().ok_or_else(|| \
+                             ::serde::DeError::msg(\"{name}::{vname}: expected array\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::msg(\"{name}::{vname}: expected {n} elements\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = de_named_fields(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            "__obj",
+                            fs,
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __obj = __inner.as_obj().ok_or_else(|| \
+                             ::serde::DeError::msg(\"{name}::{vname}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({ctor}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Obj(__m) if __m.len() == 1 => {{\n\
+                 let __inner = &__m[0].1;\n\
+                 match __m[0].0.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                 \"{name}: expected externally tagged variant\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

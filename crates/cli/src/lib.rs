@@ -7,13 +7,16 @@
 //! ddlf-audit certify  system.json          # Theorems 3/4: safe + deadlock-free?
 //! ddlf-audit deadlock system.json          # exhaustive deadlock search (small systems)
 //! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
-//! ddlf-audit run      system.json [--txns N] [--threads K] [--force-fallback]
+//! ddlf-audit run      system.json [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]
 //! ddlf-audit dot      system.json          # Graphviz rendering
 //! ```
 //!
 //! `run` executes the system on the `ddlf-engine` key-value store:
 //! certified systems take the no-detector path, uncertified ones fall
-//! back to wait-die.
+//! back to wait-die. `--inflate k` asks for `k` concurrent instances per
+//! template (certified up front, floored to 1 on rejection); `--inflate
+//! auto` searches for the largest certified uniform k up to the worker
+//! count. The admission plan is printed either way.
 //!
 //! The command logic lives in this library crate so it is unit-testable;
 //! `main.rs` only parses arguments.
@@ -21,9 +24,20 @@
 #![warn(missing_docs)]
 
 use ddlf_core::{certify_safe_and_deadlock_free, CertifyOptions, Explorer};
+use ddlf_engine::{AdmissionOptions, Inflation};
 use ddlf_model::{SystemSpec, TransactionSystem};
 use ddlf_sim::{run, DeadlockPolicy, SimConfig};
 use std::fmt::Write as _;
+
+/// The `--inflate` argument of `run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InflateArg {
+    /// Search for the largest certified uniform k (capped at the worker
+    /// count — extra slots beyond the workers cannot be exploited).
+    Auto,
+    /// A fixed uniform k per template.
+    Uniform(usize),
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +61,7 @@ pub enum Command {
         /// Number of seeds to run.
         seeds: u64,
     },
-    /// `run <spec> [--txns N] [--threads K] [--force-fallback]`
+    /// `run <spec> [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]`
     Run {
         /// Path to the spec JSON.
         spec: String,
@@ -55,6 +69,8 @@ pub enum Command {
         txns: usize,
         /// Worker threads.
         threads: usize,
+        /// Requested per-template concurrency (certified up front).
+        inflate: Option<InflateArg>,
         /// Run wait-die even if the system certifies.
         force_fallback: bool,
     },
@@ -95,6 +111,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "run" => {
             let mut txns = 64usize;
             let mut threads = 4usize;
+            let mut inflate = None;
             let mut force_fallback = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
@@ -107,6 +124,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                     }
                     "--threads" => threads = parse_value(&rest, &mut i, "--threads")?,
+                    "--inflate" => {
+                        let v = take_value(&rest, &mut i, "--inflate")?;
+                        inflate = Some(if v == "auto" {
+                            InflateArg::Auto
+                        } else {
+                            let k: usize = v
+                                .parse()
+                                .map_err(|e| format!("bad --inflate: {e} (want a k ≥ 1 or `auto`)"))?;
+                            if k == 0 {
+                                return Err("bad --inflate: k must be ≥ 1".to_string());
+                            }
+                            InflateArg::Uniform(k)
+                        });
+                    }
                     "--force-fallback" => {
                         force_fallback = true;
                         i += 1;
@@ -118,6 +149,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 spec,
                 txns,
                 threads,
+                inflate,
                 force_fallback,
             })
         }
@@ -147,7 +179,7 @@ where
 fn usage() -> String {
     "usage: ddlf-audit <certify|deadlock|simulate|run|dot> <system.json> \
      [--policy nothing|detect|wound-wait|wait-die] [--seeds N] \
-     [--txns N] [--threads K] [--force-fallback]"
+     [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]"
         .to_string()
 }
 
@@ -242,11 +274,23 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
         Command::Run {
             txns,
             threads,
+            inflate,
             force_fallback,
             ..
         } => {
-            let engine = ddlf_engine::Engine::new(
+            let admission = AdmissionOptions {
+                inflate: match inflate {
+                    None => Inflation::None,
+                    Some(InflateArg::Uniform(k)) => Inflation::Uniform(*k),
+                    Some(InflateArg::Auto) => Inflation::Auto {
+                        cap: (*threads).max(1),
+                    },
+                },
+                ..Default::default()
+            };
+            let engine = ddlf_engine::Engine::with_admission(
                 sys.clone(),
+                admission,
                 ddlf_engine::EngineConfig {
                     threads: *threads,
                     instances: *txns,
@@ -256,8 +300,10 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
             );
             let mut out = String::new();
             let _ = writeln!(out, "admission: {}", engine.registry().verdict());
+            let _ = write!(out, "{}", engine.registry().plan().render(sys));
             let report = engine.run();
             let _ = writeln!(out, "{}", report.summary());
+            let _ = write!(out, "{}", report.template_table());
             let _ = writeln!(
                 out,
                 "store: {} entities, {} committed writes, Σint {}",
@@ -384,11 +430,47 @@ mod tests {
                 spec: "f.json".into(),
                 txns: 12,
                 threads: 3,
+                inflate: None,
                 force_fallback: true
             }
         );
         assert!(parse_args(&["run".into(), "f".into(), "--txns".into()]).is_err());
         assert!(parse_args(&["run".into(), "f".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn run_command_parses_inflate() {
+        let c = parse_args(&[
+            "run".into(),
+            "f.json".into(),
+            "--inflate".into(),
+            "4".into(),
+        ])
+        .unwrap();
+        let Command::Run { inflate, .. } = c else {
+            panic!("run command");
+        };
+        assert_eq!(inflate, Some(InflateArg::Uniform(4)));
+
+        let c = parse_args(&[
+            "run".into(),
+            "f.json".into(),
+            "--inflate".into(),
+            "auto".into(),
+        ])
+        .unwrap();
+        let Command::Run { inflate, .. } = c else {
+            panic!("run command");
+        };
+        assert_eq!(inflate, Some(InflateArg::Auto));
+
+        assert!(parse_args(&["run".into(), "f".into(), "--inflate".into()]).is_err());
+        assert!(
+            parse_args(&["run".into(), "f".into(), "--inflate".into(), "0".into()]).is_err()
+        );
+        assert!(
+            parse_args(&["run".into(), "f".into(), "--inflate".into(), "x".into()]).is_err()
+        );
     }
 
     #[test]
@@ -398,6 +480,7 @@ mod tests {
             spec: String::new(),
             txns: 8,
             threads: 2,
+            inflate: None,
             force_fallback: false,
         };
         let (out, code) = execute(&cmd, &sys);
@@ -405,6 +488,7 @@ mod tests {
         assert!(out.contains("certified"), "{out}");
         assert!(out.contains("no-detector"), "{out}");
         assert!(out.contains("aborts 0"), "{out}");
+        assert!(out.contains("admission plan"), "{out}");
     }
 
     #[test]
@@ -414,11 +498,44 @@ mod tests {
             spec: String::new(),
             txns: 8,
             threads: 2,
+            inflate: None,
             force_fallback: false,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("fallback to wait-die"), "{out}");
+    }
+
+    #[test]
+    fn run_with_inflation_prints_the_plan() {
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 16,
+            threads: 4,
+            inflate: Some(InflateArg::Uniform(4)),
+            force_fallback: false,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("k = 4"), "{out}");
+        assert!(out.contains("aborts 0"), "{out}");
+    }
+
+    #[test]
+    fn run_auto_inflation_on_uncertifiable_system_still_completes() {
+        let sys = load_system(DEADLOCKY).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 8,
+            threads: 2,
+            inflate: Some(InflateArg::Auto),
+            force_fallback: false,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("fallback to wait-die"), "{out}");
+        assert!(out.contains("k = 1"), "{out}");
     }
 
     #[test]

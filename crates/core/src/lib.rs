@@ -15,6 +15,7 @@
 //! | [`lu_pair`] | exact deadlock-prefix decision for lock→unlock-shaped pairs (the shape of Fig. 2 and all Theorem 2 gadgets) |
 //! | [`sat_reduction`] | Theorem 2: the 3SAT′ → two-transaction gadget, in both directions |
 //! | [`certify`] | one-call certifier with witnesses |
+//! | [`inflate`] | certified k-inflation: Theorem 5 short-circuit, Thm 3/4 on the inflated system, exhaustive DF-only fallback, max-k search |
 
 #![warn(missing_docs)]
 
@@ -22,6 +23,7 @@ pub mod certify;
 pub mod copies;
 pub mod diagnose;
 pub mod explore;
+pub mod inflate;
 pub mod lu_pair;
 pub mod many;
 pub mod pairwise;
@@ -33,6 +35,10 @@ pub mod tirri;
 pub use certify::{certify_safe_and_deadlock_free, Certificate, CertifyOptions, Violation};
 pub use copies::{copies_safe_df, CopiesCertificate, CopiesViolation};
 pub use explore::{Explorer, SearchStats, Verdict};
+pub use inflate::{
+    certify_inflated, max_certified_inflation, DfFallback, InflateOptions, InflationCertificate,
+    InflationViolation, MaxInflation,
+};
 pub use lu_pair::{is_lock_unlock_shaped, lu_pair_deadlock_prefix, LuWitness};
 pub use many::{many_safe_df, CycleWitness, ManyCertificate, ManyOptions, ManyViolation};
 pub use pairwise::{pairwise_safe_df, pairwise_safe_df_minimal_prefix, PairCertificate, PairViolation};

@@ -7,9 +7,10 @@
 //! * **Certified (`Nothing` policy)** — a worker issues every ready lock
 //!   request, parks on its grant channel, and *never* times out, aborts,
 //!   or consults a detector. Safety and deadlock-freedom of the
-//!   registered system (Theorems 3/4) make this correct; the per-template
-//!   admission gate keeps the in-flight mix a subsystem of the certified
-//!   system.
+//!   registered system's certified inflation (Theorems 3/4, or Theorem 5
+//!   for unbounded copies) make this correct; each template's counting
+//!   [`SlotGate`](crate::template::SlotGate) keeps the in-flight mix a
+//!   subsystem of the certified inflated system.
 //! * **Fallback (wait-die)** — lock waits are polls that re-check the
 //!   wait-die rule against the *current* holder each round (re-checking
 //!   keeps every sustained wait older→younger, so no cycle can close);
@@ -20,9 +21,9 @@
 //! [`ddlf_sim::History`] and the committed projection is audited with the
 //! model's `D(S)` test after the run.
 
-use crate::report::{LatencyStats, Report};
+use crate::report::{LatencyStats, Report, TemplateReport};
 use crate::store::{LockOutcome, Store};
-use crate::template::TemplateRegistry;
+use crate::template::{AdmissionOptions, TemplateRegistry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ddlf_model::{EntityId, Prefix, Transaction, TransactionSystem, TxnId};
 use ddlf_sim::SharedHistory;
@@ -109,8 +110,18 @@ impl Engine {
     /// Builds an engine over `sys`: certifies it (cached in the
     /// registry) and initializes the sharded store.
     pub fn new(sys: TransactionSystem, cfg: EngineConfig) -> Self {
+        Self::with_admission(sys, AdmissionOptions::default(), cfg)
+    }
+
+    /// Builds an engine over `sys` with an explicit admission request
+    /// (inflation + certifier options).
+    pub fn with_admission(
+        sys: TransactionSystem,
+        admission: AdmissionOptions,
+        cfg: EngineConfig,
+    ) -> Self {
         let store = Store::new(sys.db(), cfg.initial_value);
-        let registry = TemplateRegistry::register(sys);
+        let registry = TemplateRegistry::register_with(sys, admission);
         Self {
             registry,
             store,
@@ -165,6 +176,11 @@ impl Engine {
         }
         drop(work_tx);
 
+        // Per-run multiprogramming accounting starts fresh.
+        for t in 0..self.registry.len() {
+            self.registry.template(TxnId::from_index(t)).gate().reset_peak();
+        }
+
         let (done_tx, done_rx) = unbounded::<(u32, Outcome)>();
         let started = Instant::now();
         std::thread::scope(|scope| {
@@ -202,8 +218,11 @@ impl Engine {
     fn execute_instance(&self, inst: Instance, shared: &SharedHistory) -> Outcome {
         let started = Instant::now();
         let tmpl = self.registry.template(inst.template);
-        // Admission gate: one live instance per template (see template.rs).
-        let _gate = tmpl.gate.lock();
+        // Admission gate: occupy one of the template's certified slots
+        // (see template.rs) so the in-flight mix stays a subsystem of the
+        // certified inflated system. Acquired before any data lock, so
+        // gate waits cannot entangle with lock waits.
+        let _slot = tmpl.gate.acquire();
         let t = self.registry.system().txn(inst.template);
         let certified = self.certified_path();
         let mut rng =
@@ -433,8 +452,28 @@ impl Engine {
                 .map(|o| o.latency_us)
                 .collect(),
         );
+
+        // Per-template achieved multiprogramming (the gate's high-water
+        // mark this run) next to its certified slot count.
+        let mut per_template: Vec<TemplateReport> = sys
+            .iter()
+            .map(|(t, txn)| TemplateReport {
+                name: txn.name().to_string(),
+                certified_slots: self.registry.plan().slots_of(t),
+                peak_inflight: self.registry.template(t).gate().peak(),
+                committed: 0,
+                aborted_attempts: 0,
+            })
+            .collect();
+        for (inst, out) in instances.iter().zip(outcomes) {
+            let row = &mut per_template[inst.template.index()];
+            row.committed += usize::from(out.committed_attempt.is_some());
+            row.aborted_attempts += out.aborts as usize;
+        }
+
         Report {
             verdict: self.registry.verdict().clone(),
+            plan_floored: self.registry.plan().floored,
             forced_fallback: self.cfg.force_fallback,
             instances: instances.len(),
             committed: outcomes.iter().filter(|o| o.committed_attempt.is_some()).count(),
@@ -447,6 +486,7 @@ impl Engine {
             serializable,
             history_len: history.len(),
             latency,
+            per_template,
         }
     }
 }

@@ -12,23 +12,32 @@
 //! ## Architecture
 //!
 //! ```text
-//!   TransactionSystem ──register──▶ TemplateRegistry
-//!                                     │ certify_safe_and_deadlock_free
-//!                                     │ (run once, verdict cached)
-//!                        ┌────────────┴──────────────┐
-//!                 Certified                     Fallback
-//!            `Nothing` policy:              wait-die w/ retry:
-//!            block on FIFO grants,          poll, re-check rule,
-//!            no detector, no timeout,       younger dies, backoff
-//!            zero aborts possible           bounded attempts
-//!                        └────────────┬──────────────┘
-//!                                 Executor (worker pool)
-//!                                     │ partial-order-respecting
-//!                                     │ lock acquisition
-//!                                  Store: one Shard per SiteId
-//!                                  { values + LockTable } per mutex
-//!                                     │
-//!                                  History ──▶ D(S) audit
+//!   TransactionSystem ──register_with(inflation)──▶ TemplateRegistry
+//!                             │ certify_inflated / max_certified_inflation
+//!                             │ (Thm 3/4 on the inflated system; Thm 5 ⇒ k = ∞;
+//!                             │  exhaustive DF-only fallback; floor k = 1)
+//!                             ▼
+//!                      AdmissionPlan: k_t slots per template
+//!                             │ sizes one SlotGate (counting
+//!                             │ semaphore) per template
+//!              ┌──────────────┴────────────────────┐
+//!       Certified / CertifiedDeadlockFree     Fallback
+//!        `Nothing` policy:                wait-die w/ retry:
+//!        block on FIFO grants,            poll, re-check rule,
+//!        no detector, no timeout,         younger dies, backoff
+//!        zero aborts possible             bounded attempts
+//!              └──────────────┬────────────────────┘
+//!                        Executor (worker pool)
+//!                             │ SlotGate.acquire() ⇒ in-flight mix is a
+//!                             │ subsystem of the certified inflated system
+//!                             │ partial-order-respecting lock acquisition
+//!                          Store: one Shard per SiteId
+//!                          { values + LockTable } per mutex
+//!                             │
+//!                          History ──▶ D(S) audit
+//!                             │
+//!                          Report: certified k vs achieved peak,
+//!                          aborts, latency, per template
 //! ```
 //!
 //! * [`store`] — entities carry versioned `u64`/bytes payloads, sharded
@@ -36,10 +45,13 @@
 //!   [`ddlf_sim::LockTable`] behind one `parking_lot` mutex, so a grant
 //!   and the read it authorizes are a single critical section.
 //! * [`template`] — transaction shapes are registered once; the verdict
-//!   of [`ddlf_core::certify_safe_and_deadlock_free`] is cached.
-//!   Certified systems run under the `Nothing` policy; uncertified ones
-//!   fall back to wait-die. Templates carry data [`Program`]s (reads on
-//!   every lock; `Add`/`Put` writes applied at unlock under the lock).
+//!   of [`ddlf_core::certify_inflated`] (or the plain certifier when no
+//!   inflation is requested) is cached as an [`AdmissionPlan`] of
+//!   certified slots per template, enforced by counting [`SlotGate`]s.
+//!   Certified inflations run under the `Nothing` policy; uncertified
+//!   systems fall back to wait-die. Templates carry data [`Program`]s
+//!   (reads on every lock; `Add`/`Put` writes applied at unlock under
+//!   the lock).
 //! * [`executor`] — a worker pool drains the instance queue, walks each
 //!   transaction's partial order, and appends every effective
 //!   lock/unlock to a shared [`ddlf_sim::History`]; the committed
@@ -47,9 +59,11 @@
 //! * [`report`] — throughput / latency / abort metrics following the
 //!   `ddlf_sim::metrics` conventions.
 //!
-//! An *admission gate* serializes instances of the same template: the
-//! in-flight mix is then always (an execution of) a subsystem of the
-//! certified system, which is exactly the situation the paper's theorems
+//! Concurrency is a *certified quantity*: each template's [`SlotGate`]
+//! admits at most its certified `k_t` live instances (∞ under Theorem 5,
+//! the conservative 1 when a requested inflation fails to certify), so
+//! the in-flight mix is always (an execution of) a subsystem of a
+//! *certified* system — exactly the situation the paper's theorems
 //! quantify over.
 //!
 //! ## Example
@@ -88,6 +102,9 @@ pub mod store;
 pub mod template;
 
 pub use executor::{run_system, Engine, EngineConfig};
-pub use report::{LatencyStats, Report};
+pub use report::{LatencyStats, Report, TemplateReport};
 pub use store::{Datum, Shard, Store, VersionedValue};
-pub use template::{AdmissionVerdict, Program, Template, TemplateRegistry, WriteOp};
+pub use template::{
+    AdmissionOptions, AdmissionPlan, AdmissionVerdict, Inflation, Program, SlotGate, SlotGuard,
+    Slots, Template, TemplateRegistry, WriteOp,
+};

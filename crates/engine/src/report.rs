@@ -2,7 +2,7 @@
 //! (`throughput_per_sec`, `all_committed`, a `serializable` audit slot)
 //! but measured in wall-clock time on real threads.
 
-use crate::template::AdmissionVerdict;
+use crate::template::{AdmissionVerdict, Slots};
 use std::time::Duration;
 
 /// Latency distribution over committed instances, in microseconds.
@@ -36,11 +36,31 @@ impl LatencyStats {
     }
 }
 
+/// Per-template outcome of one run: the certified multiprogramming level
+/// next to what the run actually achieved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateReport {
+    /// The template's name in the registered system.
+    pub name: String,
+    /// Certified concurrent slots from the admission plan.
+    pub certified_slots: Slots,
+    /// High-water mark of concurrent in-flight instances this run — the
+    /// achieved multiprogramming level.
+    pub peak_inflight: usize,
+    /// Instances of this template that committed.
+    pub committed: usize,
+    /// Aborted attempts charged to this template's instances.
+    pub aborted_attempts: usize,
+}
+
 /// Counters and outcomes of one engine run.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// The admission verdict the run executed under.
     pub verdict: AdmissionVerdict,
+    /// Whether a requested inflation failed to certify and the admission
+    /// plan fell back to the `k = 1` floor.
+    pub plan_floored: bool,
     /// Whether the run was forced onto the wait-die path despite a
     /// certificate (for apples-to-apples comparisons).
     pub forced_fallback: bool,
@@ -70,6 +90,9 @@ pub struct Report {
     pub history_len: usize,
     /// Commit-latency distribution.
     pub latency: LatencyStats,
+    /// Per-template certified-vs-achieved multiprogramming and outcome
+    /// counts, template order.
+    pub per_template: Vec<TemplateReport>,
 }
 
 impl Report {
@@ -87,10 +110,19 @@ impl Report {
         self.committed as f64 / secs
     }
 
+    /// The highest multiprogramming level any template achieved this run.
+    pub fn peak_inflight(&self) -> usize {
+        self.per_template
+            .iter()
+            .map(|t| t.peak_inflight)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} | committed {}/{} aborts {} | {:.0} txn/s | p50 {}µs p99 {}µs | serializable {:?}",
+            "{} | committed {}/{} aborts {} | {:.0} txn/s | p50 {}µs p99 {}µs | peak k {} | serializable {:?}",
             if self.verdict.is_certified() && !self.forced_fallback {
                 "no-detector"
             } else {
@@ -102,8 +134,23 @@ impl Report {
             self.throughput_per_sec(),
             self.latency.p50_us,
             self.latency.p99_us,
+            self.peak_inflight(),
             self.serializable,
         )
+    }
+
+    /// A per-template table: certified k, achieved peak, commits, aborts.
+    pub fn template_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for t in &self.per_template {
+            let _ = writeln!(
+                out,
+                "  {:<24} certified k = {:<4} peak {} | committed {} aborts {}",
+                t.name, t.certified_slots, t.peak_inflight, t.committed, t.aborted_attempts
+            );
+        }
+        out
     }
 }
 
@@ -125,6 +172,7 @@ mod tests {
     fn report_throughput() {
         let r = Report {
             verdict: AdmissionVerdict::Certified,
+            plan_floored: false,
             forced_fallback: false,
             instances: 10,
             committed: 10,
@@ -137,9 +185,20 @@ mod tests {
             serializable: Some(true),
             history_len: 0,
             latency: LatencyStats::default(),
+            per_template: vec![TemplateReport {
+                name: "T".into(),
+                certified_slots: Slots::Bounded(4),
+                peak_inflight: 3,
+                committed: 10,
+                aborted_attempts: 0,
+            }],
         };
         assert!(r.all_committed());
         assert!((r.throughput_per_sec() - 5.0).abs() < 1e-9);
         assert!(r.summary().contains("no-detector"));
+        assert_eq!(r.peak_inflight(), 3);
+        let table = r.template_table();
+        assert!(table.contains("certified k = 4"), "{table}");
+        assert!(table.contains("peak 3"), "{table}");
     }
 }

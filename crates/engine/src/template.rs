@@ -2,19 +2,36 @@
 //!
 //! A *template* is one transaction shape of a [`TransactionSystem`]
 //! together with the data effects its instances apply. Registering a
-//! system runs the paper's certifier
-//! ([`ddlf_core::certify_safe_and_deadlock_free`]) **once** and caches
-//! the verdict:
+//! system runs the paper's certifier **once** and caches the verdict,
+//! together with an [`AdmissionPlan`]: how many concurrent instances of
+//! each template — its certified *k-inflation* — may be in flight on the
+//! no-detector path.
 //!
-//! * **Certified** — instances execute under the `Nothing` policy: no
-//!   deadlock detector, no lock-wait timeouts, no aborts. Theorems 3/4
-//!   guarantee every interleaving commits and serializes.
-//! * **Fallback** — instances execute under wait-die with bounded
-//!   retries, the pragmatic scheme uncertified systems need.
+//! * **Certified** — the admitted inflation of the system is safe and
+//!   deadlock-free ([`ddlf_core::certify_inflated`]); instances execute
+//!   under the `Nothing` policy: no deadlock detector, no lock-wait
+//!   timeouts, no aborts. Theorems 3/4 (or Theorem 5 for a single
+//!   template, which certifies *unbounded* copies) guarantee every
+//!   interleaving commits and serializes.
+//! * **CertifiedDeadlockFree** — the admitted inflation was exhaustively
+//!   verified deadlock-free without being certified safe (the Fig. 6
+//!   regime): same no-detector execution and zero aborts, but
+//!   serializability is only established by the post-hoc `D(S)` audit.
+//! * **Fallback** — certification failed even at `k = 1`; instances
+//!   execute under wait-die with bounded retries, the pragmatic scheme
+//!   uncertified systems need.
+//!
+//! When a *requested* inflation fails to certify, admission does not give
+//! up: it floors the plan back to the certified base system (`k_t = 1`),
+//! so the engine degrades to the old one-instance-per-template gate
+//! instead of deadlocking or rejecting the workload.
 
-use ddlf_core::{certify_safe_and_deadlock_free, CertifyOptions};
-use ddlf_model::{EntityId, TransactionSystem, TxnId};
-use parking_lot::Mutex;
+use ddlf_core::{
+    certify_inflated, certify_safe_and_deadlock_free, max_certified_inflation, InflateOptions,
+    InflationCertificate, InflationViolation,
+};
+use ddlf_model::{EntityId, ModelError, TransactionSystem, TxnId};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -78,14 +95,130 @@ impl Program {
     }
 }
 
+/// How many concurrent instances of a template an [`AdmissionPlan`]
+/// allows in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slots {
+    /// No limit — the Theorem 5 certificate covers any number of copies.
+    Unbounded,
+    /// At most this many live instances (≥ 1).
+    Bounded(usize),
+}
+
+impl Slots {
+    /// The bound as an `Option` (`None` = unbounded).
+    pub fn limit(self) -> Option<usize> {
+        match self {
+            Slots::Unbounded => None,
+            Slots::Bounded(k) => Some(k),
+        }
+    }
+}
+
+impl fmt::Display for Slots {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slots::Unbounded => write!(f, "∞"),
+            Slots::Bounded(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// The requested inflation at registration time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Inflation {
+    /// One instance per template — the conservative pre-inflation gate.
+    #[default]
+    None,
+    /// The same `k` for every template.
+    Uniform(usize),
+    /// Search for the largest certified uniform `k ≤ cap`
+    /// ([`ddlf_core::max_certified_inflation`]).
+    Auto {
+        /// Upper bound for the search (also the reported `k` when the
+        /// Theorem 5 unbounded certificate applies).
+        cap: usize,
+    },
+    /// An explicit per-template vector (one entry per template).
+    PerTemplate(Vec<usize>),
+}
+
+/// Options for [`TemplateRegistry::register_with`]: the certifier knobs
+/// plus the requested inflation.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionOptions {
+    /// Requested concurrency per template.
+    pub inflate: Inflation,
+    /// Certifier options (Theorem 3/4 budget, DF-only search budget).
+    pub opts: InflateOptions,
+}
+
+/// The certified admission plan: how many slots each template's
+/// [`SlotGate`] holds, and why.
+#[derive(Debug, Clone)]
+pub struct AdmissionPlan {
+    /// Per-template slot counts, template order.
+    pub slots: Vec<Slots>,
+    /// `true` when a requested inflation failed to certify and the plan
+    /// fell back to the `k = 1` floor.
+    pub floored: bool,
+    /// Human-readable justification (the certificate, or the rejection
+    /// that forced the floor).
+    pub rationale: String,
+}
+
+impl AdmissionPlan {
+    fn uniform(n: usize, slots: Slots, floored: bool, rationale: impl Into<String>) -> Self {
+        Self {
+            slots: vec![slots; n],
+            floored,
+            rationale: rationale.into(),
+        }
+    }
+
+    /// The slot count for template `t`.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when `t` is out of range.
+    pub fn slots_of(&self, t: TxnId) -> Slots {
+        match self.slots.get(t.index()) {
+            Some(&s) => s,
+            None => panic!(
+                "admission plan covers {} templates, no entry for {t}",
+                self.slots.len()
+            ),
+        }
+    }
+
+    /// A multi-line human rendering, one line per template.
+    pub fn render(&self, sys: &TransactionSystem) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "admission plan{}: {}",
+            if self.floored { " (floored to k=1)" } else { "" },
+            self.rationale
+        );
+        for (t, txn) in sys.iter() {
+            let _ = writeln!(out, "  {:<24} k = {}", txn.name(), self.slots_of(t));
+        }
+        out
+    }
+}
+
 /// The cached admission verdict for a registered system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdmissionVerdict {
-    /// The certifier proved the system safe and deadlock-free: run with
-    /// no detector and no timeouts.
+    /// The certifier proved the admitted inflation safe and
+    /// deadlock-free: run with no detector and no timeouts.
     Certified,
-    /// Certification failed; run under wait-die. Carries the certifier's
-    /// rejection, verbatim.
+    /// The admitted inflation is exhaustively deadlock-free but not
+    /// certified safe (Fig. 6 regime): no-detector execution, with the
+    /// `D(S)` audit as the serializability arbiter.
+    CertifiedDeadlockFree,
+    /// Certification failed even at `k = 1`; run under wait-die. Carries
+    /// the certifier's rejection, verbatim.
     Fallback {
         /// Why certification rejected the system.
         reason: String,
@@ -95,6 +228,12 @@ pub enum AdmissionVerdict {
 impl AdmissionVerdict {
     /// Whether the no-detector path is admitted.
     pub fn is_certified(&self) -> bool {
+        !matches!(self, AdmissionVerdict::Fallback { .. })
+    }
+
+    /// Whether the verdict also guarantees every schedule serializes
+    /// (not just deadlock-freedom).
+    pub fn guarantees_safety(&self) -> bool {
         matches!(self, AdmissionVerdict::Certified)
     }
 }
@@ -103,8 +242,92 @@ impl fmt::Display for AdmissionVerdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdmissionVerdict::Certified => write!(f, "certified (no detector, no timeouts)"),
+            AdmissionVerdict::CertifiedDeadlockFree => write!(
+                f,
+                "certified deadlock-free (no detector; serializability by audit)"
+            ),
             AdmissionVerdict::Fallback { reason } => write!(f, "fallback to wait-die: {reason}"),
         }
+    }
+}
+
+/// A counting admission gate: a semaphore over a template's certified
+/// slots. Acquiring blocks (holding **no** data locks) until one of the
+/// `k_t` slots frees; an [`Slots::Unbounded`] gate never blocks. The
+/// gate also tracks the high-water mark of concurrent holders — the
+/// achieved multiprogramming level the [`crate::Report`] publishes.
+pub struct SlotGate {
+    slots: Slots,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_use: usize,
+    peak: usize,
+}
+
+impl SlotGate {
+    pub(crate) fn new(slots: Slots) -> Self {
+        if let Slots::Bounded(k) = slots {
+            assert!(k >= 1, "a bounded gate needs at least one slot");
+        }
+        Self {
+            slots,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The certified slot count.
+    pub fn slots(&self) -> Slots {
+        self.slots
+    }
+
+    /// Blocks until a slot is free, then occupies it for the lifetime of
+    /// the returned guard.
+    pub fn acquire(&self) -> SlotGuard<'_> {
+        let mut st = self.state.lock();
+        if let Slots::Bounded(k) = self.slots {
+            while st.in_use >= k {
+                self.freed.wait(&mut st);
+            }
+        }
+        st.in_use += 1;
+        st.peak = st.peak.max(st.in_use);
+        SlotGuard { gate: self }
+    }
+
+    /// Live holders right now.
+    pub fn in_use(&self) -> usize {
+        self.state.lock().in_use
+    }
+
+    /// High-water mark of concurrent holders since the last
+    /// [`SlotGate::reset_peak`].
+    pub fn peak(&self) -> usize {
+        self.state.lock().peak
+    }
+
+    /// Resets the high-water mark (the executor does this per run).
+    pub fn reset_peak(&self) {
+        let mut st = self.state.lock();
+        st.peak = st.in_use;
+    }
+}
+
+/// Occupation of one admission slot; dropping it frees the slot.
+pub struct SlotGuard<'a> {
+    gate: &'a SlotGate,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock();
+        st.in_use -= 1;
+        drop(st);
+        self.gate.freed.notify_one();
     }
 }
 
@@ -114,59 +337,203 @@ pub struct Template {
     pub txn: TxnId,
     /// Its data program.
     pub program: Program,
-    /// Admission gate: at most one live instance of a template at a
-    /// time, so the in-flight mix always embeds into the certified
-    /// system (the paper's guarantees quantify over the *fixed* set of
-    /// transactions).
-    pub(crate) gate: Mutex<()>,
+    /// Admission gate: at most `k_t` live instances of the template at a
+    /// time (its certified slot count), so the in-flight mix always
+    /// embeds into the certified inflated system — the paper's
+    /// guarantees quantify over that *fixed* set of transactions.
+    pub(crate) gate: SlotGate,
 }
 
-/// The template registry: a certified-or-not transaction system plus
-/// per-template programs.
+impl Template {
+    /// The template's admission gate (slots, live count, peak).
+    pub fn gate(&self) -> &SlotGate {
+        &self.gate
+    }
+}
+
+/// The template registry: a certified-or-not transaction system, its
+/// admission plan, and per-template programs.
 pub struct TemplateRegistry {
     sys: Arc<TransactionSystem>,
     verdict: AdmissionVerdict,
+    plan: AdmissionPlan,
     templates: Vec<Template>,
 }
 
 impl TemplateRegistry {
-    /// Registers `sys`: runs the certifier once, caches the verdict, and
-    /// installs the default counter program for every template.
+    /// Registers `sys` with the default options (no inflation): runs the
+    /// certifier once, caches the verdict, and installs the default
+    /// counter program for every template.
     pub fn register(sys: TransactionSystem) -> Self {
-        Self::register_with(sys, CertifyOptions::default())
+        Self::register_with(sys, AdmissionOptions::default())
     }
 
-    /// [`register`](Self::register) with explicit certifier options.
-    pub fn register_with(sys: TransactionSystem, opts: CertifyOptions) -> Self {
-        let verdict = match certify_safe_and_deadlock_free(&sys, opts) {
-            Ok(_cert) => AdmissionVerdict::Certified,
-            Err(v) => AdmissionVerdict::Fallback {
-                reason: v.to_string(),
-            },
-        };
+    /// [`register`](Self::register) with explicit certifier options and a
+    /// requested inflation. The computed [`AdmissionPlan`] sizes every
+    /// template's [`SlotGate`]; a requested inflation that fails to
+    /// certify floors back to `k = 1` rather than rejecting the system.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when the request itself is
+    /// malformed — [`Inflation::Uniform`]`(0)`, or an
+    /// [`Inflation::PerTemplate`] vector with a zero entry or the wrong
+    /// arity. (Certification *failures* floor; caller bugs do not.)
+    pub fn register_with(sys: TransactionSystem, admission: AdmissionOptions) -> Self {
+        let (verdict, plan) = Self::certify(&sys, &admission);
         let templates = sys
             .iter()
             .map(|(t, txn)| Template {
                 txn: t,
                 program: Program::counter(txn.entities()),
-                gate: Mutex::new(()),
+                gate: SlotGate::new(plan.slots_of(t)),
             })
             .collect();
         Self {
             sys: Arc::new(sys),
             verdict,
+            plan,
             templates,
         }
     }
 
+    fn certify(
+        sys: &TransactionSystem,
+        admission: &AdmissionOptions,
+    ) -> (AdmissionVerdict, AdmissionPlan) {
+        let n = sys.len();
+        let one = Slots::Bounded(1);
+        // Resolve the request to a concrete vector (or run the search).
+        let requested: Option<Vec<usize>> = match &admission.inflate {
+            Inflation::None => None,
+            Inflation::Uniform(k) => Some(vec![*k; n]),
+            Inflation::PerTemplate(v) => Some(v.clone()),
+            Inflation::Auto { cap } => {
+                return match max_certified_inflation(sys, admission.opts, *cap) {
+                    Ok(max) => {
+                        let slots = if max.unbounded {
+                            Slots::Unbounded
+                        } else {
+                            Slots::Bounded(max.k)
+                        };
+                        (
+                            Self::verdict_of(&max.certificate),
+                            AdmissionPlan::uniform(
+                                n,
+                                slots,
+                                false,
+                                format!("auto search: {}", max.certificate),
+                            ),
+                        )
+                    }
+                    // Even the base system failed to certify: like the
+                    // explicit-k path, the granted plan (k = 1,
+                    // wait-die) is a floor of what was asked for.
+                    Err(v) => (
+                        AdmissionVerdict::Fallback {
+                            reason: v.to_string(),
+                        },
+                        AdmissionPlan::uniform(n, one, true, v.to_string()),
+                    ),
+                };
+            }
+        };
+        let Some(k) = requested else {
+            // No inflation requested: certify the base system as-is.
+            return match certify_safe_and_deadlock_free(sys, admission.opts.certify) {
+                Ok(_) => (
+                    AdmissionVerdict::Certified,
+                    AdmissionPlan::uniform(n, one, false, "base system certified (k = 1)"),
+                ),
+                Err(v) => (
+                    AdmissionVerdict::Fallback {
+                        reason: v.to_string(),
+                    },
+                    AdmissionPlan::uniform(n, one, false, v.to_string()),
+                ),
+            };
+        };
+        match certify_inflated(sys, &k, admission.opts) {
+            Ok(cert) => {
+                // An explicit request is a *ceiling*, even when the
+                // Theorem 5 certificate would allow more: ∞ slots are
+                // only granted when the caller asked us to search
+                // (`Inflation::Auto`).
+                let slots: Vec<Slots> = k.iter().map(|&kt| Slots::Bounded(kt)).collect();
+                let rationale = if cert.is_unbounded() {
+                    format!("{cert}; granting the requested ceiling")
+                } else {
+                    cert.to_string()
+                };
+                (
+                    Self::verdict_of(&cert),
+                    AdmissionPlan {
+                        slots,
+                        floored: false,
+                        rationale,
+                    },
+                )
+            }
+            // A malformed request (zero copies, wrong arity) is a caller
+            // bug, not a certification failure — surface it instead of
+            // silently degrading concurrency.
+            Err(InflationViolation::Model(e)) => {
+                panic!("malformed inflation request {:?}: {e}", admission.inflate)
+            }
+            // The requested inflation is inadmissible: floor to k = 1,
+            // re-certified exactly as an explicit k = 1 request would be
+            // (DF-only fallback included), so the engine degrades
+            // instead of deadlocking — and degrades to the same path a
+            // smaller request would get.
+            Err(rejection) => match certify_inflated(sys, &vec![1; n], admission.opts) {
+                Ok(cert) => (
+                    Self::verdict_of(&cert),
+                    AdmissionPlan::uniform(
+                        n,
+                        one,
+                        true,
+                        format!("{rejection}; floored to k = 1 ({cert})"),
+                    ),
+                ),
+                Err(v) => (
+                    AdmissionVerdict::Fallback {
+                        reason: v.to_string(),
+                    },
+                    AdmissionPlan::uniform(n, one, true, format!("{rejection}; base: {v}")),
+                ),
+            },
+        }
+    }
+
+    fn verdict_of(cert: &InflationCertificate) -> AdmissionVerdict {
+        if cert.guarantees_safety() {
+            AdmissionVerdict::Certified
+        } else {
+            AdmissionVerdict::CertifiedDeadlockFree
+        }
+    }
+
     /// Replaces the program of template `t`.
-    pub fn set_program(&mut self, t: TxnId, program: Program) {
-        self.templates[t.index()].program = program;
+    ///
+    /// Errors with [`ModelError::UnknownTxn`] when `t` does not name a
+    /// registered template.
+    pub fn set_program(&mut self, t: TxnId, program: Program) -> Result<(), ModelError> {
+        match self.templates.get_mut(t.index()) {
+            Some(tmpl) => {
+                tmpl.program = program;
+                Ok(())
+            }
+            None => Err(ModelError::UnknownTxn(t)),
+        }
     }
 
     /// The cached admission verdict.
     pub fn verdict(&self) -> &AdmissionVerdict {
         &self.verdict
+    }
+
+    /// The certified admission plan (slot counts per template).
+    pub fn plan(&self) -> &AdmissionPlan {
+        &self.plan
     }
 
     /// The registered system.
@@ -175,8 +542,24 @@ impl TemplateRegistry {
     }
 
     /// The template for transaction `t`.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when `t` does not name a
+    /// registered template (use [`TemplateRegistry::get`] for a fallible
+    /// lookup).
     pub fn template(&self, t: TxnId) -> &Template {
-        &self.templates[t.index()]
+        match self.templates.get(t.index()) {
+            Some(tmpl) => tmpl,
+            None => panic!(
+                "no template registered for {t}: the registry holds {} templates",
+                self.templates.len()
+            ),
+        }
+    }
+
+    /// The template for transaction `t`, or `None` when out of range.
+    pub fn get(&self, t: TxnId) -> Option<&Template> {
+        self.templates.get(t.index())
     }
 
     /// Number of templates.
@@ -206,11 +589,25 @@ mod tests {
         TransactionSystem::new(db, vec![t1, t2]).unwrap()
     }
 
+    fn strict_pair() -> TransactionSystem {
+        let db = Database::one_entity_per_site(2);
+        let ops = [
+            Op::lock(EntityId(0)),
+            Op::lock(EntityId(1)),
+            Op::unlock(EntityId(1)),
+            Op::unlock(EntityId(0)),
+        ];
+        let t1 = Transaction::from_total_order("T1", &ops, &db).unwrap();
+        let t2 = Transaction::from_total_order("T2", &ops, &db).unwrap();
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
     #[test]
     fn ordered_pair_certifies() {
         let reg = TemplateRegistry::register(two_phase_pair(true));
         assert!(reg.verdict().is_certified());
         assert_eq!(reg.len(), 2);
+        assert_eq!(reg.plan().slots_of(TxnId(0)), Slots::Bounded(1));
     }
 
     #[test]
@@ -220,6 +617,171 @@ mod tests {
             panic!("opposed lock orders must not certify");
         };
         assert!(!reason.is_empty());
+    }
+
+    #[test]
+    fn uniform_inflation_certifies_strict_pair() {
+        let reg = TemplateRegistry::register_with(
+            strict_pair(),
+            AdmissionOptions {
+                inflate: Inflation::Uniform(4),
+                ..Default::default()
+            },
+        );
+        assert!(reg.verdict().guarantees_safety(), "{}", reg.verdict());
+        assert_eq!(reg.plan().slots_of(TxnId(0)), Slots::Bounded(4));
+        assert_eq!(reg.plan().slots_of(TxnId(1)), Slots::Bounded(4));
+        assert!(!reg.plan().floored);
+        let rendered = reg.plan().render(reg.system());
+        assert!(rendered.contains("k = 4"), "{rendered}");
+    }
+
+    #[test]
+    fn failed_inflation_floors_to_one() {
+        // The opposed pair cannot certify at any k, but the request must
+        // degrade to the wait-die fallback at k = 1, not reject.
+        let reg = TemplateRegistry::register_with(
+            two_phase_pair(false),
+            AdmissionOptions {
+                inflate: Inflation::Uniform(4),
+                opts: InflateOptions {
+                    explore_states: 50_000,
+                    ..Default::default()
+                },
+            },
+        );
+        assert!(!reg.verdict().is_certified());
+        assert!(reg.plan().floored);
+        assert_eq!(reg.plan().slots_of(TxnId(1)), Slots::Bounded(1));
+    }
+
+    #[test]
+    fn auto_inflation_is_unbounded_for_single_rooted_template() {
+        let db = Database::one_entity_per_site(2);
+        let ops = [
+            Op::lock(EntityId(0)),
+            Op::lock(EntityId(1)),
+            Op::unlock(EntityId(1)),
+            Op::unlock(EntityId(0)),
+        ];
+        let t = Transaction::from_total_order("T", &ops, &db).unwrap();
+        let sys = TransactionSystem::new(db, vec![t]).unwrap();
+        let reg = TemplateRegistry::register_with(
+            sys,
+            AdmissionOptions {
+                inflate: Inflation::Auto { cap: 64 },
+                ..Default::default()
+            },
+        );
+        assert!(reg.verdict().guarantees_safety());
+        assert_eq!(reg.plan().slots_of(TxnId(0)), Slots::Unbounded);
+    }
+
+    #[test]
+    fn auto_on_uncertifiable_system_is_a_floored_fallback() {
+        let reg = TemplateRegistry::register_with(
+            two_phase_pair(false),
+            AdmissionOptions {
+                inflate: Inflation::Auto { cap: 4 },
+                opts: InflateOptions {
+                    explore_states: 50_000,
+                    ..Default::default()
+                },
+            },
+        );
+        assert!(!reg.verdict().is_certified());
+        // Same flag as the equivalent explicit-k request.
+        assert!(reg.plan().floored);
+        assert_eq!(reg.plan().slots_of(TxnId(0)), Slots::Bounded(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed inflation request")]
+    fn zero_uniform_inflation_panics() {
+        let _ = TemplateRegistry::register_with(
+            two_phase_pair(true),
+            AdmissionOptions {
+                inflate: Inflation::Uniform(0),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed inflation request")]
+    fn wrong_arity_per_template_vector_panics() {
+        let _ = TemplateRegistry::register_with(
+            two_phase_pair(true),
+            AdmissionOptions {
+                inflate: Inflation::PerTemplate(vec![4]),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn slot_gate_counts_and_peaks() {
+        let gate = SlotGate::new(Slots::Bounded(2));
+        let a = gate.acquire();
+        let b = gate.acquire();
+        assert_eq!(gate.in_use(), 2);
+        assert_eq!(gate.peak(), 2);
+        drop(a);
+        assert_eq!(gate.in_use(), 1);
+        drop(b);
+        assert_eq!(gate.in_use(), 0);
+        assert_eq!(gate.peak(), 2, "peak survives releases");
+        gate.reset_peak();
+        assert_eq!(gate.peak(), 0);
+    }
+
+    #[test]
+    fn slot_gate_blocks_at_capacity() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let gate = SlotGate::new(Slots::Bounded(1));
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _slot = gate.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "gate must serialize");
+        assert_eq!(gate.peak(), 1);
+    }
+
+    #[test]
+    fn unbounded_gate_never_blocks() {
+        let gate = SlotGate::new(Slots::Unbounded);
+        let guards: Vec<_> = (0..16).map(|_| gate.acquire()).collect();
+        assert_eq!(gate.in_use(), 16);
+        assert_eq!(gate.peak(), 16);
+        drop(guards);
+        assert_eq!(gate.in_use(), 0);
+    }
+
+    #[test]
+    fn set_program_rejects_unknown_template() {
+        let mut reg = TemplateRegistry::register(two_phase_pair(true));
+        assert!(reg.set_program(TxnId(0), Program::read_only()).is_ok());
+        assert_eq!(
+            reg.set_program(TxnId(9), Program::read_only()),
+            Err(ModelError::UnknownTxn(TxnId(9)))
+        );
+        assert!(reg.get(TxnId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no template registered for T9")]
+    fn template_lookup_panics_descriptively() {
+        let reg = TemplateRegistry::register(two_phase_pair(true));
+        let _ = reg.template(TxnId(9));
     }
 
     #[test]

@@ -49,6 +49,18 @@ pub enum ModelError {
     },
     /// A transaction system referenced a transaction index out of range.
     UnknownTxn(TxnId),
+    /// An inflation vector did not have one entry per template.
+    InflationArity {
+        /// Number of templates in the system.
+        expected: usize,
+        /// Length of the supplied inflation vector.
+        got: usize,
+    },
+    /// An inflation vector asked for zero copies of a template.
+    ZeroInflation {
+        /// The template with `k = 0`.
+        template: TxnId,
+    },
     /// A schedule step referenced a node outside its transaction.
     BadScheduleStep(GlobalNode),
     /// A schedule step ran before one of its predecessors in the same
@@ -98,6 +110,15 @@ impl fmt::Display for ModelError {
                  same-site operations must be totally ordered"
             ),
             ModelError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            ModelError::InflationArity { expected, got } => write!(
+                f,
+                "inflation vector has {got} entries but the system has {expected} templates"
+            ),
+            ModelError::ZeroInflation { template } => write!(
+                f,
+                "inflation vector asks for 0 copies of template {template}; \
+                 drop the template instead"
+            ),
             ModelError::BadScheduleStep(g) => write!(f, "schedule step {g} is out of range"),
             ModelError::PrecedenceViolated { step, missing } => write!(
                 f,

@@ -9,7 +9,9 @@
 //!   operations with exactly one Lock and one Unlock per accessed entity,
 //!   `Lx ≺ Ux`, and same-site operations totally ordered;
 //! * a [`TransactionSystem`] is a finite set of transactions, with its
-//!   *interaction graph* (§5);
+//!   *interaction graph* (§5) and its k-[`inflate`](TransactionSystem::inflate)d
+//!   copies (the [`InflatedSystem`] + [`CopyMap`] that certified
+//!   multiprogramming is phrased in);
 //! * a [`Schedule`] is a lock-respecting merge of linear extensions, with
 //!   the conflict digraph `D(S)` serializability test and the partial-
 //!   schedule variant used by Lemma 1;
@@ -55,6 +57,7 @@ pub mod dot;
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod inflate;
 pub mod linext;
 pub mod op;
 pub mod prefix;
@@ -68,6 +71,7 @@ pub use database::{Database, DatabaseBuilder};
 pub use error::ModelError;
 pub use graph::{DiGraph, UnGraph};
 pub use ids::{EntityId, GlobalNode, NodeId, SiteId, TxnId};
+pub use inflate::{CopyMap, InflatedSystem};
 pub use linext::{count_linear_extensions, for_each_linear_extension, linear_extensions};
 pub use op::{Op, OpKind};
 pub use prefix::{Prefix, SystemPrefix};

@@ -205,3 +205,111 @@ proptest! {
         }
     }
 }
+
+/// Builds a legal transaction from proptest-chosen entity picks and
+/// interleaving coin flips (locks before unlocks per entity, any legal
+/// lock/unlock interleaving overall).
+fn txn_from_choices(
+    db: &Database,
+    name: &str,
+    picks: &[u32],
+    coins: &[bool],
+) -> ddlf_model::Transaction {
+    let mut chosen: Vec<u32> = picks.to_vec();
+    chosen.sort_unstable();
+    chosen.dedup();
+    let mut ops: Vec<Op> = Vec::with_capacity(chosen.len() * 2);
+    let mut to_lock = chosen;
+    let mut held: Vec<u32> = Vec::new();
+    let mut ci = 0usize;
+    while !to_lock.is_empty() || !held.is_empty() {
+        let coin = coins.get(ci).copied().unwrap_or(true);
+        ci += 1;
+        let do_lock = if to_lock.is_empty() {
+            false
+        } else if held.is_empty() {
+            true
+        } else {
+            coin
+        };
+        if do_lock {
+            let e = to_lock.pop().expect("nonempty");
+            ops.push(Op::lock(EntityId(e)));
+            held.push(e);
+        } else {
+            let idx = if coins.get(ci).copied().unwrap_or(false) {
+                0
+            } else {
+                held.len() - 1
+            };
+            ci += 1;
+            let e = held.remove(idx);
+            ops.push(Op::unlock(EntityId(e)));
+        }
+    }
+    Transaction::from_total_order(name, &ops, db).expect("interleaving is legal")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `TransactionSystem::inflate`: every copy preserves its template's
+    /// partial order, operations, and entity set, and the `CopyMap`
+    /// round-trips `(template, copy) ↔ TxnId` in both directions.
+    #[test]
+    fn inflate_preserves_syntax_and_copymap_round_trips(
+        shapes in prop::collection::vec(
+            (
+                prop::collection::vec(0u32..6, 1..5),
+                prop::collection::vec(any::<bool>(), 0..24),
+            ),
+            1..4,
+        ),
+        ks in prop::collection::vec(1usize..5, 1..4),
+    ) {
+        let db = Database::one_entity_per_site(6);
+        let txns: Vec<Transaction> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, (picks, coins))| txn_from_choices(&db, &format!("T{i}"), picks, coins))
+            .collect();
+        let sys = TransactionSystem::new(db, txns).unwrap();
+        // Couple the (independently generated) vector length to the
+        // system size by cycling.
+        let k: Vec<usize> = (0..sys.len()).map(|i| ks[i % ks.len()]).collect();
+
+        let inflated = sys.inflate(&k).unwrap();
+        let map = inflated.map();
+        prop_assert_eq!(inflated.system().len(), k.iter().sum::<usize>());
+        prop_assert_eq!(map.k(), k.clone());
+        prop_assert_eq!(map.template_count(), sys.len());
+        prop_assert_eq!(map.inflated_count(), inflated.system().len());
+
+        // Backward then forward is the identity on inflated ids …
+        for g in 0..map.inflated_count() {
+            let gid = TxnId::from_index(g);
+            let (t, c) = map.source_of(gid).expect("in range");
+            prop_assert_eq!(map.copy_of(t, c), Some(gid));
+
+            // … and every copy is syntactically its template.
+            let base = sys.txn(t);
+            let copy = inflated.system().txn(gid);
+            prop_assert_eq!(copy.name(), format!("{}#{c}", base.name()).as_str());
+            prop_assert_eq!(copy.node_count(), base.node_count());
+            prop_assert_eq!(copy.entities(), base.entities());
+            for a in base.nodes() {
+                prop_assert_eq!(copy.op(a), base.op(a));
+                for b in base.nodes() {
+                    prop_assert_eq!(copy.precedes(a, b), base.precedes(a, b));
+                }
+            }
+        }
+        // Forward then backward is the identity on (template, copy).
+        for (t, _) in sys.iter() {
+            prop_assert_eq!(map.copies_of(t).len(), k[t.index()]);
+            for (c, &gid) in map.copies_of(t).iter().enumerate() {
+                prop_assert_eq!(map.source_of(gid), Some((t, c)));
+            }
+        }
+    }
+}

@@ -24,4 +24,4 @@ pub use random::{
     generate_transaction, ring_system, scaling_pair, star_system, two_phase_total_order,
     LockDiscipline, SystemGen,
 };
-pub use scenarios::{bank_greedy_pair, bank_ordered_pair, Bank, Warehouse};
+pub use scenarios::{bank_greedy_pair, bank_ordered_pair, bank_uniform_transfer, Bank, Warehouse};

@@ -71,6 +71,36 @@ impl Bank {
         crate::random::two_phase_total_order(&self.db, name, &entities)
     }
 
+    /// A **hand-over-hand** transfer: entities in ascending order, each
+    /// lock taken while the previous entity is still held and released
+    /// right after (`L e₀, L e₁, U e₀, L e₂, U e₁, …`). Every entity is
+    /// covered by its predecessor and the first lock precedes everything,
+    /// so Corollary 3 / Theorem 5 certify **any** number of concurrent
+    /// copies — and unlike strict 2PL (which holds the first lock to the
+    /// very end), copies genuinely pipeline down the chain.
+    pub fn transfer_pipelined(
+        &self,
+        name: &str,
+        from: (usize, usize),
+        to: (usize, usize),
+    ) -> Transaction {
+        let mut entities = vec![
+            self.accounts[from.0][from.1],
+            self.accounts[to.0][to.1],
+            self.ledgers[from.0],
+            self.ledgers[to.0],
+        ];
+        entities.sort_unstable();
+        entities.dedup();
+        let mut ops = vec![ddlf_model::Op::lock(entities[0])];
+        for w in entities.windows(2) {
+            ops.push(ddlf_model::Op::lock(w[1]));
+            ops.push(ddlf_model::Op::unlock(w[0]));
+        }
+        ops.push(ddlf_model::Op::unlock(*entities.last().expect("nonempty")));
+        Transaction::from_total_order(name, &ops, &self.db).expect("chain is legal")
+    }
+
     /// A "greedy" transfer that locks the source side completely before
     /// the destination side (source account, source ledger, destination
     /// account, destination ledger). Two opposite-direction greedy
@@ -121,6 +151,22 @@ pub fn bank_ordered_pair() -> (Bank, TransactionSystem) {
     let t0 = bank.transfer_ordered("transfer_0_to_1", (0, 0), (1, 0));
     let t1 = bank.transfer_ordered("transfer_1_to_0", (1, 1), (0, 1));
     let sys = TransactionSystem::new(bank.db.clone(), vec![t0, t1]).unwrap();
+    (bank, sys)
+}
+
+/// A **single-template**, Theorem 5-certifiable workload: one
+/// uniform-lock-order, hand-over-hand transfer shape
+/// ([`Bank::transfer_pipelined`] over source account, destination
+/// account, and both ledgers). Corollary 3 / Theorem 5 certify **any**
+/// number of concurrent copies, the engine's admission gate may go
+/// unbounded, and — because each lock is released as soon as the next
+/// one is held — concurrent copies pipeline down the entity chain
+/// instead of serializing on the first lock. The reference workload for
+/// certified k-inflation.
+pub fn bank_uniform_transfer() -> (Bank, TransactionSystem) {
+    let bank = Bank::new(2, 2);
+    let t = bank.transfer_pipelined("transfer", (0, 0), (1, 0));
+    let sys = TransactionSystem::new(bank.db.clone(), vec![t]).unwrap();
     (bank, sys)
 }
 
@@ -199,6 +245,18 @@ mod tests {
         let (_, greedy) = bank_greedy_pair();
         let ex = ddlf_core::Explorer::new(&greedy, 5_000_000);
         assert!(ex.find_deadlock().0.violated());
+    }
+
+    #[test]
+    fn uniform_transfer_certifies_unbounded_copies() {
+        let (_, sys) = bank_uniform_transfer();
+        assert_eq!(sys.len(), 1, "single template by construction");
+        assert!(ddlf_core::copies_safe_df(sys.txn(ddlf_model::TxnId(0))).is_ok());
+        let max =
+            ddlf_core::max_certified_inflation(&sys, ddlf_core::InflateOptions::default(), 256)
+                .unwrap();
+        assert!(max.unbounded, "Theorem 5 covers any number of copies");
+        assert_eq!(max.k, 256);
     }
 
     #[test]

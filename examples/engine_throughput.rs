@@ -1,21 +1,24 @@
-//! Engine demo: the runtime price of a missing certificate.
+//! Engine demo: the runtime price of a missing certificate, and the
+//! payoff of certified k-inflation.
 //!
-//! Runs the same banking workload through the `ddlf-engine` key-value
-//! store three ways:
+//! Runs banking workloads through the `ddlf-engine` key-value store:
 //!
 //! 1. ordered transfers, **certified** → no-detector path, zero aborts;
 //! 2. the same certified workload with the certificate ignored
 //!    (`--force-fallback` equivalent) → wait-die overhead for nothing;
 //! 3. greedy opposite-direction transfers, **uncertified** → wait-die
-//!    with real aborts.
+//!    with real aborts;
+//! 4. a single pipelined-transfer template under `--inflate auto`:
+//!    Theorem 5 certifies unbounded copies, the admission gate opens,
+//!    and instances pipeline hand-over-hand down the entity chain.
 //!
 //! ```text
 //! cargo run --release --example engine_throughput
 //! ```
 
-use ddlf::engine::{Engine, EngineConfig, Program, TemplateRegistry};
+use ddlf::engine::{AdmissionOptions, Engine, EngineConfig, Inflation, Program, TemplateRegistry};
 use ddlf::model::TxnId;
-use ddlf::workloads::{bank_greedy_pair, bank_ordered_pair, Bank};
+use ddlf::workloads::{bank_greedy_pair, bank_ordered_pair, bank_uniform_transfer, Bank};
 use std::time::Duration;
 
 fn cfg(force_fallback: bool) -> EngineConfig {
@@ -32,11 +35,13 @@ fn transfer_registry(bank: &Bank, reg: &mut TemplateRegistry) {
     reg.set_program(
         TxnId(0),
         Program::transfer(bank.accounts[0][0], bank.accounts[1][0], 5),
-    );
+    )
+    .unwrap();
     reg.set_program(
         TxnId(1),
         Program::transfer(bank.accounts[1][1], bank.accounts[0][1], 3),
-    );
+    )
+    .unwrap();
 }
 
 fn main() {
@@ -64,10 +69,33 @@ fn main() {
     let r_greedy = engine.run();
     println!("   {}", r_greedy.summary());
 
+    println!("== certified k-inflation: single pipelined template, auto gate");
+    let (ubank, usys) = bank_uniform_transfer();
+    let mut reg = TemplateRegistry::register_with(
+        usys,
+        AdmissionOptions {
+            inflate: Inflation::Auto { cap: 8 },
+            ..Default::default()
+        },
+    );
+    reg.set_program(
+        TxnId(0),
+        Program::transfer(ubank.accounts[0][0], ubank.accounts[1][0], 5),
+    )
+    .unwrap();
+    println!("   admission: {}", reg.verdict());
+    print!("{}", reg.plan().render(reg.system()));
+    let engine = Engine::with_registry(reg, cfg(false));
+    let r_inflated = engine.run();
+    println!("   {}", r_inflated.summary());
+    print!("{}", r_inflated.template_table());
+
     println!();
     println!(
-        "certified path: {:.0} txn/s with 0 aborts; greedy fallback paid {} aborts",
+        "certified path: {:.0} txn/s with 0 aborts; greedy fallback paid {} aborts; \
+         inflated single template reached peak k = {}",
         r.throughput_per_sec(),
-        r_greedy.aborted_attempts
+        r_greedy.aborted_attempts,
+        r_inflated.peak_inflight()
     );
 }

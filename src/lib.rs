@@ -19,8 +19,9 @@
 //!   detection/prevention policies;
 //! * [`engine`] — a sharded transactional key-value execution engine
 //!   whose admission control is the certifier: certified systems run
-//!   with **no detector and no timeouts**, uncertified ones fall back
-//!   to wait-die;
+//!   with **no detector and no timeouts** at their certified
+//!   k-inflation (a counting `SlotGate` per template), uncertified
+//!   ones fall back to wait-die;
 //! * [`workloads`] — the paper's figures, random generators, scenarios.
 //!
 //! ## Quickstart

@@ -37,21 +37,33 @@ fn bench_banking(c: &mut Criterion) {
             BenchmarkId::new("certified_no_detector", n),
             &(&ordered, n),
             |b, (sys, n)| {
-                b.iter(|| Engine::new((*sys).clone(), quick_cfg(*n, false)).run().committed)
+                b.iter(|| {
+                    Engine::new((*sys).clone(), quick_cfg(*n, false))
+                        .run()
+                        .committed
+                })
             },
         );
         g.bench_with_input(
             BenchmarkId::new("certified_but_wait_die", n),
             &(&ordered, n),
             |b, (sys, n)| {
-                b.iter(|| Engine::new((*sys).clone(), quick_cfg(*n, true)).run().committed)
+                b.iter(|| {
+                    Engine::new((*sys).clone(), quick_cfg(*n, true))
+                        .run()
+                        .committed
+                })
             },
         );
         g.bench_with_input(
             BenchmarkId::new("uncertified_wait_die", n),
             &(&greedy, n),
             |b, (sys, n)| {
-                b.iter(|| Engine::new((*sys).clone(), quick_cfg(*n, false)).run().committed)
+                b.iter(|| {
+                    Engine::new((*sys).clone(), quick_cfg(*n, false))
+                        .run()
+                        .committed
+                })
             },
         );
     }
@@ -77,11 +89,13 @@ fn bench_warehouse(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_warehouse");
     g.sample_size(10);
     for &n in &[24usize, 96] {
-        g.bench_with_input(
-            BenchmarkId::new("certified_no_detector", n),
-            &n,
-            |b, &n| b.iter(|| Engine::new(sys.clone(), quick_cfg(n, false)).run().committed),
-        );
+        g.bench_with_input(BenchmarkId::new("certified_no_detector", n), &n, |b, &n| {
+            b.iter(|| {
+                Engine::new(sys.clone(), quick_cfg(n, false))
+                    .run()
+                    .committed
+            })
+        });
         g.bench_with_input(
             BenchmarkId::new("certified_but_wait_die", n),
             &n,

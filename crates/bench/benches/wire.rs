@@ -1,0 +1,63 @@
+//! E14: the cost of the wire — loopback TCP round-trips through
+//! `ddlf-server` next to the same work on the in-process engine.
+//!
+//! * `report_rpc` — one framed request/response pair with no execution
+//!   behind it: the pure protocol + loopback-socket overhead.
+//! * `submit_N` — N certified banking transfers executed per RPC; as N
+//!   grows the wire cost amortizes toward the engine-direct time.
+//! * `engine_direct_N` — the same N transfers on `Engine::run_mix`
+//!   without a socket, the baseline the server wraps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_engine::{Engine, EngineConfig};
+use ddlf_model::{SystemSpec, TxnId};
+use ddlf_server::{Client, InflateSpec, ServeConfig, Server};
+use ddlf_workloads::bank_ordered_pair;
+
+fn bench_wire(c: &mut Criterion) {
+    let (_, sys) = bank_ordered_pair();
+    let spec = serde_json::to_string(&SystemSpec::from_system(&sys)).expect("spec encodes");
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let mut client = Client::connect(&addr).expect("connect");
+    let reg = client.register(&spec, InflateSpec::None).expect("register");
+    assert!(reg.certified, "{}", reg.verdict);
+
+    let engine = Engine::new(sys, EngineConfig::default());
+    let mix: Vec<(TxnId, usize)> = vec![(TxnId(0), 8), (TxnId(1), 8)];
+
+    let mut g = c.benchmark_group("wire_loopback");
+    g.sample_size(20);
+
+    g.bench_function("report_rpc", |b| {
+        b.iter(|| client.report().expect("report").instances)
+    });
+
+    for &n in &[16u32, 64] {
+        g.bench_with_input(BenchmarkId::new("submit", n), &n, |b, &n| {
+            b.iter(|| {
+                let stats = client.submit_all(n).expect("submit");
+                assert_eq!(stats.aborted_attempts, 0);
+                stats.committed
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("engine_direct", n), &n, |b, &n| {
+            b.iter(|| {
+                let scaled: Vec<(TxnId, usize)> = mix
+                    .iter()
+                    .map(|&(t, share)| (t, share * n as usize / 16))
+                    .collect();
+                engine.run_mix(&scaled).committed
+            })
+        });
+    }
+    g.finish();
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -41,7 +41,10 @@ fn main() {
     };
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&tables).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&tables).expect("serializable")
+        );
     } else {
         for t in &tables {
             println!("{}", t.to_markdown());

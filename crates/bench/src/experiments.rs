@@ -35,7 +35,11 @@ pub fn e1_fig1() -> Table {
     t.row(&[
         "prefix has a schedule".into(),
         "yes".into(),
-        if dp.is_some() { "yes".into() } else { "no".into() },
+        if dp.is_some() {
+            "yes".into()
+        } else {
+            "no".into()
+        },
     ]);
     let cyclic = ddlf_core::ReductionGraph::build(&sys, &prefix).is_cyclic();
     t.row(&[
@@ -81,13 +85,16 @@ pub fn e2_fig2() -> Table {
         &["detector", "verdict", "time"],
     );
     let (sys, prefix) = wl::fig2();
-    let (tirri, us) =
-        time_us(|| tirri_two_entity_pattern(sys.txn(TxnId(0)), sys.txn(TxnId(1))));
+    let (tirri, us) = time_us(|| tirri_two_entity_pattern(sys.txn(TxnId(0)), sys.txn(TxnId(1))));
     t.row(&[
         "Tirri two-entity pattern [T]".into(),
         format!(
             "{} (FALSE NEGATIVE)",
-            if tirri.is_some() { "deadlock" } else { "deadlock-free" }
+            if tirri.is_some() {
+                "deadlock"
+            } else {
+                "deadlock-free"
+            }
         ),
         dur_us(us),
     ]);
@@ -160,8 +167,7 @@ pub fn e3_fig3() -> Table {
                 let ops: Vec<ddlf_model::Op> = ext.iter().map(|&n| t1.op(n)).collect();
                 ddlf_model::Transaction::from_total_order(name, &ops, &db).unwrap()
             };
-            let pair = TransactionSystem::new(db.clone(), vec![mk("a", e1), mk("b", e2)])
-                .unwrap();
+            let pair = TransactionSystem::new(db.clone(), vec![mk("a", e1), mk("b", e2)]).unwrap();
             total += 1;
             if Explorer::new(&pair, 100_000).find_deadlock().0.violated() {
                 deadlocking += 1;
@@ -207,7 +213,11 @@ pub fn e4_theorem2(instances_per_n: usize) -> Table {
             "1".into(),
             format!("{}", sat as u8),
             format!("{}", dl as u8),
-            if sat == dl { "1/1".into() } else { "MISMATCH".into() },
+            if sat == dl {
+                "1/1".into()
+            } else {
+                "MISMATCH".into()
+            },
             format!("{}", red.sys.txn(TxnId(0)).node_count()),
             dur_us(us),
         ]);
@@ -251,7 +261,15 @@ pub fn e5_theorem3(trials: usize) -> Table {
          minimal-prefix variant, and the exhaustive Lemma 1 ground truth must \
          agree. Scaling: time of both polynomial tests as transaction size n \
          grows (ordered-2PL pairs, which exercise the full coverage loop).",
-        &["n (ops/txn)", "certified", "violated", "agree(O(n²),O(n³))", "agree(ground)", "t O(n²)", "t O(n³)"],
+        &[
+            "n (ops/txn)",
+            "certified",
+            "violated",
+            "agree(O(n²),O(n³))",
+            "agree(ground)",
+            "t O(n²)",
+            "t O(n³)",
+        ],
     );
 
     // Correctness on random small pairs, mixed disciplines.
@@ -277,12 +295,17 @@ pub fn e5_theorem3(trials: usize) -> Table {
                 seed: 0xE5_000 + seed,
             }
             .generate();
-            let (a, ua) = time_us(|| pairwise_safe_df(sys.txn(TxnId(0)), sys.txn(TxnId(1))).is_ok());
-            let (b, ub) =
-                time_us(|| pairwise_safe_df_minimal_prefix(sys.txn(TxnId(0)), sys.txn(TxnId(1))).is_ok());
+            let (a, ua) =
+                time_us(|| pairwise_safe_df(sys.txn(TxnId(0)), sys.txn(TxnId(1))).is_ok());
+            let (b, ub) = time_us(|| {
+                pairwise_safe_df_minimal_prefix(sys.txn(TxnId(0)), sys.txn(TxnId(1))).is_ok()
+            });
             t2_us += ua;
             t3_us += ub;
-            let g = Explorer::new(&sys, 3_000_000).find_conflict_cycle().0.holds();
+            let g = Explorer::new(&sys, 3_000_000)
+                .find_conflict_cycle()
+                .0
+                .holds();
             cert += a as usize;
             viol += !a as usize;
             agree23 += (a == b) as usize;
@@ -347,7 +370,11 @@ pub fn e6_theorem4() -> Table {
             "ring".into(),
             format!("{d}"),
             cycles,
-            if r.is_ok() { "certified".into() } else { "violation (cycle witness)".into() },
+            if r.is_ok() {
+                "certified".into()
+            } else {
+                "violation (cycle witness)".into()
+            },
             "violation".into(),
             dur_us(us),
         ]);
@@ -362,7 +389,11 @@ pub fn e6_theorem4() -> Table {
                 Ok(c) => c.cycles_checked.to_string(),
                 Err(_) => "?".into(),
             },
-            if r.is_ok() { "certified".into() } else { "violation".into() },
+            if r.is_ok() {
+                "certified".into()
+            } else {
+                "violation".into()
+            },
             "certified".into(),
             dur_us(us),
         ]);
@@ -378,14 +409,25 @@ pub fn e7_copies() -> Table {
          test must agree with Theorem 4 run on d copies. For deadlock-freedom \
          ALONE the reduction fails: Fig. 6's transaction deadlocks with 3 copies \
          but never with 2.",
-        &["transaction", "d", "safe+DF (Thm 4)", "Cor. 3 (2 copies)", "deadlock reachable", "paper"],
+        &[
+            "transaction",
+            "d",
+            "safe+DF (Thm 4)",
+            "Cor. 3 (2 copies)",
+            "deadlock reachable",
+            "paper",
+        ],
     );
     // A certifiable 2PL transaction.
     let db = ddlf_model::Database::one_entity_per_site(3);
     let good = wl::two_phase_total_order(
         &db,
         "2PL",
-        &[ddlf_model::EntityId(0), ddlf_model::EntityId(1), ddlf_model::EntityId(2)],
+        &[
+            ddlf_model::EntityId(0),
+            ddlf_model::EntityId(1),
+            ddlf_model::EntityId(2),
+        ],
     );
     let cor3_good = copies_safe_df(&good).is_ok();
     for d in [2usize, 3, 4] {
@@ -432,11 +474,22 @@ pub fn e8_theorem1(trials: usize) -> Table {
         "On random systems, the operational checker (reachable stuck state) and \
          the structural checker (reachable prefix with cyclic reduction graph) \
          must return the same verdict — that equivalence is Theorem 1.",
-        &["workload", "trials", "deadlocking", "deadlock-free", "agreement"],
+        &[
+            "workload",
+            "trials",
+            "deadlocking",
+            "deadlock-free",
+            "agreement",
+        ],
     );
     use wl::{LockDiscipline, SystemGen};
     for (label, disc, d, n_e) in [
-        ("2 txns, rand-legal", LockDiscipline::RandomLegal, 2usize, 3usize),
+        (
+            "2 txns, rand-legal",
+            LockDiscipline::RandomLegal,
+            2usize,
+            3usize,
+        ),
         ("3 txns, rand-2PL", LockDiscipline::RandomTwoPhase, 3, 3),
         ("2 txns, lu-shaped", LockDiscipline::LockUnlockShaped, 2, 4),
     ] {
@@ -480,7 +533,16 @@ pub fn e9_runtime(seeds: u64) -> Table {
          aborts; greedy (source-side-first) transfers deadlock without a \
          policy and pay aborts under every dynamic scheme. All committed \
          histories pass the D(S) serializability audit.",
-        &["workload", "policy", "committed", "deadlocked runs", "aborts", "avg msgs", "avg sim time", "serializable"],
+        &[
+            "workload",
+            "policy",
+            "committed",
+            "deadlocked runs",
+            "aborts",
+            "avg msgs",
+            "avg sim time",
+            "serializable",
+        ],
     );
     let bank = wl::Bank::new(4, 4);
     let routes = [
@@ -550,7 +612,11 @@ pub fn e9_runtime(seeds: u64) -> Table {
                 format!("{aborts}"),
                 format!("{}", msgs / seeds),
                 dur_us(end as f64 / seeds as f64),
-                if all_serial { "yes".into() } else { "NO".into() },
+                if all_serial {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }
@@ -586,7 +652,13 @@ pub fn e10_scaling() -> Table {
          branches), while the Theorem 3 test stays polynomial — the gap \
          Theorems 3–4 exist to close. Both pairs are certified (x locked first, \
          held across every branch).",
-        &["k (parallel branches)", "exhaustive states", "t exhaustive", "t Theorem 3", "speedup"],
+        &[
+            "k (parallel branches)",
+            "exhaustive states",
+            "t exhaustive",
+            "t Theorem 3",
+            "speedup",
+        ],
     );
     for k in [3usize, 5, 7, 9, 11] {
         let sys = parallel_branch_copy_pair(k);
@@ -595,8 +667,7 @@ pub fn e10_scaling() -> Table {
         let states = res.1.states;
         debug_assert!(res.0.holds());
         let (_, u_p) = time_us(|| {
-            pairwise_safe_df(sys.txn(TxnId(0)), sys.txn(TxnId(1)))
-                .expect("certified");
+            pairwise_safe_df(sys.txn(TxnId(0)), sys.txn(TxnId(1))).expect("certified");
         });
         t.row(&[
             format!("{k}"),
@@ -620,7 +691,13 @@ pub fn e11_local_detection(seeds: u64) -> Table {
          but is blind to the distributed one — the operational face of the \
          paper's \"in a distributed database the issues become more \
          complicated\" and the reason §5's *static* certification matters.",
-        &["database", "policy", "committed", "deadlocked runs", "cycles detected"],
+        &[
+            "database",
+            "policy",
+            "committed",
+            "deadlocked runs",
+            "cycles detected",
+        ],
     );
     let mk = |db: Database| {
         let (x, y) = (EntityId(0), EntityId(1));
@@ -642,8 +719,14 @@ pub fn e11_local_detection(seeds: u64) -> Table {
     let centralized = mk(ddlf_model::Database::centralized(2));
     for (dbname, sys) in [("two sites", &distributed), ("one site", &centralized)] {
         for (pname, policy) in [
-            ("DetectLocal 1ms", DeadlockPolicy::DetectLocal { period_us: 1_000 }),
-            ("Detect 1ms (global)", DeadlockPolicy::Detect { period_us: 1_000 }),
+            (
+                "DetectLocal 1ms",
+                DeadlockPolicy::DetectLocal { period_us: 1_000 },
+            ),
+            (
+                "Detect 1ms (global)",
+                DeadlockPolicy::Detect { period_us: 1_000 },
+            ),
         ] {
             let mut committed = 0;
             let mut stalls = 0;
@@ -676,7 +759,11 @@ pub fn e11_local_detection(seeds: u64) -> Table {
 /// Runs every experiment with default sizes (used by `paper-tables` and
 /// smoke-tested in CI).
 pub fn all_experiments(quick: bool) -> Vec<Table> {
-    let (e4_n, e5_n, e8_n, e9_n) = if quick { (4, 10, 10, 3) } else { (12, 40, 40, 20) };
+    let (e4_n, e5_n, e8_n, e9_n) = if quick {
+        (4, 10, 10, 3)
+    } else {
+        (12, 40, 40, 20)
+    };
     vec![
         e1_fig1(),
         e2_fig2(),

@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        note: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, note: impl Into<String>, columns: &[&str]) -> Self {
         Self {
             title: title.into(),
             note: note.into(),
@@ -44,7 +40,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for r in &self.rows {
             out.push_str(&format!("| {} |\n", r.join(" | ")));

@@ -9,6 +9,9 @@
 //! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
 //! ddlf-audit run      system.json [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]
 //! ddlf-audit dot      system.json          # Graphviz rendering
+//! ddlf-audit serve    <addr> [--threads K] [--inflate k|auto]
+//! ddlf-audit submit   <addr> system.json [--txns N] [--template NAME] [--inflate k|auto]
+//!                     [--expect-zero-aborts] [--shutdown]
 //! ```
 //!
 //! `run` executes the system on the `ddlf-engine` key-value store:
@@ -16,7 +19,17 @@
 //! back to wait-die. `--inflate k` asks for `k` concurrent instances per
 //! template (certified up front, floored to 1 on rejection); `--inflate
 //! auto` searches for the largest certified uniform k up to the worker
-//! count. The admission plan is printed either way.
+//! count. The admission plan is printed either way. The exit code is the
+//! audit: nonzero unless every instance committed **and** the committed
+//! history audited serializable (`D(S)` said yes, not merely "no abort
+//! was seen").
+//!
+//! `serve` exposes the same engine over TCP (`ddlf-server`'s framed
+//! binary protocol) and blocks until a client sends `Shutdown`; `submit`
+//! registers a spec with a running server, executes instances over the
+//! wire, prints the server's audited report, and exits with the same
+//! code contract as `run` (plus `--expect-zero-aborts`, which also fails
+//! the exit code on any wait-die retry — the certified path's promise).
 //!
 //! The command logic lives in this library crate so it is unit-testable;
 //! `main.rs` only parses arguments.
@@ -26,8 +39,10 @@
 use ddlf_core::{certify_safe_and_deadlock_free, CertifyOptions, Explorer};
 use ddlf_engine::{AdmissionOptions, Inflation};
 use ddlf_model::{SystemSpec, TransactionSystem};
+use ddlf_server::{Client, InflateSpec, ServeConfig, Server};
 use ddlf_sim::{run, DeadlockPolicy, SimConfig};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// The `--inflate` argument of `run`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,12 +94,58 @@ pub enum Command {
         /// Path to the spec JSON.
         spec: String,
     },
+    /// `serve <addr> [--threads K] [--inflate k|auto]`
+    Serve {
+        /// Address to bind (e.g. `127.0.0.1:7471`, or port `0` for
+        /// ephemeral).
+        addr: String,
+        /// Worker threads per submission run.
+        threads: usize,
+        /// Server-side default inflation, applied when a registration
+        /// does not request one.
+        inflate: Option<InflateArg>,
+    },
+    /// `submit <addr> <spec> [--txns N] [--template NAME] [--inflate k|auto]
+    /// [--expect-zero-aborts] [--shutdown]`
+    Submit {
+        /// Address of a running `ddlf-audit serve`.
+        addr: String,
+        /// Path to the spec JSON to register.
+        spec: String,
+        /// Transaction instances to execute over the wire.
+        txns: usize,
+        /// Submit only this template (default: round-robin over all).
+        template: Option<String>,
+        /// Requested per-template concurrency, certified by the server.
+        inflate: Option<InflateArg>,
+        /// Fail the exit code if any attempt aborted (the certified
+        /// path's zero-abort promise, asserted end to end).
+        expect_zero_aborts: bool,
+        /// Send `Shutdown` after reporting, stopping the server.
+        shutdown: bool,
+    },
+}
+
+/// Parses `--inflate`'s value (`auto` or a `k ≥ 1`).
+fn parse_inflate(v: &str) -> Result<InflateArg, String> {
+    if v == "auto" {
+        return Ok(InflateArg::Auto);
+    }
+    let k: usize = v
+        .parse()
+        .map_err(|e| format!("bad --inflate: {e} (want a k ≥ 1 or `auto`)"))?;
+    if k == 0 {
+        return Err("bad --inflate: k must be ≥ 1".to_string());
+    }
+    Ok(InflateArg::Uniform(k))
 }
 
 /// Parses CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
+    // Second positional: a spec path for the analysis commands, the
+    // server address for the wire commands.
     let spec = it.next().ok_or_else(usage)?.clone();
     match cmd.as_str() {
         "certify" => Ok(Command::Certify { spec }),
@@ -125,18 +186,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--threads" => threads = parse_value(&rest, &mut i, "--threads")?,
                     "--inflate" => {
-                        let v = take_value(&rest, &mut i, "--inflate")?;
-                        inflate = Some(if v == "auto" {
-                            InflateArg::Auto
-                        } else {
-                            let k: usize = v
-                                .parse()
-                                .map_err(|e| format!("bad --inflate: {e} (want a k ≥ 1 or `auto`)"))?;
-                            if k == 0 {
-                                return Err("bad --inflate: k must be ≥ 1".to_string());
-                            }
-                            InflateArg::Uniform(k)
-                        });
+                        inflate = Some(parse_inflate(take_value(&rest, &mut i, "--inflate")?)?);
                     }
                     "--force-fallback" => {
                         force_fallback = true;
@@ -153,6 +203,76 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 force_fallback,
             })
         }
+        "serve" => {
+            let addr = spec;
+            let mut threads = 4usize;
+            let mut inflate = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--threads" => threads = parse_value(&rest, &mut i, "--threads")?,
+                    "--inflate" => {
+                        inflate = Some(parse_inflate(take_value(&rest, &mut i, "--inflate")?)?);
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                threads,
+                inflate,
+            })
+        }
+        "submit" => {
+            let addr = spec;
+            let mut it2 = it;
+            let spec = it2
+                .next()
+                .ok_or_else(|| format!("submit needs <addr> <spec.json>\n{}", usage()))?
+                .clone();
+            let mut txns = 64usize;
+            let mut template = None;
+            let mut inflate = None;
+            let mut expect_zero_aborts = false;
+            let mut shutdown = false;
+            let rest: Vec<&String> = it2.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--txns" => {
+                        txns = parse_value(&rest, &mut i, "--txns")?;
+                        if txns > u32::MAX as usize {
+                            return Err(format!("bad --txns: {txns} exceeds {}", u32::MAX));
+                        }
+                    }
+                    "--template" => {
+                        template = Some(take_value(&rest, &mut i, "--template")?.to_string());
+                    }
+                    "--inflate" => {
+                        inflate = Some(parse_inflate(take_value(&rest, &mut i, "--inflate")?)?);
+                    }
+                    "--expect-zero-aborts" => {
+                        expect_zero_aborts = true;
+                        i += 1;
+                    }
+                    "--shutdown" => {
+                        shutdown = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Submit {
+                addr,
+                spec,
+                txns,
+                template,
+                inflate,
+                expect_zero_aborts,
+                shutdown,
+            })
+        }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -167,7 +287,11 @@ fn take_value<'a>(rest: &[&'a String], i: &mut usize, flag: &str) -> Result<&'a 
 }
 
 /// [`take_value`] plus `FromStr` parsing with a uniform error shape.
-fn parse_value<T: std::str::FromStr>(rest: &[&String], i: &mut usize, flag: &str) -> Result<T, String>
+fn parse_value<T: std::str::FromStr>(
+    rest: &[&String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
 {
@@ -179,8 +303,114 @@ where
 fn usage() -> String {
     "usage: ddlf-audit <certify|deadlock|simulate|run|dot> <system.json> \
      [--policy nothing|detect|wound-wait|wait-die] [--seeds N] \
-     [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]"
+     [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]\n\
+     \x20      ddlf-audit serve <addr> [--threads K] [--inflate k|auto]\n\
+     \x20      ddlf-audit submit <addr> <system.json> [--txns N] [--template NAME] \
+     [--inflate k|auto] [--expect-zero-aborts] [--shutdown]"
         .to_string()
+}
+
+/// The exit-code contract of `run` and `submit`: success requires that
+/// every instance committed **and** the committed history *audited*
+/// serializable. An unauditable run (`serializable == None` with
+/// instances submitted — a dirty abort voided the audit, or the audit
+/// itself failed) is a failure too; previously it exited 0, which the
+/// CI wire-smoke step cannot tolerate.
+pub fn audit_exit_failure(
+    instances: usize,
+    all_committed: bool,
+    dirty_aborts: usize,
+    serializable: Option<bool>,
+) -> bool {
+    !all_committed || dirty_aborts > 0 || (instances > 0 && serializable != Some(true))
+}
+
+/// Maps the CLI `--inflate` argument onto the wire protocol's request.
+/// `Auto` sends an uncapped search; the server clamps the cap to its
+/// own worker count (slots beyond the workers cannot be exploited).
+fn wire_inflate(inflate: Option<InflateArg>) -> InflateSpec {
+    match inflate {
+        None => InflateSpec::None,
+        Some(InflateArg::Uniform(k)) => InflateSpec::Uniform(u32::try_from(k).unwrap_or(u32::MAX)),
+        Some(InflateArg::Auto) => InflateSpec::Auto { cap: u32::MAX },
+    }
+}
+
+/// `serve`: binds the wire server and blocks until a client sends
+/// `Shutdown`. Prints the bound address first (port `0` resolves to an
+/// ephemeral port).
+pub fn run_serve(addr: &str, threads: usize, inflate: Option<InflateArg>) -> Result<(), String> {
+    let cfg = ServeConfig {
+        threads: threads.max(1),
+        default_inflate: wire_inflate(inflate),
+        ..Default::default()
+    };
+    let server = Server::bind(addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("ddlf-server listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("serve error: {e}"))
+}
+
+/// `submit`: registers `spec_json` with a running server, executes the
+/// requested instances over the wire, and reports. Returns the report
+/// text plus the exit code ([`audit_exit_failure`], strengthened by
+/// `--expect-zero-aborts`). Connection/registration failures exit 2.
+pub fn run_submit(cmd: &Command, spec_json: &str) -> (String, i32) {
+    let Command::Submit {
+        addr,
+        txns,
+        template,
+        inflate,
+        expect_zero_aborts,
+        shutdown,
+        ..
+    } = cmd
+    else {
+        return ("run_submit requires a submit command\n".to_string(), 2);
+    };
+    let mut out = String::new();
+    let mut client = match Client::connect_retry(addr.clone(), Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => return (format!("cannot connect to {addr}: {e}\n"), 2),
+    };
+    let reg = match client.register(spec_json, wire_inflate(*inflate)) {
+        Ok(r) => r,
+        Err(e) => return (format!("register failed: {e}\n"), 2),
+    };
+    let _ = writeln!(out, "admission: {}", reg.verdict);
+    let _ = write!(out, "{}", reg.render_plan());
+    let count = u32::try_from(*txns).expect("checked at parse time");
+    let stats = match template {
+        Some(name) => client.submit(name, count),
+        None => client.submit_all(count),
+    };
+    let stats = match stats {
+        Ok(s) => s,
+        Err(e) => return (out + &format!("submit failed: {e}\n"), 2),
+    };
+    let _ = writeln!(out, "run: {}", stats.summary());
+    match client.report() {
+        Ok(cumulative) => {
+            let _ = writeln!(out, "cumulative: {}", cumulative.summary());
+        }
+        Err(e) => return (out + &format!("report failed: {e}\n"), 2),
+    }
+    if *shutdown {
+        match client.shutdown() {
+            Ok(()) => {
+                let _ = writeln!(out, "server shutting down");
+            }
+            Err(e) => return (out + &format!("shutdown failed: {e}\n"), 2),
+        }
+    }
+    let bad = audit_exit_failure(
+        stats.instances as usize,
+        stats.all_committed(),
+        stats.dirty_aborts as usize,
+        stats.serializable,
+    ) || (*expect_zero_aborts && stats.aborted_attempts > 0);
+    (out, i32::from(bad))
 }
 
 /// Loads a system from a spec JSON string.
@@ -194,16 +424,18 @@ pub fn load_system(json: &str) -> Result<TransactionSystem, String> {
 /// report text (exit code 0) or an analysis-failure text (exit code 1).
 pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
     match cmd {
-        Command::Certify { .. } => match certify_safe_and_deadlock_free(sys, CertifyOptions::default()) {
-            Ok(cert) => (
-                format!(
-                    "CERTIFIED: every schedule is serializable and every partial \
+        Command::Certify { .. } => {
+            match certify_safe_and_deadlock_free(sys, CertifyOptions::default()) {
+                Ok(cert) => (
+                    format!(
+                        "CERTIFIED: every schedule is serializable and every partial \
                      schedule completable.\ncertificate: {cert:?}\n"
+                    ),
+                    0,
                 ),
-                0,
-            ),
-            Err(v) => (format!("REJECTED: {v}\n"), 1),
-        },
+                Err(v) => (format!("REJECTED: {v}\n"), 1),
+            }
+        }
         Command::Deadlock { .. } => {
             let ex = Explorer::new(sys, 20_000_000);
             let (verdict, stats) = ex.find_deadlock();
@@ -311,12 +543,21 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                 engine.store().total_versions(),
                 engine.store().total_int()
             );
-            let bad = !report.all_committed()
-                || report.serializable == Some(false)
-                || report.dirty_aborts > 0;
+            let bad = audit_exit_failure(
+                report.instances,
+                report.all_committed(),
+                report.dirty_aborts,
+                report.serializable,
+            );
             (out, i32::from(bad))
         }
         Command::Dot { .. } => (ddlf_model::dot::system_to_dot(sys), 0),
+        // The wire commands talk to a server instead of a loaded system;
+        // `main` dispatches them to `run_serve` / `run_submit`.
+        Command::Serve { .. } | Command::Submit { .. } => (
+            "internal error: wire commands are dispatched in main\n".to_string(),
+            2,
+        ),
     }
 }
 
@@ -343,7 +584,12 @@ mod tests {
     #[test]
     fn parse_commands() {
         let c = parse_args(&["certify".into(), "f.json".into()]).unwrap();
-        assert_eq!(c, Command::Certify { spec: "f.json".into() });
+        assert_eq!(
+            c,
+            Command::Certify {
+                spec: "f.json".into()
+            }
+        );
         let c = parse_args(&[
             "simulate".into(),
             "f.json".into(),
@@ -369,12 +615,22 @@ mod tests {
     #[test]
     fn certify_good_and_bad() {
         let sys = load_system(SPEC).unwrap();
-        let (out, code) = execute(&Command::Certify { spec: String::new() }, &sys);
+        let (out, code) = execute(
+            &Command::Certify {
+                spec: String::new(),
+            },
+            &sys,
+        );
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("CERTIFIED"));
 
         let sys = load_system(DEADLOCKY).unwrap();
-        let (out, code) = execute(&Command::Certify { spec: String::new() }, &sys);
+        let (out, code) = execute(
+            &Command::Certify {
+                spec: String::new(),
+            },
+            &sys,
+        );
         assert_eq!(code, 1);
         assert!(out.contains("REJECTED"));
     }
@@ -382,13 +638,23 @@ mod tests {
     #[test]
     fn deadlock_check_outputs_witness() {
         let sys = load_system(DEADLOCKY).unwrap();
-        let (out, code) = execute(&Command::Deadlock { spec: String::new() }, &sys);
+        let (out, code) = execute(
+            &Command::Deadlock {
+                spec: String::new(),
+            },
+            &sys,
+        );
         assert_eq!(code, 1);
         assert!(out.contains("DEADLOCK REACHABLE"));
         assert!(out.contains("T1 L"));
 
         let sys = load_system(SPEC).unwrap();
-        let (out, code) = execute(&Command::Deadlock { spec: String::new() }, &sys);
+        let (out, code) = execute(
+            &Command::Deadlock {
+                spec: String::new(),
+            },
+            &sys,
+        );
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("DEADLOCK-FREE"));
     }
@@ -465,12 +731,8 @@ mod tests {
         assert_eq!(inflate, Some(InflateArg::Auto));
 
         assert!(parse_args(&["run".into(), "f".into(), "--inflate".into()]).is_err());
-        assert!(
-            parse_args(&["run".into(), "f".into(), "--inflate".into(), "0".into()]).is_err()
-        );
-        assert!(
-            parse_args(&["run".into(), "f".into(), "--inflate".into(), "x".into()]).is_err()
-        );
+        assert!(parse_args(&["run".into(), "f".into(), "--inflate".into(), "0".into()]).is_err());
+        assert!(parse_args(&["run".into(), "f".into(), "--inflate".into(), "x".into()]).is_err());
     }
 
     #[test]
@@ -539,9 +801,148 @@ mod tests {
     }
 
     #[test]
+    fn audit_exit_contract() {
+        // Clean certified run: every instance committed, audit said yes.
+        assert!(!audit_exit_failure(8, true, 0, Some(true)));
+        // The audit finding a non-serializable history is a failure even
+        // when everything committed.
+        assert!(audit_exit_failure(8, true, 0, Some(false)));
+        // An unauditable run (dirty abort voided the audit) fails too —
+        // the pre-fix behavior exited 0 here.
+        assert!(audit_exit_failure(8, true, 0, None));
+        assert!(audit_exit_failure(8, true, 1, Some(true)));
+        assert!(audit_exit_failure(8, false, 0, Some(true)));
+        // A deliberately empty run has nothing to audit.
+        assert!(!audit_exit_failure(0, true, 0, None));
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        let c = parse_args(&[
+            "serve".into(),
+            "127.0.0.1:7471".into(),
+            "--threads".into(),
+            "8".into(),
+            "--inflate".into(),
+            "auto".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:7471".into(),
+                threads: 8,
+                inflate: Some(InflateArg::Auto),
+            }
+        );
+        assert!(parse_args(&["serve".into()]).is_err());
+        assert!(parse_args(&["serve".into(), "a".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_submit_command() {
+        let c = parse_args(&[
+            "submit".into(),
+            "127.0.0.1:7471".into(),
+            "f.json".into(),
+            "--txns".into(),
+            "32".into(),
+            "--template".into(),
+            "T1".into(),
+            "--inflate".into(),
+            "4".into(),
+            "--expect-zero-aborts".into(),
+            "--shutdown".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Submit {
+                addr: "127.0.0.1:7471".into(),
+                spec: "f.json".into(),
+                txns: 32,
+                template: Some("T1".into()),
+                inflate: Some(InflateArg::Uniform(4)),
+                expect_zero_aborts: true,
+                shutdown: true,
+            }
+        );
+        assert!(
+            parse_args(&["submit".into(), "addr".into()]).is_err(),
+            "spec required"
+        );
+        assert!(parse_args(&["submit".into(), "a".into(), "f".into(), "--what".into()]).is_err());
+    }
+
+    /// End-to-end through the wire layer: an in-process server, the
+    /// `submit` verb against it (certified spec, zero aborts,
+    /// serializable), then `--shutdown` stops the serve loop.
+    #[test]
+    fn submit_round_trips_against_a_live_server() {
+        let server =
+            ddlf_server::Server::bind("127.0.0.1:0", ddlf_server::ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let cmd = Command::Submit {
+            addr: addr.clone(),
+            spec: String::new(),
+            txns: 16,
+            template: None,
+            inflate: Some(InflateArg::Uniform(2)),
+            expect_zero_aborts: true,
+            shutdown: false,
+        };
+        let (out, code) = run_submit(&cmd, SPEC);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("certified"), "{out}");
+        assert!(out.contains("k = 2"), "{out}");
+        assert!(out.contains("committed 16/16"), "{out}");
+        assert!(out.contains("cumulative:"), "{out}");
+
+        // A second `submit` invocation re-registers, which *replaces*
+        // the engine: fresh store, fresh cumulative counters.
+        let cmd = Command::Submit {
+            addr,
+            spec: String::new(),
+            txns: 16,
+            template: None,
+            inflate: Some(InflateArg::Uniform(2)),
+            expect_zero_aborts: true,
+            shutdown: true,
+        };
+        let (out, code) = run_submit(&cmd, SPEC);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("cumulative: committed 16/16"), "{out}");
+        assert!(out.contains("server shutting down"), "{out}");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn submit_against_a_dead_address_fails_cleanly() {
+        let cmd = Command::Submit {
+            addr: "127.0.0.1:1".into(), // reserved port, nothing listens
+            spec: String::new(),
+            txns: 4,
+            template: None,
+            inflate: None,
+            expect_zero_aborts: false,
+            shutdown: false,
+        };
+        let (out, code) = run_submit(&cmd, SPEC);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("cannot connect"), "{out}");
+    }
+
+    #[test]
     fn dot_renders() {
         let sys = load_system(SPEC).unwrap();
-        let (out, code) = execute(&Command::Dot { spec: String::new() }, &sys);
+        let (out, code) = execute(
+            &Command::Dot {
+                spec: String::new(),
+            },
+            &sys,
+        );
         assert_eq!(code, 0);
         assert!(out.contains("digraph"));
     }

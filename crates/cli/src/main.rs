@@ -9,7 +9,21 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // The wire commands talk to a server; everything else loads a spec
+    // file and runs locally.
     let path = match &cmd {
+        ddlf_cli::Command::Serve {
+            addr,
+            threads,
+            inflate,
+        } => match ddlf_cli::run_serve(addr, *threads, *inflate) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        ddlf_cli::Command::Submit { spec, .. } => spec.clone(),
         ddlf_cli::Command::Certify { spec }
         | ddlf_cli::Command::Deadlock { spec }
         | ddlf_cli::Command::Simulate { spec, .. }
@@ -23,6 +37,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let ddlf_cli::Command::Submit { .. } = &cmd {
+        // The server parses and certifies the spec; ship it verbatim.
+        let (out, code) = ddlf_cli::run_submit(&cmd, &json);
+        print!("{out}");
+        std::process::exit(code);
+    }
     let sys = match ddlf_cli::load_system(&json) {
         Ok(s) => s,
         Err(e) => {

@@ -195,9 +195,7 @@ mod tests {
                         ops.push(Op::unlock(EntityId(e)));
                     }
                 }
-                txns.push(
-                    Transaction::from_total_order(format!("T{t}"), &ops, &db).unwrap(),
-                );
+                txns.push(Transaction::from_total_order(format!("T{t}"), &ops, &db).unwrap());
             }
             let sys = TransactionSystem::new(db, txns).unwrap();
             let cert = certify_safe_and_deadlock_free(&sys, CertifyOptions::default());
@@ -205,7 +203,10 @@ mod tests {
             let (ground, _) = ex.find_conflict_cycle();
             match (&cert, &ground) {
                 (Ok(_), v) => {
-                    assert!(v.holds(), "trial {trial}: certified but ground truth violated");
+                    assert!(
+                        v.holds(),
+                        "trial {trial}: certified but ground truth violated"
+                    );
                     certified += 1;
                 }
                 (Err(_), v) => {

@@ -153,7 +153,10 @@ mod tests {
         b.lock_unlock(EntityId(0));
         b.lock_unlock(EntityId(1));
         let t = b.build(&db).unwrap();
-        assert_eq!(copies_safe_df(&t).unwrap_err(), CopiesViolation::NoFirstLock);
+        assert_eq!(
+            copies_safe_df(&t).unwrap_err(),
+            CopiesViolation::NoFirstLock
+        );
     }
 
     #[test]

@@ -155,8 +155,7 @@ mod tests {
         let sys = ring_system(3);
         match many_safe_df(&sys, ManyOptions::default()).unwrap_err() {
             ManyViolation::Cycle(w) => {
-                let kind = classify_violation(&sys, &w.schedule, 5_000_000)
-                    .expect("classifiable");
+                let kind = classify_violation(&sys, &w.schedule, 5_000_000).expect("classifiable");
                 // 2PL ring: safe but deadlock-prone → Doomed.
                 assert!(!kind.is_unsafe(), "2PL ring should diagnose as Doomed");
             }

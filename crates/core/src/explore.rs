@@ -12,9 +12,7 @@
 //! the honest baseline in the E10 scaling experiment.
 
 use crate::reduction::{DeadlockPrefix, ReductionGraph};
-use ddlf_model::{
-    EntityId, GlobalNode, NodeId, Schedule, SystemPrefix, TransactionSystem, TxnId,
-};
+use ddlf_model::{EntityId, GlobalNode, NodeId, Schedule, SystemPrefix, TransactionSystem, TxnId};
 use std::collections::{HashMap, HashSet};
 
 /// Result of an exhaustive search.
@@ -95,8 +93,7 @@ impl<'a> Explorer<'a> {
     /// transaction is unfinished and *no* legal move exists. `Holds` means
     /// the system is deadlock-free.
     pub fn find_deadlock(&self) -> (Verdict<Schedule>, SearchStats) {
-        self.run(Goal::Deadlock)
-            .map_counterexample(|w| w.schedule)
+        self.run(Goal::Deadlock).map_counterexample(|w| w.schedule)
     }
 
     /// Searches for a deadlock prefix by testing the reduction graph of
@@ -109,9 +106,7 @@ impl<'a> Explorer<'a> {
             Verdict::Holds => Verdict::Holds,
             Verdict::Inconclusive { states } => Verdict::Inconclusive { states },
             Verdict::CounterExample(w) => {
-                let prefix = w
-                    .prefix
-                    .expect("deadlock-prefix goal returns the prefix");
+                let prefix = w.prefix.expect("deadlock-prefix goal returns the prefix");
                 let cycle = w.cycle.expect("deadlock-prefix goal returns the cycle");
                 Verdict::CounterExample(DeadlockPrefix {
                     prefix,
@@ -142,10 +137,7 @@ impl<'a> Explorer<'a> {
         let mut search = Search {
             sys: self.sys,
             goal,
-            track_conflicts: matches!(
-                goal,
-                Goal::ConflictCycle | Goal::UnserializableComplete
-            ),
+            track_conflicts: matches!(goal, Goal::ConflictCycle | Goal::UnserializableComplete),
             max_states: self.max_states,
             cur: SystemPrefix::empty(self.sys.txns()),
             holders: HashMap::new(),
@@ -199,7 +191,10 @@ struct ConflictArcs {
 
 impl ConflictArcs {
     fn new(d: usize) -> Self {
-        assert!(d <= 64, "exhaustive explorer supports at most 64 transactions");
+        assert!(
+            d <= 64,
+            "exhaustive explorer supports at most 64 transactions"
+        );
         Self { rows: vec![0; d] }
     }
 
@@ -352,17 +347,13 @@ impl Search<'_> {
                 self.cur.of_mut(t).push(n);
                 self.path.push(GlobalNode::new(t, n));
 
-                let result = if cyclic_now
-                    && matches!(self.goal, Goal::ConflictCycle)
-                {
+                let result = if cyclic_now && matches!(self.goal, Goal::ConflictCycle) {
                     Some(Witness {
                         schedule: Schedule::from_steps(self.path.clone()),
                         prefix: None,
                         cycle: None,
                     })
-                } else if cyclic_now
-                    && matches!(self.goal, Goal::UnserializableComplete)
-                {
+                } else if cyclic_now && matches!(self.goal, Goal::UnserializableComplete) {
                     // D is cyclic; any completion of this partial schedule
                     // is non-serializable. Try to complete it.
                     self.try_complete().map(|s| Witness {
@@ -432,7 +423,11 @@ mod tests {
     use super::*;
     use ddlf_model::{Database, Op, Transaction};
 
-    fn pair(t1_order: &[(bool, u32)], t2_order: &[(bool, u32)], n_entities: usize) -> TransactionSystem {
+    fn pair(
+        t1_order: &[(bool, u32)],
+        t2_order: &[(bool, u32)],
+        n_entities: usize,
+    ) -> TransactionSystem {
         let db = Database::one_entity_per_site(n_entities);
         let mk = |name: &str, ops: &[(bool, u32)]| {
             let ops: Vec<Op> = ops
@@ -523,7 +518,9 @@ mod tests {
         let ex = Explorer::new(&sys, 1_000_000);
         assert!(ex.find_deadlock().0.holds(), "no deadlock possible");
         let (unsafe_v, _) = ex.find_unserializable();
-        let w = unsafe_v.counterexample().expect("non-serializable schedule");
+        let w = unsafe_v
+            .counterexample()
+            .expect("non-serializable schedule");
         assert!(!w.is_serializable(&sys).unwrap());
         // Lemma 1 must flag it too (safe+DF is violated).
         assert!(ex.find_conflict_cycle().0.violated());
@@ -536,7 +533,10 @@ mod tests {
         let sys = deadlocky();
         let ex = Explorer::new(&sys, 1_000_000);
         assert!(ex.find_conflict_cycle().0.violated());
-        assert!(ex.find_unserializable().0.holds(), "complete schedules are serializable");
+        assert!(
+            ex.find_unserializable().0.holds(),
+            "complete schedules are serializable"
+        );
     }
 
     #[test]
@@ -550,9 +550,12 @@ mod tests {
     #[test]
     fn single_transaction_trivially_fine() {
         let db = Database::one_entity_per_site(1);
-        let t =
-            Transaction::from_total_order("T", &[Op::lock(EntityId(0)), Op::unlock(EntityId(0))], &db)
-                .unwrap();
+        let t = Transaction::from_total_order(
+            "T",
+            &[Op::lock(EntityId(0)), Op::unlock(EntityId(0))],
+            &db,
+        )
+        .unwrap();
         let sys = TransactionSystem::new(db, vec![t]).unwrap();
         let ex = Explorer::new(&sys, 10_000);
         assert!(ex.find_deadlock().0.holds());

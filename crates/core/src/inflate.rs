@@ -214,10 +214,8 @@ fn certify_inflated_cached(
         let map = inflated.map();
         let i = map.copy_of(t, 0).expect("k ≥ 2");
         let j = map.copy_of(t, 1).expect("k ≥ 2");
-        match crate::pairwise::pairwise_safe_df(
-            inflated.system().txn(i),
-            inflated.system().txn(j),
-        ) {
+        match crate::pairwise::pairwise_safe_df(inflated.system().txn(i), inflated.system().txn(j))
+        {
             Err(violation) => Violation::Pair { i, j, violation },
             // Corollary 3 and Theorem 3 agree on self-pairs; defensively
             // fall through to the full certifier if they ever diverge.

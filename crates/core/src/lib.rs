@@ -34,6 +34,7 @@ pub mod tirri;
 
 pub use certify::{certify_safe_and_deadlock_free, Certificate, CertifyOptions, Violation};
 pub use copies::{copies_safe_df, CopiesCertificate, CopiesViolation};
+pub use diagnose::{classify_violation, ViolationKind};
 pub use explore::{Explorer, SearchStats, Verdict};
 pub use inflate::{
     certify_inflated, max_certified_inflation, DfFallback, InflateOptions, InflationCertificate,
@@ -41,8 +42,9 @@ pub use inflate::{
 };
 pub use lu_pair::{is_lock_unlock_shaped, lu_pair_deadlock_prefix, LuWitness};
 pub use many::{many_safe_df, CycleWitness, ManyCertificate, ManyOptions, ManyViolation};
-pub use pairwise::{pairwise_safe_df, pairwise_safe_df_minimal_prefix, PairCertificate, PairViolation};
-pub use diagnose::{classify_violation, ViolationKind};
+pub use pairwise::{
+    pairwise_safe_df, pairwise_safe_df_minimal_prefix, PairCertificate, PairViolation,
+};
 pub use reduction::{
     check_deadlock_prefix, complete_schedule, find_schedule_for_prefix, DeadlockPrefix,
     ReductionGraph,

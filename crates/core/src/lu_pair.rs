@@ -223,10 +223,8 @@ pub fn lu_pair_deadlock_prefix(
                     }
                 }
                 let prefix = SystemPrefix::new(vec![p0, p1]);
-                let cycle: Vec<GlobalNode> = path
-                    .iter()
-                    .map(|&i| sys.from_global_index(i))
-                    .collect();
+                let cycle: Vec<GlobalNode> =
+                    path.iter().map(|&i| sys.from_global_index(i)).collect();
 
                 debug_assert!(
                     crate::reduction::ReductionGraph::build(sys, &prefix).is_cyclic(),
@@ -296,10 +294,7 @@ mod tests {
         assert!(dp.cycle.len() >= 8, "cycle runs through ≥ 4 entities");
         // But Tirri's two-entity pattern misses it (the paper's point).
         assert_eq!(
-            crate::tirri::tirri_two_entity_pattern(
-                sys.txn(TxnId(0)),
-                sys.txn(TxnId(1))
-            ),
+            crate::tirri::tirri_two_entity_pattern(sys.txn(TxnId(0)), sys.txn(TxnId(1))),
             None
         );
     }
@@ -311,7 +306,10 @@ mod tests {
         let t2 = fig2_txn(&db, "T2");
         let sys = TransactionSystem::new(db, vec![t1, t2]).unwrap();
         let ex = Explorer::new(&sys, 5_000_000);
-        assert!(ex.find_deadlock().0.violated(), "operational deadlock reachable");
+        assert!(
+            ex.find_deadlock().0.violated(),
+            "operational deadlock reachable"
+        );
         assert!(ex.find_deadlock_prefix().0.violated());
     }
 
@@ -401,6 +399,9 @@ mod tests {
             }
         }
         assert!(found_some > 0, "sample should contain some deadlocks");
-        assert!(found_some < 60, "sample should contain some deadlock-free pairs");
+        assert!(
+            found_some < 60,
+            "sample should contain some deadlock-free pairs"
+        );
     }
 }

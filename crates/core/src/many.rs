@@ -148,8 +148,7 @@ pub fn many_safe_df(
                 orderings_checked += 1;
                 // Ordered traversal with `ordered[k-1]` as the last
                 // transaction.
-                let ordered: Vec<usize> =
-                    (0..k).map(|p| dir[(p + rot) % k]).collect();
+                let ordered: Vec<usize> = (0..k).map(|p| dir[(p + rot) % k]).collect();
                 if let Some(witness) = try_normal_form(sys, &ordered, &pair_first) {
                     return Err(ManyViolation::Cycle(Box::new(witness)));
                 }
@@ -198,9 +197,7 @@ fn try_normal_form(
             // … and every entity of transactions other than
             // T_{i-1}, Tᵢ, T_{i+1} (cyclically).
             for (q_pos, &q) in ordered.iter().enumerate() {
-                let neighbour = q_pos == p
-                    || q_pos == p - 1
-                    || q_pos == (p + 1) % k;
+                let neighbour = q_pos == p || q_pos == p - 1 || q_pos == (p + 1) % k;
                 if !neighbour {
                     avoid.union_with(sys.txn(TxnId::from_index(q)).entity_set());
                 }
@@ -251,10 +248,7 @@ fn try_normal_form(
     };
 
     Some(CycleWitness {
-        cycle: ordered
-            .iter()
-            .map(|&i| TxnId::from_index(i))
-            .collect(),
+        cycle: ordered.iter().map(|&i| TxnId::from_index(i)).collect(),
         prefix: sp,
         schedule,
         conflict_cycle,

@@ -130,11 +130,7 @@ pub fn pairwise_safe_df(
 /// other common entities in both transactions, if one exists. (In a finite
 /// partial order a unique minimal element is the minimum, so it suffices
 /// to check each candidate.)
-fn find_common_first(
-    t1: &Transaction,
-    t2: &Transaction,
-    common: &[EntityId],
-) -> Option<EntityId> {
+fn find_common_first(t1: &Transaction, t2: &Transaction, common: &[EntityId]) -> Option<EntityId> {
     'cand: for &x in common {
         let l1x = t1.lock_node_of(x).expect("common");
         let l2x = t2.lock_node_of(x).expect("common");
@@ -162,9 +158,9 @@ fn minimal_locks(t: &Transaction, common: &[EntityId]) -> Vec<EntityId> {
         .copied()
         .filter(|&y| {
             let ly = t.lock_node_of(y).expect("common");
-            !common.iter().any(|&z| {
-                z != y && t.precedes(t.lock_node_of(z).expect("common"), ly)
-            })
+            !common
+                .iter()
+                .any(|&z| z != y && t.precedes(t.lock_node_of(z).expect("common"), ly))
         })
         .collect()
 }
@@ -372,11 +368,8 @@ mod tests {
         let cert = pairwise_safe_df(&t1, &t2).unwrap();
         assert_eq!(cert.first, Some(EntityId(0)));
         // y=1 covered by x=0; z=2 covered by y=1.
-        let cov: std::collections::HashMap<_, _> = cert
-            .coverage
-            .iter()
-            .map(|&(y, z1, _)| (y, z1))
-            .collect();
+        let cov: std::collections::HashMap<_, _> =
+            cert.coverage.iter().map(|&(y, z1, _)| (y, z1)).collect();
         assert_eq!(cov[&EntityId(1)], EntityId(0));
         assert_eq!(cov[&EntityId(2)], EntityId(1));
         pairwise_safe_df_minimal_prefix(&t1, &t2).unwrap();

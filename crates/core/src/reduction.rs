@@ -17,9 +17,7 @@
 //! operational deadlock state is reached, and — crucially for partial
 //! orders — acyclicity does **not** imply completability.
 
-use ddlf_model::{
-    DiGraph, GlobalNode, NodeId, Schedule, SystemPrefix, TransactionSystem, TxnId,
-};
+use ddlf_model::{DiGraph, GlobalNode, NodeId, Schedule, SystemPrefix, TransactionSystem, TxnId};
 
 /// The reduction graph of a system prefix.
 #[derive(Debug, Clone)]
@@ -191,8 +189,7 @@ pub fn find_schedule_for_prefix(
 ) -> Option<Schedule> {
     let start = SystemPrefix::empty(sys.txns());
     let holders = std::collections::HashMap::new();
-    find_schedule_for_prefix_from(sys, target, &start, &holders, budget)
-        .map(Schedule::from_steps)
+    find_schedule_for_prefix_from(sys, target, &start, &holders, budget).map(Schedule::from_steps)
 }
 
 /// Attempts to extend a legal partial schedule to a complete one

@@ -14,9 +14,7 @@
 //!   is safe (made executable for test sizes; contrast with Fig. 3, where
 //!   the same reduction *fails* for deadlock-freedom).
 
-use ddlf_model::{
-    linear_extensions, Database, Op, Transaction, TransactionSystem,
-};
+use ddlf_model::{linear_extensions, Database, Op, Transaction, TransactionSystem};
 
 /// Whether the transaction is two-phase locked **as a partial order**:
 /// every `Lock` node precedes every `Unlock` node, so *every linear
@@ -239,11 +237,10 @@ mod tests {
             };
             let t1 = mk(&mut rng, "T1");
             let t2 = mk(&mut rng, "T2");
-            let sys =
-                TransactionSystem::new(dbr.clone(), vec![t1.clone(), t2.clone()]).unwrap();
+            let sys = TransactionSystem::new(dbr.clone(), vec![t1.clone(), t2.clone()]).unwrap();
             let direct = is_safe_exhaustive(&sys, 5_000_000).expect("budget");
-            let via_ext = safety_reduces_to_extensions(&t1, &t2, &dbr, 800, 2_000_000)
-                .expect("caps");
+            let via_ext =
+                safety_reduces_to_extensions(&t1, &t2, &dbr, 800, 2_000_000).expect("caps");
             assert_eq!(direct, via_ext, "trial {trial}: [KP2] reduction mismatch");
             if !direct {
                 unsafe_seen += 1;

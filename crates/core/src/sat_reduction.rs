@@ -35,8 +35,8 @@
 
 use crate::lu_pair::LuWitness;
 use ddlf_model::{
-    Database, EntityId, GlobalNode, NodeId, Prefix, SystemPrefix, Transaction,
-    TransactionSystem, TxnId,
+    Database, EntityId, GlobalNode, NodeId, Prefix, SystemPrefix, Transaction, TransactionSystem,
+    TxnId,
 };
 use ddlf_sat::{Assignment, Cnf, VarOccurrences};
 
@@ -90,12 +90,11 @@ impl SatReduction {
                 lock_of.insert(e, l);
                 unlock_of.insert(e, u);
             }
-            let arc =
-                |b: &mut ddlf_model::TransactionBuilder, from: EntityId, to: EntityId| {
-                    let l = lock_of[&from];
-                    let u = unlock_of[&to];
-                    b.arc(l, u);
-                };
+            let arc = |b: &mut ddlf_model::TransactionBuilder, from: EntityId, to: EntityId| {
+                let l = lock_of[&from];
+                let u = unlock_of[&to];
+                b.arc(l, u);
+            };
             // Shared: Lc′ᵢ → Ucᵢ.
             for i in 0..r {
                 arc(&mut b, cp[i], c[i]);
@@ -261,7 +260,9 @@ mod tests {
     fn unsatisfying_assignment_rejected() {
         let f = Cnf::paper_example();
         let red = SatReduction::build(&f).unwrap();
-        assert!(red.prefix_from_assignment(&f, &vec![false, false]).is_none());
+        assert!(red
+            .prefix_from_assignment(&f, &vec![false, false])
+            .is_none());
     }
 
     #[test]
@@ -274,7 +275,10 @@ mod tests {
             .expect("satisfiable ⇒ deadlock prefix");
         // The recovered assignment satisfies the formula.
         let a = red.assignment_from_cycle(&w.cycle);
-        assert!(f.evaluate(&a), "cycle-extracted assignment {a:?} must satisfy {f}");
+        assert!(
+            f.evaluate(&a),
+            "cycle-extracted assignment {a:?} must satisfy {f}"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::template::{AdmissionOptions, TemplateRegistry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ddlf_model::{EntityId, Prefix, Transaction, TransactionSystem, TxnId};
 use ddlf_sim::SharedHistory;
+use parking_lot::Mutex;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::time::{Duration, Instant};
@@ -81,6 +82,10 @@ pub struct Engine {
     registry: TemplateRegistry,
     store: Store,
     cfg: EngineConfig,
+    /// Cumulative outcome of every run so far, maintained by
+    /// [`Report::absorb`]; `None` until the first non-empty run. Behind a
+    /// mutex so concurrent runs (e.g. wire submissions) merge safely.
+    cumulative: Mutex<Option<Report>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -126,6 +131,7 @@ impl Engine {
             registry,
             store,
             cfg,
+            cumulative: Mutex::new(None),
         }
     }
 
@@ -137,6 +143,7 @@ impl Engine {
             registry,
             store,
             cfg,
+            cumulative: Mutex::new(None),
         }
     }
 
@@ -155,13 +162,14 @@ impl Engine {
         self.registry.verdict().is_certified() && !self.cfg.force_fallback
     }
 
-    /// Runs `cfg.instances` instances on `cfg.threads` workers and
-    /// reports. Reusable; the store accumulates writes across runs.
+    /// Runs `cfg.instances` instances (assigned round-robin over the
+    /// registered templates) on `cfg.threads` workers and reports.
+    /// Reusable; the store accumulates writes across runs and the
+    /// outcome folds into [`Engine::report_snapshot`].
     pub fn run(&self) -> Report {
         let sys = self.registry.system().clone();
-        let shared = SharedHistory::new();
         if sys.is_empty() || self.cfg.instances == 0 {
-            return self.build_report(&sys, &[], &[], shared, Duration::ZERO);
+            return self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO);
         }
         let instances: Vec<Instance> = (0..self.cfg.instances)
             .map(|i| Instance {
@@ -169,7 +177,67 @@ impl Engine {
                 template: TxnId::from_index(i % sys.len().max(1)),
             })
             .collect();
+        self.run_instances(instances)
+    }
 
+    /// Runs an explicit per-template mix — `count` instances of each
+    /// listed template, interleaved round-robin across the entries — on
+    /// `cfg.threads` workers (ignoring `cfg.instances`). This is the
+    /// submission path of the wire server, where clients pick templates
+    /// by name instead of taking the uniform round-robin of
+    /// [`Engine::run`].
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when a `TxnId` does not name a
+    /// registered template or the total instance count exceeds
+    /// `u32::MAX` (instance ids double as wait-die timestamps).
+    pub fn run_mix(&self, mix: &[(TxnId, usize)]) -> Report {
+        let sys = self.registry.system().clone();
+        for &(t, _) in mix {
+            assert!(
+                t.index() < sys.len(),
+                "run_mix: {t} is not a registered template ({} registered)",
+                sys.len()
+            );
+        }
+        let total: usize = mix.iter().map(|&(_, n)| n).sum();
+        if sys.is_empty() || total == 0 {
+            return self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO);
+        }
+        u32::try_from(total).expect("instance count fits u32");
+        let mut remaining: Vec<(TxnId, usize)> = mix.to_vec();
+        let mut instances = Vec::with_capacity(total);
+        // Interleave entries so concurrent templates mix like `run`'s
+        // round-robin rather than executing in submission blocks.
+        while instances.len() < total {
+            for (t, left) in &mut remaining {
+                if *left > 0 {
+                    *left -= 1;
+                    instances.push(Instance {
+                        id: instances.len() as u32,
+                        template: *t,
+                    });
+                }
+            }
+        }
+        self.run_instances(instances)
+    }
+
+    /// The cumulative outcome of every run so far (sums of counters,
+    /// conjunction of audit verdicts, high-water marks) without running
+    /// anything — the `Report` RPC of the wire server reads this. Before
+    /// the first run it reports the registered system with zero
+    /// instances and `serializable: None`.
+    pub fn report_snapshot(&self) -> Report {
+        let sys = self.registry.system().clone();
+        self.cumulative.lock().clone().unwrap_or_else(|| {
+            self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO)
+        })
+    }
+
+    fn run_instances(&self, instances: Vec<Instance>) -> Report {
+        let sys = self.registry.system().clone();
+        let shared = SharedHistory::new();
         let (work_tx, work_rx) = unbounded::<Instance>();
         for inst in &instances {
             work_tx.send(*inst).expect("receiver alive");
@@ -178,7 +246,10 @@ impl Engine {
 
         // Per-run multiprogramming accounting starts fresh.
         for t in 0..self.registry.len() {
-            self.registry.template(TxnId::from_index(t)).gate().reset_peak();
+            self.registry
+                .template(TxnId::from_index(t))
+                .gate()
+                .reset_peak();
         }
 
         let (done_tx, done_rx) = unbounded::<(u32, Outcome)>();
@@ -198,7 +269,13 @@ impl Engine {
         for (id, out) in done_rx.iter() {
             outcomes[id as usize] = out;
         }
-        self.build_report(&sys, &instances, &outcomes, shared, wall)
+        let report = self.build_report(&sys, &instances, &outcomes, shared, wall);
+        let mut cumulative = self.cumulative.lock();
+        match cumulative.as_mut() {
+            Some(acc) => acc.absorb(&report),
+            None => *cumulative = Some(report.clone()),
+        }
+        report
     }
 
     fn worker(
@@ -248,7 +325,8 @@ impl Engine {
                     out.dirty_aborts += u32::from(dirty);
                     let jitter = rng.gen_range(0..=self.cfg.backoff.as_micros() as u64);
                     std::thread::sleep(
-                        self.cfg.backoff + Duration::from_micros(jitter * (1 + u64::from(attempt % 4))),
+                        self.cfg.backoff
+                            + Duration::from_micros(jitter * (1 + u64::from(attempt % 4))),
                     );
                 }
             }
@@ -476,7 +554,10 @@ impl Engine {
             plan_floored: self.registry.plan().floored,
             forced_fallback: self.cfg.force_fallback,
             instances: instances.len(),
-            committed: outcomes.iter().filter(|o| o.committed_attempt.is_some()).count(),
+            committed: outcomes
+                .iter()
+                .filter(|o| o.committed_attempt.is_some())
+                .count(),
             aborted_attempts: outcomes.iter().map(|o| o.aborts as usize).sum(),
             dirty_aborts,
             failed,

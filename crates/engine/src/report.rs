@@ -36,6 +36,24 @@ impl LatencyStats {
     }
 }
 
+impl LatencyStats {
+    /// Merges another distribution in, weighting the means by committed
+    /// counts. Percentiles cannot be merged exactly without the raw
+    /// samples, so `p50`/`p99`/`max` take the worse (larger) of the two —
+    /// a conservative cumulative view.
+    fn absorb(&mut self, other: &Self, self_weight: usize, other_weight: usize) {
+        let total = self_weight + other_weight;
+        if total == 0 {
+            return;
+        }
+        self.mean_us = (self.mean_us * self_weight as f64 + other.mean_us * other_weight as f64)
+            / total as f64;
+        self.p50_us = self.p50_us.max(other.p50_us);
+        self.p99_us = self.p99_us.max(other.p99_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
 /// Per-template outcome of one run: the certified multiprogramming level
 /// next to what the run actually achieved.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,6 +157,48 @@ impl Report {
         )
     }
 
+    /// Folds the outcome of one more run into this (cumulative) report:
+    /// counters add, `wall` accumulates, `serializable` is the
+    /// three-valued conjunction of run verdicts — a confirmed violation
+    /// (`Some(false)`) is absorbing and is never masked by a later
+    /// unauditable run; `Some(true)` degrades to `None` once any audited
+    /// run could not produce a verdict — per-template peaks take the
+    /// high-water mark, and latency percentiles merge conservatively
+    /// (worse-of). The engine uses this to maintain the snapshot behind
+    /// [`Engine::report_snapshot`](crate::Engine::report_snapshot);
+    /// empty runs (`run.instances == 0`) are identity.
+    pub fn absorb(&mut self, run: &Report) {
+        if run.instances == 0 {
+            return;
+        }
+        self.serializable = if self.instances == 0 {
+            run.serializable
+        } else {
+            match (self.serializable, run.serializable) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }
+        };
+        self.latency
+            .absorb(&run.latency, self.committed, run.committed);
+        self.instances += run.instances;
+        self.committed += run.committed;
+        self.aborted_attempts += run.aborted_attempts;
+        self.dirty_aborts += run.dirty_aborts;
+        self.failed.extend_from_slice(&run.failed);
+        self.reads += run.reads;
+        self.writes += run.writes;
+        self.wall += run.wall;
+        self.history_len += run.history_len;
+        debug_assert_eq!(self.per_template.len(), run.per_template.len());
+        for (acc, t) in self.per_template.iter_mut().zip(&run.per_template) {
+            acc.peak_inflight = acc.peak_inflight.max(t.peak_inflight);
+            acc.committed += t.committed;
+            acc.aborted_attempts += t.aborted_attempts;
+        }
+    }
+
     /// A per-template table: certified k, achieved peak, commits, aborts.
     pub fn template_table(&self) -> String {
         use std::fmt::Write as _;
@@ -166,6 +226,51 @@ mod tests {
         assert_eq!(s.max_us, 100);
         assert!((s.mean_us - 50.5).abs() < 1e-9);
         assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+
+    fn run_report(serializable: Option<bool>) -> Report {
+        Report {
+            verdict: AdmissionVerdict::Certified,
+            plan_floored: false,
+            forced_fallback: false,
+            instances: 4,
+            committed: 4,
+            aborted_attempts: 0,
+            dirty_aborts: 0,
+            failed: vec![],
+            reads: 0,
+            writes: 0,
+            wall: Duration::from_millis(1),
+            serializable,
+            history_len: 0,
+            latency: LatencyStats::default(),
+            per_template: vec![],
+        }
+    }
+
+    #[test]
+    fn absorb_serializable_is_a_three_valued_conjunction() {
+        // A confirmed violation is absorbing — a later unauditable run
+        // must not mask it back to None.
+        let mut acc = run_report(Some(false));
+        acc.absorb(&run_report(None));
+        assert_eq!(acc.serializable, Some(false));
+        acc.absorb(&run_report(Some(true)));
+        assert_eq!(acc.serializable, Some(false));
+
+        // Some(true) degrades to None under an unauditable run…
+        let mut acc = run_report(Some(true));
+        acc.absorb(&run_report(None));
+        assert_eq!(acc.serializable, None);
+        // …and None picks a violation back up.
+        acc.absorb(&run_report(Some(false)));
+        assert_eq!(acc.serializable, Some(false));
+
+        // All-clear stays all-clear, and counters accumulate.
+        let mut acc = run_report(Some(true));
+        acc.absorb(&run_report(Some(true)));
+        assert_eq!(acc.serializable, Some(true));
+        assert_eq!(acc.instances, 8);
     }
 
     #[test]

@@ -132,13 +132,10 @@ impl Shard {
 
 impl ShardState {
     fn read(&mut self, entity: EntityId) -> VersionedValue {
-        self.values
-            .get(&entity)
-            .cloned()
-            .unwrap_or(VersionedValue {
-                version: 0,
-                datum: Datum::Int(0),
-            })
+        self.values.get(&entity).cloned().unwrap_or(VersionedValue {
+            version: 0,
+            datum: Datum::Int(0),
+        })
     }
 
     fn apply(&mut self, entity: EntityId, write: &WriteOp) {

@@ -197,7 +197,11 @@ impl AdmissionPlan {
         let _ = writeln!(
             out,
             "admission plan{}: {}",
-            if self.floored { " (floored to k=1)" } else { "" },
+            if self.floored {
+                " (floored to k=1)"
+            } else {
+                ""
+            },
             self.rationale
         );
         for (t, txn) in sys.iter() {
@@ -584,8 +588,8 @@ mod tests {
         let fwd = [Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)];
         let rev = [Op::lock(y), Op::lock(x), Op::unlock(y), Op::unlock(x)];
         let t1 = Transaction::from_total_order("T1", &fwd, &db).unwrap();
-        let t2 = Transaction::from_total_order("T2", if same_order { &fwd } else { &rev }, &db)
-            .unwrap();
+        let t2 =
+            Transaction::from_total_order("T2", if same_order { &fwd } else { &rev }, &db).unwrap();
         TransactionSystem::new(db, vec![t1, t2]).unwrap()
     }
 

@@ -11,7 +11,10 @@ use std::fmt::Write as _;
 pub fn transaction_to_dot(txn: &Transaction, db: &Database) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", txn.name());
-    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];");
+    let _ = writeln!(
+        out,
+        "  rankdir=TB; node [shape=box, fontname=\"monospace\"];"
+    );
     // Group nodes by site for visual clustering.
     for site in 0..db.site_count() {
         let nodes: Vec<_> = txn

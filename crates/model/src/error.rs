@@ -96,10 +96,16 @@ impl fmt::Display for ModelError {
                 write!(f, "transaction precedence is cyclic (through {on_cycle})")
             }
             ModelError::LockCount { entity, count } => {
-                write!(f, "entity {entity} has {count} Lock nodes, expected exactly 1")
+                write!(
+                    f,
+                    "entity {entity} has {count} Lock nodes, expected exactly 1"
+                )
             }
             ModelError::UnlockCount { entity, count } => {
-                write!(f, "entity {entity} has {count} Unlock nodes, expected exactly 1")
+                write!(
+                    f,
+                    "entity {entity} has {count} Unlock nodes, expected exactly 1"
+                )
             }
             ModelError::LockNotBeforeUnlock { entity } => {
                 write!(f, "Lock {entity} does not precede Unlock {entity}")

@@ -131,7 +131,9 @@ impl DiGraph {
     /// # Panics
     /// Panics if the graph has a cycle.
     pub fn transitive_closure(&self) -> BitMatrix {
-        let order = self.topo_order().expect("transitive_closure requires a DAG");
+        let order = self
+            .topo_order()
+            .expect("transitive_closure requires a DAG");
         let mut m = BitMatrix::new(self.len());
         // Process in reverse topological order so each vertex's row is final
         // before its predecessors consume it.
@@ -152,8 +154,7 @@ impl DiGraph {
         for u in 0..self.len() {
             for &v in &self.succ[u] {
                 let v = v as usize;
-                let redundant = self
-                    .succ[u]
+                let redundant = self.succ[u]
                     .iter()
                     .any(|&w| (w as usize) != v && closure.get(w as usize, v));
                 if !redundant && !g.succ[u].contains(&(v as u32)) {
@@ -295,7 +296,16 @@ impl UnGraph {
             path.clear();
             path.push(s);
             on_path[s] = true;
-            dfs(self, s, s, &mut path, &mut on_path, &mut cycles, min_len, limit);
+            dfs(
+                self,
+                s,
+                s,
+                &mut path,
+                &mut on_path,
+                &mut cycles,
+                min_len,
+                limit,
+            );
             on_path[s] = false;
         }
         cycles

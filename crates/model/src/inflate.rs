@@ -210,9 +210,7 @@ mod tests {
         );
         assert_eq!(
             base.inflate(&[1, 0]).unwrap_err(),
-            ModelError::ZeroInflation {
-                template: TxnId(1)
-            }
+            ModelError::ZeroInflation { template: TxnId(1) }
         );
     }
 

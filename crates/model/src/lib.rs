@@ -76,6 +76,6 @@ pub use linext::{count_linear_extensions, for_each_linear_extension, linear_exte
 pub use op::{Op, OpKind};
 pub use prefix::{Prefix, SystemPrefix};
 pub use schedule::{replay_prefix, ConflictGraph, Schedule, ValidSchedule};
-pub use system::TransactionSystem;
 pub use spec::{EntitySpec, SpecError, SystemSpec, TransactionSpec};
+pub use system::TransactionSystem;
 pub use txn::{Transaction, TransactionBuilder};

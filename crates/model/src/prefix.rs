@@ -32,10 +32,7 @@ impl Prefix {
 
     /// Builds a prefix from an explicit node set, verifying downward
     /// closure (every predecessor of a member is a member).
-    pub fn from_nodes(
-        txn: &Transaction,
-        nodes: impl IntoIterator<Item = NodeId>,
-    ) -> Option<Self> {
+    pub fn from_nodes(txn: &Transaction, nodes: impl IntoIterator<Item = NodeId>) -> Option<Self> {
         let mut executed = BitSet::new(txn.node_count());
         for n in nodes {
             if n.index() >= txn.node_count() {
@@ -106,10 +103,7 @@ impl Prefix {
     /// the candidates for execution next.
     pub fn ready_nodes(&self, txn: &Transaction) -> Vec<NodeId> {
         txn.nodes()
-            .filter(|&n| {
-                !self.contains(n)
-                    && txn.predecessors(n).iter().all(|&p| self.contains(p))
-            })
+            .filter(|&n| !self.contains(n) && txn.predecessors(n).iter().all(|&p| self.contains(p)))
             .collect()
     }
 
@@ -307,7 +301,10 @@ mod tests {
 
     fn seq_txn(db: &Database, name: &str, order: &[usize]) -> Transaction {
         // Locks all entities in `order`, then unlocks in the same order (2PL).
-        let locks: Vec<Op> = order.iter().map(|&i| Op::lock(EntityId::from_index(i))).collect();
+        let locks: Vec<Op> = order
+            .iter()
+            .map(|&i| Op::lock(EntityId::from_index(i)))
+            .collect();
         let unlocks: Vec<Op> = order
             .iter()
             .map(|&i| Op::unlock(EntityId::from_index(i)))

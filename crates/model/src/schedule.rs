@@ -162,11 +162,7 @@ impl Schedule {
             if accessors.len() < 2 {
                 continue;
             }
-            let lockers: &[TxnId] = v
-                .lock_order
-                .get(&e)
-                .map(Vec::as_slice)
-                .unwrap_or(&[]);
+            let lockers: &[TxnId] = v.lock_order.get(&e).map(Vec::as_slice).unwrap_or(&[]);
             let locked: HashSet<TxnId> = lockers.iter().copied().collect();
             // Arcs among lockers in lock order, and from each locker to
             // every accessor that has not locked e in S.
@@ -206,7 +202,10 @@ impl Schedule {
     /// Returns `Err` if the schedule is illegal or incomplete.
     pub fn is_serializable(&self, sys: &TransactionSystem) -> Result<bool, ModelError> {
         let v = self.validate(sys)?;
-        debug_assert!(v.complete, "serializability is defined for complete schedules");
+        debug_assert!(
+            v.complete,
+            "serializability is defined for complete schedules"
+        );
         Ok(!self.conflict_digraph(sys, &v).graph.has_cycle())
     }
 
@@ -361,7 +360,13 @@ mod tests {
             GlobalNode::new(TxnId(1), NodeId(2)),
         ]);
         let err = s.validate(&sys).unwrap_err();
-        assert!(matches!(err, ModelError::LockHeld { holder: TxnId(0), .. }));
+        assert!(matches!(
+            err,
+            ModelError::LockHeld {
+                holder: TxnId(0),
+                ..
+            }
+        ));
     }
 
     #[test]

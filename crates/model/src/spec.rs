@@ -82,7 +82,10 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::BadOp { txn, op } => {
-                write!(f, "transaction {txn:?}: malformed op {op:?} (want \"L x\" / \"U x\")")
+                write!(
+                    f,
+                    "transaction {txn:?}: malformed op {op:?} (want \"L x\" / \"U x\")"
+                )
             }
             SpecError::UnknownEntity { txn, entity } => {
                 write!(f, "transaction {txn:?}: unknown entity {entity:?}")

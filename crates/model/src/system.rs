@@ -112,7 +112,10 @@ impl TransactionSystem {
             }
             Err(i) => i - 1,
         };
-        GlobalNode::new(TxnId::from_index(t), NodeId::from_index(idx - self.offsets[t]))
+        GlobalNode::new(
+            TxnId::from_index(t),
+            NodeId::from_index(idx - self.offsets[t]),
+        )
     }
 
     /// `R(Tᵢ) ∩ R(Tⱼ)`: the common entities of two transactions.
@@ -129,7 +132,10 @@ impl TransactionSystem {
         let mut g = UnGraph::new(n);
         for i in 0..n {
             for j in (i + 1)..n {
-                if !self.txns[i].entity_set().is_disjoint(self.txns[j].entity_set()) {
+                if !self.txns[i]
+                    .entity_set()
+                    .is_disjoint(self.txns[j].entity_set())
+                {
                     g.add_edge(i, j);
                 }
             }
@@ -181,7 +187,11 @@ mod tests {
         let db = db();
         let sys = TransactionSystem::new(
             db.clone(),
-            vec![t(&db, "A", &[0, 1]), t(&db, "B", &[1, 2]), t(&db, "C", &[2])],
+            vec![
+                t(&db, "A", &[0, 1]),
+                t(&db, "B", &[1, 2]),
+                t(&db, "C", &[2]),
+            ],
         )
         .unwrap();
         let g = sys.interaction_graph();
@@ -194,8 +204,9 @@ mod tests {
     #[test]
     fn common_entities() {
         let db = db();
-        let sys = TransactionSystem::new(db.clone(), vec![t(&db, "A", &[0, 1]), t(&db, "B", &[1, 2])])
-            .unwrap();
+        let sys =
+            TransactionSystem::new(db.clone(), vec![t(&db, "A", &[0, 1]), t(&db, "B", &[1, 2])])
+                .unwrap();
         let c = sys.common_entities(TxnId(0), TxnId(1));
         assert_eq!(c.iter().collect::<Vec<_>>(), vec![1]);
     }
@@ -233,8 +244,8 @@ mod tests {
     #[test]
     fn used_entities_union() {
         let db = db();
-        let sys = TransactionSystem::new(db.clone(), vec![t(&db, "A", &[0]), t(&db, "B", &[2])])
-            .unwrap();
+        let sys =
+            TransactionSystem::new(db.clone(), vec![t(&db, "A", &[0]), t(&db, "B", &[2])]).unwrap();
         assert_eq!(sys.used_entities().iter().collect::<Vec<_>>(), vec![0, 2]);
     }
 
@@ -243,6 +254,9 @@ mod tests {
         let db = db();
         let sys = TransactionSystem::new(db.clone(), vec![t(&db, "A", &[0])]).unwrap();
         assert!(sys.check_txn(TxnId(0)).is_ok());
-        assert_eq!(sys.check_txn(TxnId(1)), Err(ModelError::UnknownTxn(TxnId(1))));
+        assert_eq!(
+            sys.check_txn(TxnId(1)),
+            Err(ModelError::UnknownTxn(TxnId(1)))
+        );
     }
 }

@@ -337,11 +337,17 @@ impl TransactionBuilder {
         for &e in &entities {
             let lc = lock_counts.get(&e).copied().unwrap_or(0);
             if lc != 1 {
-                return Err(ModelError::LockCount { entity: e, count: lc });
+                return Err(ModelError::LockCount {
+                    entity: e,
+                    count: lc,
+                });
             }
             let uc = unlock_counts.get(&e).copied().unwrap_or(0);
             if uc != 1 {
-                return Err(ModelError::UnlockCount { entity: e, count: uc });
+                return Err(ModelError::UnlockCount {
+                    entity: e,
+                    count: uc,
+                });
             }
             let (l, u) = (lock_node[&e], unlock_node[&e]);
             if !reach.get(l.index(), u.index()) {
@@ -479,7 +485,10 @@ mod tests {
         b.lock(x);
         assert_eq!(
             b.build(&db).unwrap_err(),
-            ModelError::UnlockCount { entity: x, count: 0 }
+            ModelError::UnlockCount {
+                entity: x,
+                count: 0
+            }
         );
     }
 
@@ -493,7 +502,10 @@ mod tests {
         b.chain(&[l1, l2, u]);
         assert_eq!(
             b.build(&db).unwrap_err(),
-            ModelError::LockCount { entity: x, count: 2 }
+            ModelError::LockCount {
+                entity: x,
+                count: 2
+            }
         );
     }
 
@@ -503,7 +515,10 @@ mod tests {
         let mut b = Transaction::builder("T");
         let lx = b.lock(x);
         b.arc(lx, NodeId(77));
-        assert_eq!(b.build(&db).unwrap_err(), ModelError::UnknownNode(NodeId(77)));
+        assert_eq!(
+            b.build(&db).unwrap_err(),
+            ModelError::UnknownNode(NodeId(77))
+        );
     }
 
     #[test]

@@ -124,8 +124,12 @@ impl Cnf {
     /// Evaluates the formula under a full assignment.
     pub fn evaluate(&self, a: &Assignment) -> bool {
         self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| a.get(l.var.index()).copied().map(|v| l.satisfied_by(v)).unwrap_or(false))
+            c.iter().any(|l| {
+                a.get(l.var.index())
+                    .copied()
+                    .map(|v| l.satisfied_by(v))
+                    .unwrap_or(false)
+            })
         })
     }
 

@@ -1,0 +1,607 @@
+//! The wire protocol: request/response enums with a compact binary
+//! encoding, following the `ddlf_sim::msg` conventions (1-byte tag,
+//! little-endian fixed-width integers, length-prefixed UTF-8 strings).
+//!
+//! A protocol unit is one encoded message carried in one
+//! [`ddlf_sim::msg::frame`] frame. Decoding is strict: unknown tags,
+//! short buffers, invalid enum bytes, non-UTF-8 strings, and trailing
+//! garbage all decode to `None`, so a malformed peer can never produce a
+//! misread message — only a rejected one.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ddlf_engine::{Report, TemplateRegistry};
+use std::fmt;
+
+// ---- checked little-endian readers -------------------------------------
+
+fn get_u8(b: &mut Bytes) -> Option<u8> {
+    (b.remaining() >= 1).then(|| Buf::get_u8(b))
+}
+
+fn get_u32(b: &mut Bytes) -> Option<u32> {
+    (b.remaining() >= 4).then(|| Buf::get_u32_le(b))
+}
+
+fn get_u64(b: &mut Bytes) -> Option<u64> {
+    (b.remaining() >= 8).then(|| Buf::get_u64_le(b))
+}
+
+fn get_bool(b: &mut Bytes) -> Option<bool> {
+    match get_u8(b)? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn get_str(b: &mut Bytes) -> Option<String> {
+    let len = get_u32(b)? as usize;
+    if b.remaining() < len {
+        return None;
+    }
+    let s = std::str::from_utf8(&b.chunk()[..len]).ok()?.to_owned();
+    b.advance(len);
+    Some(s)
+}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u32_le(u32::try_from(s.len()).expect("string fits a frame"));
+    b.put_slice(s.as_bytes());
+}
+
+/// `Some(v)` iff the buffer was fully consumed — trailing bytes reject.
+fn finished<T>(b: &Bytes, v: T) -> Option<T> {
+    b.is_empty().then_some(v)
+}
+
+// ---- requests ----------------------------------------------------------
+
+/// The client's requested per-template concurrency, mirroring
+/// `ddlf_engine::Inflation` (minus the per-template vector, which has no
+/// spec-file syntax yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InflateSpec {
+    /// One instance per template.
+    #[default]
+    None,
+    /// The same `k ≥ 1` for every template, certified up front.
+    Uniform(u32),
+    /// Search for the largest certified uniform `k ≤ cap`.
+    Auto {
+        /// Upper bound for the search.
+        cap: u32,
+    },
+}
+
+const INFLATE_NONE: u8 = 0;
+const INFLATE_UNIFORM: u8 = 1;
+const INFLATE_AUTO: u8 = 2;
+
+impl InflateSpec {
+    fn encode_into(self, b: &mut BytesMut) {
+        match self {
+            InflateSpec::None => b.put_u8(INFLATE_NONE),
+            InflateSpec::Uniform(k) => {
+                b.put_u8(INFLATE_UNIFORM);
+                b.put_u32_le(k);
+            }
+            InflateSpec::Auto { cap } => {
+                b.put_u8(INFLATE_AUTO);
+                b.put_u32_le(cap);
+            }
+        }
+    }
+
+    fn decode_from(b: &mut Bytes) -> Option<Self> {
+        match get_u8(b)? {
+            INFLATE_NONE => Some(InflateSpec::None),
+            INFLATE_UNIFORM => Some(InflateSpec::Uniform(get_u32(b)?)),
+            INFLATE_AUTO => Some(InflateSpec::Auto { cap: get_u32(b)? }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InflateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InflateSpec::None => write!(f, "none"),
+            InflateSpec::Uniform(k) => write!(f, "k = {k}"),
+            InflateSpec::Auto { cap } => write!(f, "auto (cap {cap})"),
+        }
+    }
+}
+
+/// A client request. One request per frame; the server answers every
+/// frame with exactly one [`Response`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Install a transaction system from a `ddlf_model::SystemSpec` JSON
+    /// string and certify it at the requested inflation (an
+    /// [`InflateSpec::None`] request adopts the server's default).
+    /// Replaces any previously registered system.
+    RegisterSystem {
+        /// The spec JSON, exactly as `ddlf-audit` reads it from disk.
+        spec_json: String,
+        /// Requested per-template concurrency.
+        inflate: InflateSpec,
+    },
+    /// Execute `count` instances of the template named `template`
+    /// (`""` = round-robin over every registered template, like
+    /// `ddlf-audit run`). Blocks until the run completes.
+    Submit {
+        /// Template name, or empty for all templates.
+        template: String,
+        /// Number of instances.
+        count: u32,
+    },
+    /// Read the cumulative report of every submission so far
+    /// ([`ddlf_engine::Engine::report_snapshot`]); runs nothing.
+    Report,
+    /// Stop accepting connections and exit the serve loop after
+    /// replying.
+    Shutdown,
+}
+
+const REQ_REGISTER: u8 = 1;
+const REQ_SUBMIT: u8 = 2;
+const REQ_REPORT: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+impl Request {
+    /// Encodes to one protocol unit (to be carried in one frame).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        match self {
+            Request::RegisterSystem { spec_json, inflate } => {
+                b.put_u8(REQ_REGISTER);
+                inflate.encode_into(&mut b);
+                put_str(&mut b, spec_json);
+            }
+            Request::Submit { template, count } => {
+                b.put_u8(REQ_SUBMIT);
+                b.put_u32_le(*count);
+                put_str(&mut b, template);
+            }
+            Request::Report => b.put_u8(REQ_REPORT),
+            Request::Shutdown => b.put_u8(REQ_SHUTDOWN),
+        }
+        b.freeze()
+    }
+
+    /// Decodes one protocol unit; `None` on any malformation (including
+    /// trailing bytes).
+    pub fn decode(mut buf: Bytes) -> Option<Request> {
+        let tag = get_u8(&mut buf)?;
+        let req = match tag {
+            REQ_REGISTER => Request::RegisterSystem {
+                inflate: InflateSpec::decode_from(&mut buf)?,
+                spec_json: get_str(&mut buf)?,
+            },
+            REQ_SUBMIT => Request::Submit {
+                count: get_u32(&mut buf)?,
+                template: get_str(&mut buf)?,
+            },
+            REQ_REPORT => Request::Report,
+            REQ_SHUTDOWN => Request::Shutdown,
+            _ => return None,
+        };
+        finished(&buf, req)
+    }
+}
+
+// ---- responses ---------------------------------------------------------
+
+/// One template's slot count in the certified admission plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Template name.
+    pub template: String,
+    /// Certified concurrent slots; `None` = unbounded (Theorem 5).
+    pub slots: Option<u64>,
+}
+
+/// The reply to a successful [`Request::RegisterSystem`]: the admission
+/// verdict and the certified plan, so the client knows up front which
+/// execution path (and concurrency ceiling) its submissions get.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registered {
+    /// Whether the no-detector path is admitted.
+    pub certified: bool,
+    /// Whether the certificate also guarantees serializability (not
+    /// just deadlock-freedom).
+    pub guarantees_safety: bool,
+    /// Whether a requested inflation failed to certify and the plan was
+    /// floored back to `k = 1`.
+    pub floored: bool,
+    /// Human rendering of the admission verdict.
+    pub verdict: String,
+    /// The certifier's rationale (certificate or rejection text).
+    pub rationale: String,
+    /// Per-template certified slots, template order.
+    pub plan: Vec<PlanEntry>,
+}
+
+impl Registered {
+    /// Builds the reply from a freshly registered engine's registry.
+    pub fn from_registry(reg: &TemplateRegistry) -> Self {
+        let plan = reg
+            .system()
+            .iter()
+            .map(|(t, txn)| PlanEntry {
+                template: txn.name().to_string(),
+                slots: reg.plan().slots_of(t).limit().map(|k| k as u64),
+            })
+            .collect();
+        Registered {
+            certified: reg.verdict().is_certified(),
+            guarantees_safety: reg.verdict().guarantees_safety(),
+            floored: reg.plan().floored,
+            verdict: reg.verdict().to_string(),
+            rationale: reg.plan().rationale.clone(),
+            plan,
+        }
+    }
+
+    /// A multi-line human rendering of the admission plan, matching
+    /// `AdmissionPlan::render`'s server-side format so `ddlf-audit run`
+    /// and `ddlf-audit submit` print identical plans for the same
+    /// system.
+    pub fn render_plan(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "admission plan{}: {}",
+            if self.floored {
+                " (floored to k=1)"
+            } else {
+                ""
+            },
+            self.rationale
+        );
+        for entry in &self.plan {
+            let _ = match entry.slots {
+                Some(k) => writeln!(out, "  {:<24} k = {k}", entry.template),
+                None => writeln!(out, "  {:<24} k = ∞", entry.template),
+            };
+        }
+        out
+    }
+}
+
+/// Execution counters of one submission (or the cumulative snapshot),
+/// the wire projection of [`ddlf_engine::Report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Instances submitted.
+    pub instances: u64,
+    /// Instances that ran to commit.
+    pub committed: u64,
+    /// Aborted (and retried) wait-die attempts; always 0 on the
+    /// certified path.
+    pub aborted_attempts: u64,
+    /// Aborts that exposed a write (voids the audit).
+    pub dirty_aborts: u64,
+    /// Instances that exhausted their attempt budget.
+    pub failed: u64,
+    /// Reads performed under locks.
+    pub reads: u64,
+    /// Writes committed to the store.
+    pub writes: u64,
+    /// Wall-clock microseconds.
+    pub wall_us: u64,
+    /// Highest per-template multiprogramming level achieved.
+    pub peak_inflight: u64,
+    /// Lock/unlock events recorded.
+    pub history_len: u64,
+    /// The `D(S)` audit verdict (`None` = not auditable).
+    pub serializable: Option<bool>,
+}
+
+impl RunStats {
+    /// Projects an engine report onto the wire.
+    pub fn from_report(r: &Report) -> Self {
+        RunStats {
+            instances: r.instances as u64,
+            committed: r.committed as u64,
+            aborted_attempts: r.aborted_attempts as u64,
+            dirty_aborts: r.dirty_aborts as u64,
+            failed: r.failed.len() as u64,
+            reads: r.reads,
+            writes: r.writes,
+            wall_us: u64::try_from(r.wall.as_micros()).unwrap_or(u64::MAX),
+            peak_inflight: r.peak_inflight() as u64,
+            history_len: r.history_len as u64,
+            serializable: r.serializable,
+        }
+    }
+
+    /// Whether every submitted instance committed.
+    pub fn all_committed(&self) -> bool {
+        self.committed == self.instances && self.failed == 0
+    }
+
+    /// One-line human summary (client-side mirror of
+    /// `Report::summary`).
+    pub fn summary(&self) -> String {
+        format!(
+            "committed {}/{} aborts {} | {:.0} txn/s | peak k {} | serializable {:?}",
+            self.committed,
+            self.instances,
+            self.aborted_attempts,
+            if self.wall_us == 0 {
+                0.0
+            } else {
+                self.committed as f64 / (self.wall_us as f64 / 1e6)
+            },
+            self.peak_inflight,
+            self.serializable,
+        )
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
+        for v in [
+            self.instances,
+            self.committed,
+            self.aborted_attempts,
+            self.dirty_aborts,
+            self.failed,
+            self.reads,
+            self.writes,
+            self.wall_us,
+            self.peak_inflight,
+            self.history_len,
+        ] {
+            b.put_u64_le(v);
+        }
+        b.put_u8(match self.serializable {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+    }
+
+    fn decode_from(b: &mut Bytes) -> Option<Self> {
+        let mut s = RunStats {
+            instances: get_u64(b)?,
+            committed: get_u64(b)?,
+            aborted_attempts: get_u64(b)?,
+            dirty_aborts: get_u64(b)?,
+            failed: get_u64(b)?,
+            reads: get_u64(b)?,
+            writes: get_u64(b)?,
+            wall_us: get_u64(b)?,
+            peak_inflight: get_u64(b)?,
+            history_len: get_u64(b)?,
+            serializable: None,
+        };
+        s.serializable = match get_u8(b)? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            _ => return None,
+        };
+        Some(s)
+    }
+}
+
+/// Why the server rejected a request (typed, so clients can branch
+/// without string matching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame did not decode to a request.
+    BadRequest,
+    /// Submit/Report before any `RegisterSystem`.
+    NoSystem,
+    /// Submit named a template the registered system does not have.
+    UnknownTemplate,
+    /// The spec JSON failed to parse or build.
+    BadSpec,
+}
+
+const ERR_BAD_REQUEST: u8 = 1;
+const ERR_NO_SYSTEM: u8 = 2;
+const ERR_UNKNOWN_TEMPLATE: u8 = 3;
+const ERR_BAD_SPEC: u8 = 4;
+
+impl ErrorKind {
+    fn to_tag(self) -> u8 {
+        match self {
+            ErrorKind::BadRequest => ERR_BAD_REQUEST,
+            ErrorKind::NoSystem => ERR_NO_SYSTEM,
+            ErrorKind::UnknownTemplate => ERR_UNKNOWN_TEMPLATE,
+            ErrorKind::BadSpec => ERR_BAD_SPEC,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            ERR_BAD_REQUEST => ErrorKind::BadRequest,
+            ERR_NO_SYSTEM => ErrorKind::NoSystem,
+            ERR_UNKNOWN_TEMPLATE => ErrorKind::UnknownTemplate,
+            ERR_BAD_SPEC => ErrorKind::BadSpec,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::BadRequest => "bad request",
+            ErrorKind::NoSystem => "no system registered",
+            ErrorKind::UnknownTemplate => "unknown template",
+            ErrorKind::BadSpec => "bad spec",
+        })
+    }
+}
+
+/// A server reply. Every request frame gets exactly one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `RegisterSystem` succeeded: the verdict and admission plan.
+    Registered(Registered),
+    /// `Submit` ran to completion: that run's counters.
+    Submitted(RunStats),
+    /// `Report`: cumulative counters over every submission so far.
+    Report(RunStats),
+    /// `Shutdown` acknowledged; the server exits its accept loop.
+    ShuttingDown,
+    /// The request was rejected.
+    Error {
+        /// Typed rejection cause.
+        kind: ErrorKind,
+        /// Human detail (e.g. the spec parse error).
+        message: String,
+    },
+}
+
+const RESP_REGISTERED: u8 = 1;
+const RESP_SUBMITTED: u8 = 2;
+const RESP_REPORT: u8 = 3;
+const RESP_SHUTTING_DOWN: u8 = 4;
+const RESP_ERROR: u8 = 5;
+
+const SLOTS_UNBOUNDED: u8 = 0;
+const SLOTS_BOUNDED: u8 = 1;
+
+impl Response {
+    /// Encodes to one protocol unit (to be carried in one frame).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        match self {
+            Response::Registered(r) => {
+                b.put_u8(RESP_REGISTERED);
+                b.put_u8(u8::from(r.certified));
+                b.put_u8(u8::from(r.guarantees_safety));
+                b.put_u8(u8::from(r.floored));
+                put_str(&mut b, &r.verdict);
+                put_str(&mut b, &r.rationale);
+                b.put_u32_le(u32::try_from(r.plan.len()).expect("plan fits a frame"));
+                for entry in &r.plan {
+                    put_str(&mut b, &entry.template);
+                    match entry.slots {
+                        None => b.put_u8(SLOTS_UNBOUNDED),
+                        Some(k) => {
+                            b.put_u8(SLOTS_BOUNDED);
+                            b.put_u64_le(k);
+                        }
+                    }
+                }
+            }
+            Response::Submitted(stats) => {
+                b.put_u8(RESP_SUBMITTED);
+                stats.encode_into(&mut b);
+            }
+            Response::Report(stats) => {
+                b.put_u8(RESP_REPORT);
+                stats.encode_into(&mut b);
+            }
+            Response::ShuttingDown => b.put_u8(RESP_SHUTTING_DOWN),
+            Response::Error { kind, message } => {
+                b.put_u8(RESP_ERROR);
+                b.put_u8(kind.to_tag());
+                put_str(&mut b, message);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes one protocol unit; `None` on any malformation (including
+    /// trailing bytes).
+    pub fn decode(mut buf: Bytes) -> Option<Response> {
+        let tag = get_u8(&mut buf)?;
+        let resp = match tag {
+            RESP_REGISTERED => {
+                let certified = get_bool(&mut buf)?;
+                let guarantees_safety = get_bool(&mut buf)?;
+                let floored = get_bool(&mut buf)?;
+                let verdict = get_str(&mut buf)?;
+                let rationale = get_str(&mut buf)?;
+                let n = get_u32(&mut buf)? as usize;
+                // Each entry is ≥ 5 bytes; bounding up front keeps a
+                // hostile count from pre-allocating unboundedly.
+                if buf.remaining() < n.checked_mul(5)? {
+                    return None;
+                }
+                let mut plan = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let template = get_str(&mut buf)?;
+                    let slots = match get_u8(&mut buf)? {
+                        SLOTS_UNBOUNDED => None,
+                        SLOTS_BOUNDED => Some(get_u64(&mut buf)?),
+                        _ => return None,
+                    };
+                    plan.push(PlanEntry { template, slots });
+                }
+                Response::Registered(Registered {
+                    certified,
+                    guarantees_safety,
+                    floored,
+                    verdict,
+                    rationale,
+                    plan,
+                })
+            }
+            RESP_SUBMITTED => Response::Submitted(RunStats::decode_from(&mut buf)?),
+            RESP_REPORT => Response::Report(RunStats::decode_from(&mut buf)?),
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_ERROR => Response::Error {
+                kind: ErrorKind::from_tag(get_u8(&mut buf)?)?,
+                message: get_str(&mut buf)?,
+            },
+            _ => return None,
+        };
+        finished(&buf, resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_requests_roundtrip() {
+        for req in [Request::Report, Request::Shutdown] {
+            assert_eq!(Request::decode(req.encode()), Some(req));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc: Vec<u8> = Request::Report.encode().as_ref().to_vec();
+        enc.push(0);
+        assert_eq!(Request::decode(Bytes::from(enc)), None);
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert_eq!(Request::decode(Bytes::from_static(&[0])), None);
+        assert_eq!(Request::decode(Bytes::from_static(&[99])), None);
+        assert_eq!(Response::decode(Bytes::from_static(&[0])), None);
+        assert_eq!(Response::decode(Bytes::new()), None);
+    }
+
+    #[test]
+    fn invalid_bool_byte_rejected() {
+        // A Registered reply whose `certified` byte is 2.
+        let mut b = BytesMut::new();
+        b.put_u8(RESP_REGISTERED);
+        b.put_u8(2);
+        assert_eq!(Response::decode(b.freeze()), None);
+    }
+
+    #[test]
+    fn hostile_plan_count_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(RESP_REGISTERED);
+        b.put_u8(1);
+        b.put_u8(1);
+        b.put_u8(0);
+        put_str(&mut b, "verdict");
+        put_str(&mut b, "rationale");
+        b.put_u32_le(u32::MAX); // claims 4 billion plan entries
+        assert_eq!(Response::decode(b.freeze()), None);
+    }
+}

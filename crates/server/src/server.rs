@@ -1,0 +1,307 @@
+//! The blocking TCP server: one accept loop, one worker thread per
+//! connection, all feeding the single shared [`Engine`].
+//!
+//! Connections speak length-prefixed frames ([`ddlf_sim::msg::frame`]),
+//! one [`Request`] per frame, answered by exactly one [`Response`]
+//! frame. A malformed frame gets a typed [`ErrorKind::BadRequest`] reply
+//! rather than a dropped connection, so clients can probe safely.
+//!
+//! Registration *replaces* the engine (a new system means a new store
+//! and a fresh certification); submissions run on the registered engine
+//! with its admission gates shared across connections, so concurrent
+//! clients together still cannot exceed the certified per-template
+//! multiprogramming. Submissions serialize on the engine lock — each
+//! run's wait-die timestamps are per-run instance ids, so two
+//! interleaved runs could not share the store safely.
+
+use crate::proto::{ErrorKind, InflateSpec, Registered, Request, Response, RunStats};
+use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation};
+use ddlf_model::{SystemSpec, TxnId};
+use ddlf_sim::msg::frame;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server tuning: how registered engines are configured.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads per submission run.
+    pub threads: usize,
+    /// Inflation applied when a `RegisterSystem` request asks for
+    /// [`InflateSpec::None`] — the `--inflate` flag of `ddlf-audit
+    /// serve`. An explicit client request always wins.
+    pub default_inflate: InflateSpec,
+    /// Engine knobs for registered systems (`threads`/`instances` are
+    /// overridden per registration/submission).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            default_inflate: InflateSpec::None,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+fn admission_of(inflate: InflateSpec, threads: usize) -> AdmissionOptions {
+    AdmissionOptions {
+        inflate: match inflate {
+            InflateSpec::None => Inflation::None,
+            InflateSpec::Uniform(k) => Inflation::Uniform(k as usize),
+            InflateSpec::Auto { cap } => Inflation::Auto {
+                cap: (cap as usize).clamp(1, threads.max(1)),
+            },
+        },
+        ..Default::default()
+    }
+}
+
+struct Shared {
+    engine: Mutex<Option<Engine>>,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    /// Read-half handles of the *live* connections (keyed by a per-
+    /// connection id), so shutdown can unblock workers parked in
+    /// `read_frame` on idle connections (their next read sees EOF and
+    /// the worker exits cleanly). Workers deregister their entry on
+    /// exit — retaining it would leak one fd per connection ever
+    /// accepted and hold dead peers' sockets half-open.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::RegisterSystem { spec_json, inflate } => self.register(&spec_json, inflate),
+            Request::Submit { template, count } => self.submit(&template, count),
+            Request::Report => match self.engine.lock().as_ref() {
+                Some(engine) => Response::Report(RunStats::from_report(&engine.report_snapshot())),
+                None => no_system(),
+            },
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn register(&self, spec_json: &str, inflate: InflateSpec) -> Response {
+        let spec: SystemSpec = match serde_json::from_str(spec_json) {
+            Ok(s) => s,
+            Err(e) => {
+                return Response::Error {
+                    kind: ErrorKind::BadSpec,
+                    message: format!("spec parse error: {e}"),
+                }
+            }
+        };
+        let sys = match spec.build() {
+            Ok(s) => s,
+            Err(e) => {
+                return Response::Error {
+                    kind: ErrorKind::BadSpec,
+                    message: format!("spec error: {e}"),
+                }
+            }
+        };
+        let requested = if inflate == InflateSpec::None {
+            self.cfg.default_inflate
+        } else {
+            inflate
+        };
+        // The registry treats a zero-copy inflation as a caller bug and
+        // panics; over the wire it is a peer bug, so answer it typed
+        // instead of killing the worker. (A zero `Auto` cap is clamped
+        // to 1 below.)
+        if requested == InflateSpec::Uniform(0) {
+            return Response::Error {
+                kind: ErrorKind::BadRequest,
+                message: "inflation k must be ≥ 1".to_string(),
+            };
+        }
+        let engine = Engine::with_admission(
+            sys,
+            admission_of(requested, self.cfg.threads),
+            EngineConfig {
+                threads: self.cfg.threads,
+                ..self.cfg.engine.clone()
+            },
+        );
+        let reply = Registered::from_registry(engine.registry());
+        *self.engine.lock() = Some(engine);
+        Response::Registered(reply)
+    }
+
+    fn submit(&self, template: &str, count: u32) -> Response {
+        // Hold the engine lock for the whole run: submissions serialize
+        // (wait-die timestamps are per-run ids), registrations cannot
+        // swap the engine mid-run.
+        let guard = self.engine.lock();
+        let Some(engine) = guard.as_ref() else {
+            return no_system();
+        };
+        let sys = engine.registry().system();
+        let mix: Vec<(TxnId, usize)> = if template.is_empty() {
+            // Round-robin over every template, like `Engine::run`.
+            let n = sys.len();
+            (0..n)
+                .map(|i| {
+                    (
+                        TxnId::from_index(i),
+                        count as usize / n + usize::from(i < count as usize % n),
+                    )
+                })
+                .collect()
+        } else {
+            match sys.iter().find(|(_, txn)| txn.name() == template) {
+                Some((t, _)) => vec![(t, count as usize)],
+                None => {
+                    return Response::Error {
+                        kind: ErrorKind::UnknownTemplate,
+                        message: format!("no template named {template:?}"),
+                    }
+                }
+            }
+        };
+        Response::Submitted(RunStats::from_report(&engine.run_mix(&mix)))
+    }
+}
+
+/// Removes a connection's registered read-half handle when its worker
+/// exits, however it exits.
+struct Deregister {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Drop for Deregister {
+    fn drop(&mut self) {
+        self.shared.conns.lock().remove(&self.id);
+    }
+}
+
+fn no_system() -> Response {
+    Response::Error {
+        kind: ErrorKind::NoSystem,
+        message: "register a system first".to_string(),
+    }
+}
+
+/// A bound-but-not-yet-serving TCP front-end over one [`Engine`] slot.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                engine: Mutex::new(None),
+                cfg,
+                shutdown: AtomicBool::new(false),
+                addr,
+                conns: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (read this after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until a [`Request::Shutdown`] arrives, then drains: every
+    /// connection worker is **joined** before this returns, so a request
+    /// that was executing when shutdown arrived still completes and gets
+    /// its reply. Workers parked on idle connections are unblocked by
+    /// shutting down their socket's read half (their client sees a
+    /// normal close).
+    pub fn run(self) -> io::Result<()> {
+        let mut workers = Vec::new();
+        let mut next_conn_id = 0u64;
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ddlf-server: accept error: {e}");
+                    continue;
+                }
+            };
+            // Request/reply traffic is latency-bound small frames;
+            // leaving Nagle on costs a delayed-ACK stall per round-trip.
+            let _ = stream.set_nodelay(true);
+            // Finished workers' handles are dead weight; reap them so a
+            // long-lived server does not accumulate one per connection
+            // ever accepted. (Dropping a finished handle just detaches
+            // an already-exited thread.)
+            workers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+            let conn_id = next_conn_id;
+            next_conn_id += 1;
+            if let Ok(handle) = stream.try_clone() {
+                self.shared.conns.lock().insert(conn_id, handle);
+            }
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || {
+                // Deregister on every exit path (including an unwind):
+                // a stale entry would hold the peer's socket half-open,
+                // so the client never sees EOF and hangs.
+                let _dereg = Deregister {
+                    shared: Arc::clone(&shared),
+                    id: conn_id,
+                };
+                if let Err(e) = serve_connection(stream, &shared) {
+                    // Peer went away mid-frame; their problem, not fatal.
+                    eprintln!("ddlf-server: connection error: {e}");
+                }
+            }));
+        }
+        // Unblock workers waiting for a next request that will never
+        // come; a worker mid-request is left alone — the join below
+        // waits for it to finish executing and reply.
+        for (_, conn) in self.shared.conns.lock().iter() {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Drains one connection: read a frame, decode, handle, reply, repeat
+/// until clean EOF. On `Shutdown`, also wakes the accept loop so
+/// [`Server::run`] returns.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    while let Some(payload) = frame::read_frame(&mut stream)? {
+        let resp = match Request::decode(payload.into()) {
+            Some(req) => shared.handle(req),
+            None => Response::Error {
+                kind: ErrorKind::BadRequest,
+                message: "frame did not decode to a request".to_string(),
+            },
+        };
+        frame::write_frame(&mut stream, resp.encode().as_ref())?;
+        if matches!(resp, Response::ShuttingDown) {
+            // The accept loop is parked in `accept`; poke it so it
+            // observes the flag and exits.
+            let _ = TcpStream::connect(shared.addr);
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! Property tests of the wire protocol: every request/response variant
+//! round-trips (encode→decode identity), every proper prefix of a valid
+//! encoding is rejected (truncated frames never misread), and garbage
+//! headers/buffers are rejected without panicking.
+
+use bytes::Bytes;
+use ddlf_server::{ErrorKind, InflateSpec, PlanEntry, Registered, Request, Response, RunStats};
+use proptest::prelude::*;
+
+/// Draws a printable-ASCII string from raw bytes (the vendored proptest
+/// has no String strategy).
+fn ascii(bytes: Vec<u8>) -> String {
+    bytes.into_iter().map(|b| (b % 94 + 32) as char).collect()
+}
+
+fn request_of(variant: usize, s: String, count: u32, inflate_kind: usize, k: u32) -> Request {
+    let inflate = match inflate_kind {
+        0 => InflateSpec::None,
+        1 => InflateSpec::Uniform(k),
+        _ => InflateSpec::Auto { cap: k },
+    };
+    match variant {
+        0 => Request::RegisterSystem {
+            spec_json: s,
+            inflate,
+        },
+        1 => Request::Submit { template: s, count },
+        2 => Request::Report,
+        _ => Request::Shutdown,
+    }
+}
+
+fn stats_of(fields: Vec<u64>, serializable: usize) -> RunStats {
+    RunStats {
+        instances: fields[0],
+        committed: fields[1],
+        aborted_attempts: fields[2],
+        dirty_aborts: fields[3],
+        failed: fields[4],
+        reads: fields[5],
+        writes: fields[6],
+        wall_us: fields[7],
+        peak_inflight: fields[8],
+        history_len: fields[9],
+        serializable: [None, Some(false), Some(true)][serializable % 3],
+    }
+}
+
+fn response_of(
+    variant: usize,
+    s: String,
+    plan_raw: Vec<(Vec<u8>, u64, bool)>,
+    stats_fields: Vec<u64>,
+    serializable: usize,
+    flags: (bool, bool, bool),
+    err_kind: usize,
+) -> Response {
+    match variant {
+        0 => Response::Registered(Registered {
+            certified: flags.0,
+            guarantees_safety: flags.1,
+            floored: flags.2,
+            verdict: s.clone(),
+            rationale: s,
+            plan: plan_raw
+                .into_iter()
+                .map(|(name, k, unbounded)| PlanEntry {
+                    template: ascii(name),
+                    slots: (!unbounded).then_some(k),
+                })
+                .collect(),
+        }),
+        1 => Response::Submitted(stats_of(stats_fields, serializable)),
+        2 => Response::Report(stats_of(stats_fields, serializable)),
+        3 => Response::ShuttingDown,
+        _ => Response::Error {
+            kind: [
+                ErrorKind::BadRequest,
+                ErrorKind::NoSystem,
+                ErrorKind::UnknownTemplate,
+                ErrorKind::BadSpec,
+            ][err_kind % 4],
+            message: s,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode→decode identity for every request variant.
+    #[test]
+    fn request_roundtrip(
+        variant in 0usize..4,
+        raw in prop::collection::vec(any::<u8>(), 0..120),
+        count in 0u32..=u32::MAX,
+        inflate_kind in 0usize..3,
+        k in 0u32..=u32::MAX,
+    ) {
+        let req = request_of(variant, ascii(raw), count, inflate_kind, k);
+        prop_assert_eq!(Request::decode(req.encode()), Some(req));
+    }
+
+    /// encode→decode identity for every response variant.
+    #[test]
+    fn response_roundtrip(
+        variant in 0usize..5,
+        raw in prop::collection::vec(any::<u8>(), 0..120),
+        plan_raw in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..24), any::<u64>(), any::<bool>()),
+            0..6,
+        ),
+        stats_fields in prop::collection::vec(any::<u64>(), 10..11),
+        serializable in 0usize..3,
+        flags in (any::<bool>(), any::<bool>(), any::<bool>()),
+        err_kind in 0usize..4,
+    ) {
+        let resp = response_of(variant, ascii(raw), plan_raw, stats_fields, serializable, flags, err_kind);
+        prop_assert_eq!(Response::decode(resp.encode()), Some(resp));
+    }
+
+    /// A truncated frame never decodes — to the original *or* anything
+    /// else. Every proper prefix of a valid encoding is rejected.
+    #[test]
+    fn truncated_frames_rejected(
+        variant in 0usize..4,
+        raw in prop::collection::vec(any::<u8>(), 0..60),
+        count in 0u32..=u32::MAX,
+        inflate_kind in 0usize..3,
+        k in 0u32..=u32::MAX,
+    ) {
+        let req = request_of(variant, ascii(raw), count, inflate_kind, k);
+        let enc: Vec<u8> = req.encode().as_ref().to_vec();
+        for cut in 0..enc.len() {
+            prop_assert_eq!(
+                Request::decode(Bytes::from(enc[..cut].to_vec())),
+                None,
+                "prefix of {} bytes out of {} decoded",
+                cut,
+                enc.len()
+            );
+        }
+    }
+
+    /// Response encodings reject truncation the same way.
+    #[test]
+    fn truncated_responses_rejected(
+        stats_fields in prop::collection::vec(any::<u64>(), 10..11),
+        serializable in 0usize..3,
+    ) {
+        let resp = Response::Submitted(stats_of(stats_fields, serializable));
+        let enc: Vec<u8> = resp.encode().as_ref().to_vec();
+        for cut in 0..enc.len() {
+            prop_assert_eq!(Response::decode(Bytes::from(enc[..cut].to_vec())), None);
+        }
+    }
+
+    /// Garbage buffers neither panic nor decode when the header byte is
+    /// not a valid opcode; with a valid first byte they may only decode
+    /// to a value that re-encodes to the exact same bytes (canonicality).
+    #[test]
+    fn garbage_rejected_or_canonical(bytes in prop::collection::vec(any::<u8>(), 0..80)) {
+        let buf = Bytes::from(bytes.clone());
+        if let Some(req) = Request::decode(buf) {
+            prop_assert_eq!(req.encode().as_ref(), &bytes[..]);
+        }
+        if let Some(resp) = Response::decode(Bytes::from(bytes.clone())) {
+            prop_assert_eq!(resp.encode().as_ref(), &bytes[..]);
+        }
+        if !bytes.is_empty() && !(1..=4).contains(&bytes[0]) {
+            prop_assert_eq!(Request::decode(Bytes::from(bytes.clone())), None);
+        }
+        if !bytes.is_empty() && !(1..=5).contains(&bytes[0]) {
+            prop_assert_eq!(Response::decode(Bytes::from(bytes)), None);
+        }
+    }
+
+    /// Appending any byte to a valid encoding is rejected (strict
+    /// full-consumption decoding).
+    #[test]
+    fn trailing_bytes_rejected(
+        variant in 0usize..4,
+        raw in prop::collection::vec(any::<u8>(), 0..40),
+        count in 0u32..=u32::MAX,
+        extra in any::<u8>(),
+    ) {
+        let req = request_of(variant, ascii(raw), count, 0, 1);
+        let mut enc: Vec<u8> = req.encode().as_ref().to_vec();
+        enc.push(extra);
+        prop_assert_eq!(Request::decode(Bytes::from(enc)), None);
+    }
+}

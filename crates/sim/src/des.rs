@@ -188,7 +188,8 @@ impl<'a> Simulator<'a> {
         );
         for (t, _) in self.sys.iter() {
             let jitter = self.rng.gen_range(0..=self.cfg.min_latency_us);
-            self.queue.push(SimTime(jitter), Event::Start { txn: t, attempt: 0 });
+            self.queue
+                .push(SimTime(jitter), Event::Start { txn: t, attempt: 0 });
         }
         if let DeadlockPolicy::Detect { period_us } | DeadlockPolicy::DetectLocal { period_us } =
             self.cfg.policy
@@ -254,8 +255,7 @@ impl<'a> Simulator<'a> {
             .collect();
         self.report.history_len = self.history.len();
         if self.report.stalled.is_empty() {
-            let committed: Vec<Option<u32>> =
-                self.txns.iter().map(|s| s.committed).collect();
+            let committed: Vec<Option<u32>> = self.txns.iter().map(|s| s.committed).collect();
             self.report.serializable = self.history.audit(self.sys, &committed).ok();
         }
         self.report
@@ -351,7 +351,13 @@ impl<'a> Simulator<'a> {
                         node: n,
                     });
                     let site = self.sys.db().site_of(op.entity);
-                    self.send_to_site(site, Message::Release { txn, entity: op.entity });
+                    self.send_to_site(
+                        site,
+                        Message::Release {
+                            txn,
+                            entity: op.entity,
+                        },
+                    );
                     progressed = true;
                 }
             }
@@ -419,8 +425,7 @@ impl<'a> Simulator<'a> {
         let mut grantee = Some(first);
         while let Some(txn) = grantee {
             let st = &self.txns[txn.index()];
-            let valid =
-                st.waiting.contains_key(&entity) && st.committed.is_none() && !st.failed;
+            let valid = st.waiting.contains_key(&entity) && st.committed.is_none() && !st.failed;
             if valid {
                 let attempt = st.attempt;
                 let node = self.sys.txn(txn).lock_node_of(entity).expect("accessed");
@@ -533,14 +538,8 @@ impl<'a> Simulator<'a> {
                 st.node_status[node.index()] = NodeStatus::Working;
                 st.held.push(entity);
                 let work = self.cfg.work_us + self.rng.gen_range(0..=self.cfg.work_us / 2 + 1);
-                self.queue.push(
-                    self.now + work,
-                    Event::NodeDone {
-                        txn,
-                        attempt,
-                        node,
-                    },
-                );
+                self.queue
+                    .push(self.now + work, Event::NodeDone { txn, attempt, node });
             }
             Message::AbortOrder { victim } => {
                 debug_assert_eq!(to, victim);
@@ -571,11 +570,17 @@ impl<'a> Simulator<'a> {
         let failed = st.failed;
         for e in held.into_iter().chain(waiting) {
             let site = self.sys.db().site_of(e);
-            self.send_to_site(site, Message::Release { txn: victim, entity: e });
+            self.send_to_site(
+                site,
+                Message::Release {
+                    txn: victim,
+                    entity: e,
+                },
+            );
         }
         if !failed {
-            let backoff = self.cfg.restart_backoff_us
-                + self.rng.gen_range(0..=self.cfg.restart_backoff_us);
+            let backoff =
+                self.cfg.restart_backoff_us + self.rng.gen_range(0..=self.cfg.restart_backoff_us);
             self.queue.push(
                 self.now + backoff,
                 Event::Start {
@@ -801,10 +806,16 @@ mod tests {
                 );
             }
             let rc = run(&centralized, cfg);
-            assert!(rc.all_committed(2), "single-site cycle must be caught: {rc:?}");
+            assert!(
+                rc.all_committed(2),
+                "single-site cycle must be caught: {rc:?}"
+            );
             caught += usize::from(rc.deadlocks_detected > 0);
         }
-        assert!(missed > 0, "some timing must produce the cross-site deadlock");
+        assert!(
+            missed > 0,
+            "some timing must produce the cross-site deadlock"
+        );
         assert!(caught > 0, "the same timing on one site must be detected");
     }
 
@@ -920,10 +931,7 @@ mod tests {
                         ..Default::default()
                     },
                 );
-                assert!(
-                    r.all_committed(6),
-                    "{policy:?} seed {seed} stalled: {r:?}"
-                );
+                assert!(r.all_committed(6), "{policy:?} seed {seed} stalled: {r:?}");
                 assert_eq!(r.serializable, Some(true), "{policy:?} seed {seed}");
             }
         }

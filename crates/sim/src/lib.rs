@@ -14,7 +14,9 @@
 //! * [`history`] — every run records the effective lock/unlock order and
 //!   replays its committed projection through the model's `D(S)`
 //!   serializability audit;
-//! * [`msg`] — the binary wire format messages travel in;
+//! * [`msg`] — the binary wire format messages travel in, plus the
+//!   length-prefixed stream framing ([`msg::frame`]) that `ddlf-server`
+//!   ships it over real TCP with;
 //! * [`lockmgr`] — the per-site exclusive lock table.
 //!
 //! The headline property (experiment E9, validated by integration tests):

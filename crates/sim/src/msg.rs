@@ -10,6 +10,151 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ddlf_model::{EntityId, TxnId};
 use serde::{Deserialize, Serialize};
 
+pub mod frame {
+    //! Length-prefixed framing for binary messages over byte streams.
+    //!
+    //! The in-memory encodings in this module ([`Message`](super::Message),
+    //! and the `ddlf-server` request/response protocol built on the same
+    //! conventions) are self-describing only given their length, so a
+    //! stream transport needs a frame boundary. The format is minimal and
+    //! symmetric:
+    //!
+    //! ```text
+    //!   ┌────────────────┬──────────────────────┐
+    //!   │ u32 LE: length │ length payload bytes │
+    //!   └────────────────┴──────────────────────┘
+    //! ```
+    //!
+    //! [`write_frame`] prepends the prefix; [`read_frame`] strips it and
+    //! distinguishes three stream conditions:
+    //!
+    //! * `Ok(Some(payload))` — one complete frame;
+    //! * `Ok(None)` — clean EOF *between* frames (the peer closed after a
+    //!   complete exchange);
+    //! * `Err(UnexpectedEof)` — EOF *inside* a frame (a torn write), and
+    //!   `Err(InvalidData)` — a length prefix above [`MAX_FRAME`]
+    //!   (garbage or a hostile header; reading it would OOM the peer).
+
+    use std::io::{self, Read, Write};
+
+    /// Upper bound on a frame's payload length (16 MiB). A prefix above
+    /// this is rejected as garbage before any payload allocation.
+    pub const MAX_FRAME: usize = 16 << 20;
+
+    /// Writes `payload` as one length-prefixed frame and flushes.
+    ///
+    /// Prefix and payload go out in a **single** write: two small writes
+    /// would land in separate TCP segments, and the Nagle/delayed-ACK
+    /// interaction then stalls every round-trip by tens of milliseconds.
+    ///
+    /// Errors with `InvalidData` when `payload` exceeds [`MAX_FRAME`]
+    /// (the peer would reject it anyway), or with the underlying I/O
+    /// error.
+    pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame of {} bytes exceeds MAX_FRAME {MAX_FRAME}",
+                    payload.len()
+                ),
+            ));
+        }
+        let len = u32::try_from(payload.len()).expect("MAX_FRAME fits u32");
+        let mut framed = Vec::with_capacity(4 + payload.len());
+        framed.extend_from_slice(&len.to_le_bytes());
+        framed.extend_from_slice(payload);
+        w.write_all(&framed)?;
+        w.flush()
+    }
+
+    /// Reads one length-prefixed frame.
+    ///
+    /// Returns `Ok(None)` on clean EOF before any prefix byte;
+    /// `Err(UnexpectedEof)` on EOF mid-prefix or mid-payload;
+    /// `Err(InvalidData)` on a prefix above [`MAX_FRAME`].
+    pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+        let mut prefix = [0u8; 4];
+        // Hand-rolled first read so EOF-at-a-boundary is distinguishable
+        // from EOF inside the prefix.
+        let mut got = 0;
+        while got < prefix.len() {
+            match r.read(&mut prefix[got..])? {
+                0 if got == 0 => return Ok(None),
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame length prefix",
+                    ))
+                }
+                n => got += n,
+            }
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds MAX_FRAME {MAX_FRAME}"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Ok(Some(payload))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_frames_in_sequence() {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, b"hello").unwrap();
+            write_frame(&mut buf, b"").unwrap();
+            write_frame(&mut buf, &[0xAB; 300]).unwrap();
+            let mut r = buf.as_slice();
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0xAB; 300]);
+            assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        }
+
+        #[test]
+        fn torn_frames_are_errors_not_eof() {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, b"payload").unwrap();
+            // EOF inside the payload.
+            let mut r = &buf[..buf.len() - 2];
+            assert_eq!(
+                read_frame(&mut r).unwrap_err().kind(),
+                std::io::ErrorKind::UnexpectedEof
+            );
+            // EOF inside the prefix itself.
+            let mut r = &buf[..2];
+            assert_eq!(
+                read_frame(&mut r).unwrap_err().kind(),
+                std::io::ErrorKind::UnexpectedEof
+            );
+        }
+
+        #[test]
+        fn hostile_length_prefix_rejected_before_allocation() {
+            let mut r: &[u8] = &u32::MAX.to_le_bytes();
+            assert_eq!(
+                read_frame(&mut r).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData
+            );
+            let mut w = Vec::new();
+            assert_eq!(
+                write_frame(&mut w, &vec![0u8; MAX_FRAME + 1])
+                    .unwrap_err()
+                    .kind(),
+                std::io::ErrorKind::InvalidData
+            );
+        }
+    }
+}
+
 /// A message on the simulated network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Message {
@@ -174,9 +319,6 @@ mod tests {
             entity: EntityId(3),
         };
         assert_eq!(m.encode().len(), 13);
-        assert_eq!(
-            Message::AbortOrder { victim: TxnId(0) }.encode().len(),
-            5
-        );
+        assert_eq!(Message::AbortOrder { victim: TxnId(0) }.encode().len(), 5);
     }
 }

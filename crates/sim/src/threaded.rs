@@ -235,7 +235,9 @@ fn worker_thread(
             }
             drop(reply_rx);
             let jitter = rng.gen_range(0..=cfg.backoff.as_micros() as u64);
-            std::thread::sleep(cfg.backoff + Duration::from_micros(jitter * (1 + attempt as u64 % 4)));
+            std::thread::sleep(
+                cfg.backoff + Duration::from_micros(jitter * (1 + attempt as u64 % 4)),
+            );
         }
     }
 
@@ -299,7 +301,10 @@ pub fn run_threaded(sys: &TransactionSystem, cfg: ThreadedConfig) -> ThreadedRep
     };
 
     ThreadedReport {
-        committed: outcomes.iter().filter(|o| o.committed_attempt.is_some()).count(),
+        committed: outcomes
+            .iter()
+            .filter(|o| o.committed_attempt.is_some())
+            .count(),
         aborted_attempts: outcomes.iter().map(|o| o.aborted as usize).sum(),
         failed,
         serializable,

@@ -89,9 +89,7 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap
-            .pop()
-            .map(|Reverse((t, _, EventBox(e)))| (t, e))
+        self.heap.pop().map(|Reverse((t, _, EventBox(e)))| (t, e))
     }
 
     /// Number of pending events.

@@ -248,7 +248,10 @@ mod tests {
     fn fig3_partial_orders_deadlock_free_but_extensions_deadlock() {
         let sys = fig3();
         let ex = Explorer::new(&sys, 1_000_000);
-        assert!(ex.find_deadlock().0.holds(), "partial orders are deadlock-free");
+        assert!(
+            ex.find_deadlock().0.holds(),
+            "partial orders are deadlock-free"
+        );
         assert!(ex.find_deadlock_prefix().0.holds());
 
         let ext = fig3_deadlocking_extensions();

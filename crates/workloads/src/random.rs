@@ -184,9 +184,7 @@ pub fn star_system(d: usize) -> TransactionSystem {
     let db = Database::one_entity_per_site(d + 1);
     let root = EntityId(0);
     let txns = (0..d)
-        .map(|i| {
-            two_phase_total_order(&db, &format!("T{i}"), &[root, EntityId(i as u32 + 1)])
-        })
+        .map(|i| two_phase_total_order(&db, &format!("T{i}"), &[root, EntityId(i as u32 + 1)]))
         .collect();
     TransactionSystem::new(db, txns).expect("star system is valid")
 }

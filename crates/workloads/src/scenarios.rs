@@ -208,8 +208,7 @@ impl Warehouse {
     /// then item stocks in ascending order — the root-lock discipline
     /// that Corollary 3 blesses for identical copies.
     pub fn order_with_ticket(&self, name: &str, items: &[(usize, usize)]) -> Transaction {
-        let mut entities: Vec<EntityId> =
-            items.iter().map(|&(w, s)| self.stock[w][s]).collect();
+        let mut entities: Vec<EntityId> = items.iter().map(|&(w, s)| self.stock[w][s]).collect();
         entities.sort_unstable();
         entities.dedup();
         let mut all = vec![self.order_log];
@@ -220,8 +219,7 @@ impl Warehouse {
     /// An order that grabs stocks in the visit order given, without the
     /// ticket — deadlock-prone when visit orders differ.
     pub fn order_direct(&self, name: &str, items: &[(usize, usize)]) -> Transaction {
-        let mut entities: Vec<EntityId> =
-            items.iter().map(|&(w, s)| self.stock[w][s]).collect();
+        let mut entities: Vec<EntityId> = items.iter().map(|&(w, s)| self.stock[w][s]).collect();
         entities.dedup();
         crate::random::two_phase_total_order(&self.db, name, &entities)
     }

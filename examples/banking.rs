@@ -87,7 +87,12 @@ fn main() {
 
     let seeds = 20;
     println!("\n== certified (ordered) workload across policies, {seeds} seeds ==");
-    summarize("Nothing (certified!)", &ordered, DeadlockPolicy::Nothing, seeds);
+    summarize(
+        "Nothing (certified!)",
+        &ordered,
+        DeadlockPolicy::Nothing,
+        seeds,
+    );
     summarize(
         "Detect 5ms",
         &ordered,
@@ -98,7 +103,12 @@ fn main() {
     summarize("WaitDie", &ordered, DeadlockPolicy::WaitDie, seeds);
 
     println!("\n== uncertified (greedy) workload across policies, {seeds} seeds ==");
-    summarize("Nothing (uncertified)", &greedy, DeadlockPolicy::Nothing, seeds);
+    summarize(
+        "Nothing (uncertified)",
+        &greedy,
+        DeadlockPolicy::Nothing,
+        seeds,
+    );
     summarize(
         "Detect 5ms",
         &greedy,

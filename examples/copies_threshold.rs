@@ -30,7 +30,11 @@ fn main() {
         let (verdict, stats) = ex.find_deadlock();
         println!(
             "{d} copies: {} ({} states explored)",
-            if verdict.violated() { "DEADLOCK REACHABLE" } else { "deadlock-free" },
+            if verdict.violated() {
+                "DEADLOCK REACHABLE"
+            } else {
+                "deadlock-free"
+            },
             stats.states
         );
     }

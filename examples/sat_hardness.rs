@@ -33,7 +33,10 @@ fn main() {
     // Independent deadlock decision on the gadget.
     match red.has_deadlock_prefix(100_000_000).expect("budget") {
         Some(w) => {
-            println!("gadget: deadlock prefix FOUND; reduction cycle has {} nodes", w.cycle.len());
+            println!(
+                "gadget: deadlock prefix FOUND; reduction cycle has {} nodes",
+                w.cycle.len()
+            );
             let a = red.assignment_from_cycle(&w.cycle);
             println!("assignment read off the cycle: {a:?}");
             assert!(f.evaluate(&a), "cycle assignment must satisfy the formula");

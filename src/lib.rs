@@ -22,7 +22,27 @@
 //!   with **no detector and no timeouts** at their certified
 //!   k-inflation (a counting `SlotGate` per template), uncertified
 //!   ones fall back to wait-die;
+//! * [`server`] — a TCP wire-protocol front-end for the engine
+//!   (length-prefixed binary frames), plus the typed client that
+//!   `ddlf-audit serve` / `submit` and external processes use;
 //! * [`workloads`] — the paper's figures, random generators, scenarios.
+//!
+//! ## Crate map
+//!
+//! ```text
+//!                      ┌────────── ddlf (this facade) ──────────┐
+//!                      │                                        │
+//!   ddlf-cli (ddlf-audit) ──────────┐                           │
+//!     certify/deadlock/simulate/run │ serve/submit              │
+//!                      ▼            ▼                           │
+//!   ddlf-workloads   ddlf-engine   ddlf-server ── TCP frames ── clients
+//!        │              │  certify-then-run admission           │
+//!        ▼              ▼                                       │
+//!   ddlf-core ───── ddlf-model ◀──── ddlf-sim (runtime, msg::frame)
+//!        │ Theorems 1–5   model substrate        │
+//!        ▼                                       │
+//!   ddlf-sat (3SAT′ gadget)                      └ history → D(S) audit
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -55,5 +75,6 @@ pub use ddlf_core as core;
 pub use ddlf_engine as engine;
 pub use ddlf_model as model;
 pub use ddlf_sat as sat;
+pub use ddlf_server as server;
 pub use ddlf_sim as sim;
 pub use ddlf_workloads as workloads;

@@ -15,12 +15,7 @@ use proptest::prelude::*;
 /// distributed one (over a fresh DB with the same entity count, all
 /// entities on one site is *not* needed — Lemma 2 only needs chains, and
 /// chains are valid over any site layout).
-fn chain_from_extension(
-    t: &Transaction,
-    ext: &[NodeId],
-    db: &Database,
-    name: &str,
-) -> Transaction {
+fn chain_from_extension(t: &Transaction, ext: &[NodeId], db: &Database, name: &str) -> Transaction {
     let ops: Vec<_> = ext.iter().map(|&n| t.op(n)).collect();
     Transaction::from_total_order(name, &ops, db).unwrap()
 }

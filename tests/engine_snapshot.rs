@@ -1,0 +1,94 @@
+//! The engine's cumulative reporting surface, added for the wire
+//! server: `run_mix` executes an explicit per-template mix, and
+//! `report_snapshot` folds every run so far into one report without
+//! consuming (or running) the engine — the `Report` RPC reads it.
+
+use ddlf::engine::{Engine, EngineConfig};
+use ddlf::model::TxnId;
+use ddlf::workloads::bank_ordered_pair;
+
+fn engine() -> Engine {
+    let (_, sys) = bank_ordered_pair();
+    Engine::new(
+        sys,
+        EngineConfig {
+            threads: 4,
+            instances: 16,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn snapshot_before_any_run_is_zeroed() {
+    let engine = engine();
+    let snap = engine.report_snapshot();
+    assert_eq!(snap.instances, 0);
+    assert_eq!(snap.committed, 0);
+    assert_eq!(snap.serializable, None);
+    assert_eq!(snap.per_template.len(), 2);
+    assert!(snap.verdict.is_certified());
+}
+
+#[test]
+fn run_mix_executes_only_the_requested_templates() {
+    let engine = engine();
+    let report = engine.run_mix(&[(TxnId(0), 12)]);
+    assert!(report.all_committed(), "{report:?}");
+    assert_eq!(report.instances, 12);
+    assert_eq!(report.aborted_attempts, 0);
+    assert_eq!(report.serializable, Some(true), "{report:?}");
+    assert_eq!(report.per_template[0].committed, 12);
+    assert_eq!(report.per_template[1].committed, 0, "T1 was not submitted");
+}
+
+#[test]
+fn run_mix_interleaves_multiple_templates() {
+    let engine = engine();
+    let report = engine.run_mix(&[(TxnId(0), 5), (TxnId(1), 7)]);
+    assert!(report.all_committed(), "{report:?}");
+    assert_eq!(report.per_template[0].committed, 5);
+    assert_eq!(report.per_template[1].committed, 7);
+}
+
+#[test]
+fn snapshot_accumulates_across_runs() {
+    let engine = engine();
+    let first = engine.run();
+    assert!(first.all_committed());
+    let second = engine.run_mix(&[(TxnId(1), 8)]);
+    assert!(second.all_committed());
+
+    let snap = engine.report_snapshot();
+    assert_eq!(snap.instances, 16 + 8);
+    assert_eq!(snap.committed, 16 + 8);
+    assert_eq!(snap.aborted_attempts, 0);
+    assert_eq!(
+        snap.serializable,
+        Some(true),
+        "both runs audited serializable: {snap:?}"
+    );
+    assert_eq!(snap.per_template[1].committed, 8 + 8);
+    assert_eq!(snap.reads, first.reads + second.reads);
+    assert_eq!(snap.history_len, first.history_len + second.history_len);
+    assert!(snap.wall >= first.wall + second.wall);
+    // The snapshot is a read, not a run: reading it twice changes nothing.
+    assert_eq!(engine.report_snapshot().instances, 24);
+}
+
+#[test]
+fn empty_mix_does_not_disturb_the_snapshot() {
+    let engine = engine();
+    engine.run_mix(&[(TxnId(0), 4)]);
+    let report = engine.run_mix(&[]);
+    assert_eq!(report.instances, 0);
+    assert_eq!(engine.report_snapshot().instances, 4);
+    assert_eq!(engine.report_snapshot().serializable, Some(true));
+}
+
+#[test]
+#[should_panic(expected = "not a registered template")]
+fn run_mix_rejects_unknown_template() {
+    let engine = engine();
+    let _ = engine.run_mix(&[(TxnId(9), 1)]);
+}

@@ -77,16 +77,25 @@ fn fig3_separation() {
 #[test]
 fn fig6_copies_threshold() {
     assert!(
-        Explorer::new(&wl::fig6(2), 5_000_000).find_deadlock().0.holds(),
+        Explorer::new(&wl::fig6(2), 5_000_000)
+            .find_deadlock()
+            .0
+            .holds(),
         "two copies never deadlock"
     );
     assert!(
-        Explorer::new(&wl::fig6(3), 10_000_000).find_deadlock().0.violated(),
+        Explorer::new(&wl::fig6(3), 10_000_000)
+            .find_deadlock()
+            .0
+            .violated(),
         "three copies deadlock"
     );
     // Four copies contain the three-copy pattern.
     assert!(
-        Explorer::new(&wl::fig6(4), 20_000_000).find_deadlock().0.violated(),
+        Explorer::new(&wl::fig6(4), 20_000_000)
+            .find_deadlock()
+            .0
+            .violated(),
         "four copies deadlock too"
     );
 }

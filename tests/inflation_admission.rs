@@ -124,7 +124,10 @@ fn fig6_engine_asked_for_three_floors_back_instead_of_deadlocking() {
         },
     );
     let report = engine.run();
-    assert!(report.all_committed(), "must complete, not deadlock: {report:?}");
+    assert!(
+        report.all_committed(),
+        "must complete, not deadlock: {report:?}"
+    );
     assert_eq!(report.aborted_attempts, 0);
     assert_eq!(report.serializable, Some(true));
     assert!(report.peak_inflight() <= 1, "{report:?}");

@@ -91,7 +91,10 @@ proptest! {
 #[test]
 fn certified_sweep_under_nothing_policy() {
     let mut checked = 0;
-    for disc in [LockDiscipline::RandomTwoPhase, LockDiscipline::OrderedTwoPhase] {
+    for disc in [
+        LockDiscipline::RandomTwoPhase,
+        LockDiscipline::OrderedTwoPhase,
+    ] {
         for seed in 0..30u64 {
             let sys = SystemGen {
                 n_sites: 4,
@@ -120,7 +123,10 @@ fn certified_sweep_under_nothing_policy() {
             }
         }
     }
-    assert!(checked > 25, "sweep found too few certified systems ({checked})");
+    assert!(
+        checked > 25,
+        "sweep found too few certified systems ({checked})"
+    );
 }
 
 /// Uncertified systems must actually exhibit the predicted failure under
@@ -174,7 +180,10 @@ fn uncertified_systems_hit_deadlocks_and_detector_repairs() {
         }
         deadlocked_any += stalled as usize;
     }
-    assert!(rejected >= 5, "sweep needs rejected systems, got {rejected}");
+    assert!(
+        rejected >= 5,
+        "sweep needs rejected systems, got {rejected}"
+    );
     // 2PL rejections are precisely deadlock risks; most manifest within
     // 10 timings.
     assert!(

@@ -23,9 +23,7 @@ fn fig2_fixture_reproduces_the_counterexample() {
     // Tirri-blind …
     assert!(tirri_two_entity_pattern(sys.txn(TxnId(0)), sys.txn(TxnId(1))).is_none());
     // … but deadlock-prone.
-    assert!(lu_pair_deadlock_prefix(&sys, 10_000_000)
-        .unwrap()
-        .is_some());
+    assert!(lu_pair_deadlock_prefix(&sys, 10_000_000).unwrap().is_some());
     assert!(Explorer::new(&sys, 10_000_000).find_deadlock().0.violated());
 }
 
@@ -49,11 +47,31 @@ fn ticketed_fixture_certifies_despite_inner_disorder() {
 }
 
 #[test]
+fn banking_fixture_certifies_and_matches_the_workload() {
+    // The CI wire-smoke step registers this file with a live server and
+    // asserts zero aborts + a serializable audit; the certificate is
+    // what makes that assertion safe to demand.
+    let sys = load("banking_ordered.json");
+    certify_safe_and_deadlock_free(&sys, CertifyOptions::default())
+        .expect("ordered transfers certify");
+    let (_, built) = ddlf::workloads::bank_ordered_pair();
+    assert_eq!(sys.len(), built.len());
+    for (a, b) in sys.txns().iter().zip(built.txns()) {
+        assert_eq!(
+            format!("{a}"),
+            format!("{b}"),
+            "fixture drifted from bank_ordered_pair"
+        );
+    }
+}
+
+#[test]
 fn fixtures_roundtrip_through_spec() {
     for name in [
         "fig2_tirri_counterexample.json",
         "classic_opposite_order.json",
         "ticketed_pair.json",
+        "banking_ordered.json",
     ] {
         let sys = load(name);
         let spec = SystemSpec::from_system(&sys);

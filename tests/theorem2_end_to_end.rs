@@ -24,7 +24,10 @@ fn equivalence_sweep() {
             }
         }
     }
-    assert!(sat_count > 0 && unsat_count > 0, "sweep must cover both outcomes");
+    assert!(
+        sat_count > 0 && unsat_count > 0,
+        "sweep must cover both outcomes"
+    );
 }
 
 #[test]

@@ -156,11 +156,7 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (guard, _) = self
-                    .inner
-                    .ready
-                    .wait_timeout(q, deadline - now)
-                    .unwrap();
+                let (guard, _) = self.inner.ready.wait_timeout(q, deadline - now).unwrap();
                 q = guard;
             }
         }

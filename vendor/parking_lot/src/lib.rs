@@ -130,7 +130,11 @@ impl Condvar {
     }
 
     /// Blocks with a timeout; returns whether the wait timed out.
-    pub fn wait_for<'a, T>(&self, guard: &mut MutexGuard<'a, T>, timeout: Duration) -> WaitTimeoutResult {
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
         let mut timed_out = false;
         take_mut_guard(guard, |g| {
             let (g, r) = match self.0.wait_timeout(g, timeout) {

@@ -167,7 +167,7 @@ where
 
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::collections::HashSet;
     use std::hash::Hash;
@@ -244,7 +244,9 @@ pub fn rng_for_test(name: &str) -> StdRng {
 pub mod prelude {
     pub use super::collection;
     pub use super::{any, boxed, Arbitrary, Just, ProptestConfig, Strategy, Union};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Namespace alias so `prop::collection::vec(..)` works.
     pub mod prop {

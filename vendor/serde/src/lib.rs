@@ -227,7 +227,9 @@ impl Deserialize for char {
     fn deserialize_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("checked")),
-            other => Err(DeError::msg(format!("expected single-char string, got {other:?}"))),
+            other => Err(DeError::msg(format!(
+                "expected single-char string, got {other:?}"
+            ))),
         }
     }
 }
@@ -276,7 +278,10 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
                 items.len()
             )));
         }
-        let parsed: Vec<T> = items.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::deserialize_value)
+            .collect::<Result<_, _>>()?;
         parsed
             .try_into()
             .map_err(|_| DeError::msg("array length mismatch"))

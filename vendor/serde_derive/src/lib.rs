@@ -113,9 +113,9 @@ fn serde_attr_has_default(attr: TokenStream) -> bool {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
             if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
         {
-            g.stream().into_iter().any(
-                |t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"),
-            )
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
         }
         _ => false,
     }
@@ -261,7 +261,12 @@ fn ser_named_fields(access: &str, fields: &[Field], skip_null: bool) -> String {
     out
 }
 
-fn de_named_fields(ty_and_variant: &str, constructor: &str, obj_expr: &str, fields: &[Field]) -> String {
+fn de_named_fields(
+    ty_and_variant: &str,
+    constructor: &str,
+    obj_expr: &str,
+    fields: &[Field],
+) -> String {
     let mut out = format!("{constructor} {{\n");
     for f in fields {
         let name = f.name.as_deref().expect("named field");

@@ -226,7 +226,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, Error> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -261,8 +263,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ascii number slice");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number slice");
         if !is_float {
             if let Some(stripped) = text.strip_prefix('-') {
                 if let Ok(n) = stripped.parse::<u64>() {

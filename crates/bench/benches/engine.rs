@@ -11,6 +11,11 @@
 //! same Theorem 5-certifiable single-template workload behind a k = 1
 //! gate, behind a certified k = 4 gate, and on wait-die at the same
 //! multiprogramming level.
+//!
+//! E14 (`engine_wal`): the write-ahead-durability tax — the certified
+//! banking workload with no WAL (the default hot path, which must not
+//! regress) against the same run logging every write, commit decision,
+//! and history event to per-shard log files (snapshot: BENCH_wal.json).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation, TemplateRegistry};
@@ -145,5 +150,43 @@ fn bench_inflation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_banking, bench_warehouse, bench_inflation);
+fn bench_wal(c: &mut Criterion) {
+    let (_, ordered) = bank_ordered_pair();
+    let mut g = c.benchmark_group("engine_wal");
+    g.sample_size(10);
+    let n = 64usize;
+    g.bench_with_input(BenchmarkId::new("wal_off", n), &n, |b, &n| {
+        b.iter(|| {
+            Engine::new(ordered.clone(), quick_cfg(n, false))
+                .run()
+                .committed
+        })
+    });
+    let dir = std::env::temp_dir().join("ddlf-bench-wal");
+    g.bench_with_input(BenchmarkId::new("wal_on", n), &n, |b, &n| {
+        b.iter(|| {
+            // Engine construction rotates the directory, so every
+            // iteration logs a fresh generation.
+            Engine::new(
+                ordered.clone(),
+                EngineConfig {
+                    wal_dir: Some(dir.clone()),
+                    ..quick_cfg(n, false)
+                },
+            )
+            .run()
+            .committed
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(std::env::temp_dir().join("ddlf-bench-wal"));
+}
+
+criterion_group!(
+    benches,
+    bench_banking,
+    bench_warehouse,
+    bench_inflation,
+    bench_wal
+);
 criterion_main!(benches);

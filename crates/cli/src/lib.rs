@@ -8,8 +8,10 @@
 //! ddlf-audit deadlock system.json          # exhaustive deadlock search (small systems)
 //! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
 //! ddlf-audit run      system.json [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]
+//!                     [--wal DIR]
+//! ddlf-audit recover  <wal-dir> [--expect-total N]   # replay + re-audit a WAL
 //! ddlf-audit dot      system.json          # Graphviz rendering
-//! ddlf-audit serve    <addr> [--threads K] [--inflate k|auto]
+//! ddlf-audit serve    <addr> [--threads K] [--inflate k|auto] [--wal DIR]
 //! ddlf-audit submit   <addr> system.json [--txns N] [--template NAME] [--inflate k|auto]
 //!                     [--expect-zero-aborts] [--shutdown]
 //! ```
@@ -23,6 +25,13 @@
 //! audit: nonzero unless every instance committed **and** the committed
 //! history audited serializable (`D(S)` said yes, not merely "no abort
 //! was seen").
+//!
+//! `run --wal DIR` writes every store write, commit decision, and
+//! history event to a write-ahead log; `recover` replays such a
+//! directory — typically one left behind by a killed process — into a
+//! fresh store, re-runs the `D(S)` audit over the recovered committed
+//! history, and exits 0 only if the audit passes (plus the optional
+//! `--expect-total` conservation check on the recovered Σint).
 //!
 //! `serve` exposes the same engine over TCP (`ddlf-server`'s framed
 //! binary protocol) and blocks until a client sends `Shutdown`; `submit`
@@ -76,7 +85,7 @@ pub enum Command {
         /// Number of seeds to run.
         seeds: u64,
     },
-    /// `run <spec> [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]`
+    /// `run <spec> [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--wal DIR]`
     Run {
         /// Path to the spec JSON.
         spec: String,
@@ -88,13 +97,26 @@ pub enum Command {
         inflate: Option<InflateArg>,
         /// Run wait-die even if the system certifies.
         force_fallback: bool,
+        /// Simulated per-lock work in microseconds (widens contention
+        /// windows so fallback runs really exercise aborts).
+        work_us: u64,
+        /// Write-ahead log directory (rotated at engine creation).
+        wal: Option<String>,
+    },
+    /// `recover <wal-dir> [--expect-total N]`
+    Recover {
+        /// The WAL directory to replay.
+        dir: String,
+        /// Fail unless the recovered store's Σint equals this
+        /// (conservation check for transfer workloads).
+        expect_total: Option<u128>,
     },
     /// `dot <spec>`
     Dot {
         /// Path to the spec JSON.
         spec: String,
     },
-    /// `serve <addr> [--threads K] [--inflate k|auto]`
+    /// `serve <addr> [--threads K] [--inflate k|auto] [--wal DIR]`
     Serve {
         /// Address to bind (e.g. `127.0.0.1:7471`, or port `0` for
         /// ephemeral).
@@ -104,6 +126,9 @@ pub enum Command {
         /// Server-side default inflation, applied when a registration
         /// does not request one.
         inflate: Option<InflateArg>,
+        /// Write-ahead log directory; if it already holds a WAL, the
+        /// server recovers it and starts with the replayed engine.
+        wal: Option<String>,
     },
     /// `submit <addr> <spec> [--txns N] [--template NAME] [--inflate k|auto]
     /// [--expect-zero-aborts] [--shutdown]`
@@ -174,6 +199,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut threads = 4usize;
             let mut inflate = None;
             let mut force_fallback = false;
+            let mut work_us = 0u64;
+            let mut wal = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -192,6 +219,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         force_fallback = true;
                         i += 1;
                     }
+                    "--work" => work_us = parse_value(&rest, &mut i, "--work")?,
+                    "--wal" => wal = Some(take_value(&rest, &mut i, "--wal")?.to_string()),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -201,12 +230,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 threads,
                 inflate,
                 force_fallback,
+                work_us,
+                wal,
             })
+        }
+        "recover" => {
+            let dir = spec;
+            let mut expect_total = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--expect-total" => {
+                        expect_total = Some(parse_value(&rest, &mut i, "--expect-total")?);
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Recover { dir, expect_total })
         }
         "serve" => {
             let addr = spec;
             let mut threads = 4usize;
             let mut inflate = None;
+            let mut wal = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -215,6 +262,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--inflate" => {
                         inflate = Some(parse_inflate(take_value(&rest, &mut i, "--inflate")?)?);
                     }
+                    "--wal" => wal = Some(take_value(&rest, &mut i, "--wal")?.to_string()),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -222,6 +270,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 addr,
                 threads,
                 inflate,
+                wal,
             })
         }
         "submit" => {
@@ -303,8 +352,9 @@ where
 fn usage() -> String {
     "usage: ddlf-audit <certify|deadlock|simulate|run|dot> <system.json> \
      [--policy nothing|detect|wound-wait|wait-die] [--seeds N] \
-     [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]\n\
-     \x20      ddlf-audit serve <addr> [--threads K] [--inflate k|auto]\n\
+     [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--work USEC] [--wal DIR]\n\
+     \x20      ddlf-audit recover <wal-dir> [--expect-total N]\n\
+     \x20      ddlf-audit serve <addr> [--threads K] [--inflate k|auto] [--wal DIR]\n\
      \x20      ddlf-audit submit <addr> <system.json> [--txns N] [--template NAME] \
      [--inflate k|auto] [--expect-zero-aborts] [--shutdown]"
         .to_string()
@@ -338,18 +388,105 @@ fn wire_inflate(inflate: Option<InflateArg>) -> InflateSpec {
 
 /// `serve`: binds the wire server and blocks until a client sends
 /// `Shutdown`. Prints the bound address first (port `0` resolves to an
-/// ephemeral port).
-pub fn run_serve(addr: &str, threads: usize, inflate: Option<InflateArg>) -> Result<(), String> {
+/// ephemeral port). With `--wal DIR`, registered engines log there; if
+/// the directory already holds a WAL (a previous server died), it is
+/// replayed first and the server starts with the recovered engine.
+pub fn run_serve(
+    addr: &str,
+    threads: usize,
+    inflate: Option<InflateArg>,
+    wal: Option<&str>,
+) -> Result<(), String> {
     let cfg = ServeConfig {
         threads: threads.max(1),
         default_inflate: wire_inflate(inflate),
+        wal_dir: wal.map(std::path::PathBuf::from),
         ..Default::default()
     };
-    let server = Server::bind(addr, cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let mut recovered_engine = None;
+    if let Some(dir) = wal {
+        if std::path::Path::new(dir).join("meta.json").exists() {
+            let rec =
+                ddlf_engine::recover(dir).map_err(|e| format!("cannot recover WAL {dir}: {e}"))?;
+            println!("{}", rec.summary());
+            let engine = ddlf_engine::Engine::from_recovered(
+                rec,
+                AdmissionOptions {
+                    inflate: match inflate {
+                        None => Inflation::None,
+                        Some(InflateArg::Uniform(k)) => Inflation::Uniform(k),
+                        Some(InflateArg::Auto) => Inflation::Auto {
+                            cap: threads.max(1),
+                        },
+                    },
+                    ..Default::default()
+                },
+                ddlf_engine::EngineConfig {
+                    threads: threads.max(1),
+                    ..Default::default()
+                },
+                dir,
+            )
+            .map_err(|e| format!("cannot resume WAL {dir}: {e}"))?;
+            println!(
+                "recovered engine: {} entities, Σint {}",
+                engine.store().db().entity_count(),
+                engine.store().total_int()
+            );
+            recovered_engine = Some(engine);
+        }
+    }
+    let server = Server::bind_with(addr, cfg, recovered_engine)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("ddlf-server listening on {}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.run().map_err(|e| format!("serve error: {e}"))
+}
+
+/// `recover`: replays a WAL directory into a fresh store, re-runs the
+/// `D(S)` audit over the recovered committed history, and reports.
+/// Exit 0 requires the audit to say `Some(true)` and, when
+/// `--expect-total` is given, the recovered Σint to match — the same
+/// contract `run`/`submit` enforce for live histories, applied to a
+/// crash's remains.
+pub fn run_recover(dir: &str, expect_total: Option<u128>) -> (String, i32) {
+    let mut out = String::new();
+    let rec = match ddlf_engine::recover(dir) {
+        Ok(r) => r,
+        Err(e) => return (format!("recover {dir}: {e}\n"), 2),
+    };
+    let _ = writeln!(out, "{}", rec.summary());
+    if let Some(err) = &rec.audit_error {
+        let _ = writeln!(out, "audit error: {err}");
+    }
+    if rec.skipped_writes > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} committed writes skipped (mistyped)",
+            rec.skipped_writes
+        );
+    }
+    let total = rec.store.total_int();
+    let _ = writeln!(
+        out,
+        "store: {} entities, {} committed writes, Σint {total}",
+        rec.store.db().entity_count(),
+        rec.store.total_versions(),
+    );
+    let mut bad = rec.serializable != Some(true);
+    if let Some(expected) = expect_total {
+        if total != expected {
+            let _ = writeln!(
+                out,
+                "CONSERVATION VIOLATED: Σint {total} ≠ expected {expected}"
+            );
+            bad = true;
+        } else {
+            let _ = writeln!(out, "conservation holds: Σint = {expected}");
+        }
+    }
+    (out, i32::from(bad))
 }
 
 /// `submit`: registers `spec_json` with a running server, executes the
@@ -508,6 +645,8 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
             threads,
             inflate,
             force_fallback,
+            work_us,
+            wal,
             ..
         } => {
             let admission = AdmissionOptions {
@@ -520,17 +659,25 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                 },
                 ..Default::default()
             };
-            let engine = ddlf_engine::Engine::with_admission(
+            let engine = match ddlf_engine::Engine::try_with_admission(
                 sys.clone(),
                 admission,
                 ddlf_engine::EngineConfig {
                     threads: *threads,
                     instances: *txns,
                     force_fallback: *force_fallback,
+                    work: Duration::from_micros(*work_us),
+                    wal_dir: wal.as_ref().map(std::path::PathBuf::from),
                     ..Default::default()
                 },
-            );
+            ) {
+                Ok(e) => e,
+                Err(e) => return (format!("cannot open WAL: {e}\n"), 2),
+            };
             let mut out = String::new();
+            if let Some(dir) = wal {
+                let _ = writeln!(out, "wal: logging to {dir}");
+            }
             let _ = writeln!(out, "admission: {}", engine.registry().verdict());
             let _ = write!(out, "{}", engine.registry().plan().render(sys));
             let report = engine.run();
@@ -552,10 +699,10 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
             (out, i32::from(bad))
         }
         Command::Dot { .. } => (ddlf_model::dot::system_to_dot(sys), 0),
-        // The wire commands talk to a server instead of a loaded system;
-        // `main` dispatches them to `run_serve` / `run_submit`.
-        Command::Serve { .. } | Command::Submit { .. } => (
-            "internal error: wire commands are dispatched in main\n".to_string(),
+        // These commands do not load a spec file; `main` dispatches them
+        // to `run_serve` / `run_submit` / `run_recover`.
+        Command::Serve { .. } | Command::Submit { .. } | Command::Recover { .. } => (
+            "internal error: specless commands are dispatched in main\n".to_string(),
             2,
         ),
     }
@@ -697,7 +844,9 @@ mod tests {
                 txns: 12,
                 threads: 3,
                 inflate: None,
-                force_fallback: true
+                force_fallback: true,
+                work_us: 0,
+                wal: None,
             }
         );
         assert!(parse_args(&["run".into(), "f".into(), "--txns".into()]).is_err());
@@ -744,6 +893,8 @@ mod tests {
             threads: 2,
             inflate: None,
             force_fallback: false,
+            work_us: 0,
+            wal: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -762,6 +913,8 @@ mod tests {
             threads: 2,
             inflate: None,
             force_fallback: false,
+            work_us: 0,
+            wal: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -777,6 +930,8 @@ mod tests {
             threads: 4,
             inflate: Some(InflateArg::Uniform(4)),
             force_fallback: false,
+            work_us: 0,
+            wal: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -793,6 +948,8 @@ mod tests {
             threads: 2,
             inflate: Some(InflateArg::Auto),
             force_fallback: false,
+            work_us: 0,
+            wal: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -833,6 +990,7 @@ mod tests {
                 addr: "127.0.0.1:7471".into(),
                 threads: 8,
                 inflate: Some(InflateArg::Auto),
+                wal: None,
             }
         );
         assert!(parse_args(&["serve".into()]).is_err());

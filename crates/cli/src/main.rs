@@ -16,13 +16,19 @@ fn main() {
             addr,
             threads,
             inflate,
-        } => match ddlf_cli::run_serve(addr, *threads, *inflate) {
+            wal,
+        } => match ddlf_cli::run_serve(addr, *threads, *inflate, wal.as_deref()) {
             Ok(()) => std::process::exit(0),
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
         },
+        ddlf_cli::Command::Recover { dir, expect_total } => {
+            let (out, code) = ddlf_cli::run_recover(dir, *expect_total);
+            print!("{out}");
+            std::process::exit(code);
+        }
         ddlf_cli::Command::Submit { spec, .. } => spec.clone(),
         ddlf_cli::Command::Certify { spec }
         | ddlf_cli::Command::Deadlock { spec }

@@ -22,14 +22,19 @@
 //! model's `D(S)` test after the run.
 
 use crate::report::{LatencyStats, Report, TemplateReport};
-use crate::store::{LockOutcome, Store};
-use crate::template::{AdmissionOptions, TemplateRegistry};
+use crate::store::{LockOutcome, Store, UndoOutcome, WriteCtx};
+use crate::template::{AdmissionOptions, Template, TemplateRegistry};
+use crate::wal::{Recovered, Wal, WalOptions};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ddlf_model::{EntityId, Prefix, Transaction, TransactionSystem, TxnId};
 use ddlf_sim::SharedHistory;
 use parking_lot::Mutex;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::collections::HashSet;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
@@ -58,6 +63,14 @@ pub struct EngineConfig {
     /// Run wait-die even when the system certifies (for benchmarking the
     /// cost of not trusting the certificate).
     pub force_fallback: bool,
+    /// Write-ahead log directory: every write, commit decision, and
+    /// history event is appended durably (one value log per shard; see
+    /// [`crate::wal`]) so [`crate::wal::recover`] can replay the store
+    /// after a crash. `None` = in-memory only (the undo log still runs).
+    pub wal_dir: Option<PathBuf>,
+    /// `fsync` the commit decision log on every commit (see
+    /// [`WalOptions::sync`]).
+    pub wal_sync: bool,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +85,8 @@ impl Default for EngineConfig {
             seed: 0,
             initial_value: 1_000,
             force_fallback: false,
+            wal_dir: None,
+            wal_sync: false,
         }
     }
 }
@@ -82,6 +97,8 @@ pub struct Engine {
     registry: TemplateRegistry,
     store: Store,
     cfg: EngineConfig,
+    /// The write-ahead log, when `cfg.wal_dir` asked for one.
+    wal: Option<Arc<Wal>>,
     /// Cumulative outcome of every run so far, maintained by
     /// [`Report::absorb`]; `None` until the first non-empty run. Behind a
     /// mutex so concurrent runs (e.g. wire submissions) merge safely.
@@ -101,14 +118,26 @@ struct Outcome {
     committed_attempt: Option<u32>,
     aborts: u32,
     dirty_aborts: u32,
+    rolled_back: u64,
     reads: u64,
     writes: u64,
+    writes_skipped: u64,
     latency_us: u64,
 }
 
 enum AttemptResult {
-    Committed { reads: u64, writes: u64 },
-    Died { dirty: bool },
+    Committed {
+        reads: u64,
+        writes: u64,
+        writes_skipped: u64,
+    },
+    Died {
+        /// Exposed writes rolled back via the shard undo logs.
+        rolled_back: u32,
+        /// Exposed writes that could *not* be rolled back (clobbered
+        /// absolute writes) — the only aborts still counted dirty.
+        unrecovered: u32,
+    },
 }
 
 impl Engine {
@@ -120,31 +149,94 @@ impl Engine {
 
     /// Builds an engine over `sys` with an explicit admission request
     /// (inflation + certifier options).
+    ///
+    /// # Panics
+    /// Panics when `cfg.wal_dir` is set and the log directory cannot be
+    /// created (use [`Engine::try_with_admission`] for the fallible
+    /// form).
     pub fn with_admission(
         sys: TransactionSystem,
         admission: AdmissionOptions,
         cfg: EngineConfig,
     ) -> Self {
-        let store = Store::new(sys.db(), cfg.initial_value);
+        Self::try_with_admission(sys, admission, cfg).expect("WAL directory usable")
+    }
+
+    /// [`Engine::with_admission`], surfacing WAL I/O errors instead of
+    /// panicking.
+    pub fn try_with_admission(
+        sys: TransactionSystem,
+        admission: AdmissionOptions,
+        cfg: EngineConfig,
+    ) -> io::Result<Self> {
         let registry = TemplateRegistry::register_with(sys, admission);
-        Self {
-            registry,
-            store,
-            cfg,
-            cumulative: Mutex::new(None),
-        }
+        Self::try_with_registry(registry, cfg)
     }
 
     /// Builds an engine from an already-certified registry (custom
     /// programs installed).
+    ///
+    /// # Panics
+    /// Panics when `cfg.wal_dir` is set and unusable (see
+    /// [`Engine::try_with_registry`]).
     pub fn with_registry(registry: TemplateRegistry, cfg: EngineConfig) -> Self {
-        let store = Store::new(registry.system().db(), cfg.initial_value);
-        Self {
+        Self::try_with_registry(registry, cfg).expect("WAL directory usable")
+    }
+
+    /// [`Engine::with_registry`], surfacing WAL I/O errors.
+    pub fn try_with_registry(registry: TemplateRegistry, cfg: EngineConfig) -> io::Result<Self> {
+        let (store, wal) = match &cfg.wal_dir {
+            None => (Store::new(registry.system().db(), cfg.initial_value), None),
+            Some(dir) => {
+                let wal = Wal::create(
+                    dir.clone(),
+                    registry.system(),
+                    cfg.initial_value,
+                    WalOptions { sync: cfg.wal_sync },
+                )?;
+                let store = Store::with_wal(registry.system().db(), cfg.initial_value, &wal)?;
+                (store, Some(wal))
+            }
+        };
+        Ok(Self {
             registry,
             store,
             cfg,
+            wal,
             cumulative: Mutex::new(None),
-        }
+        })
+    }
+
+    /// Rebuilds an engine from a recovered WAL directory: the registry
+    /// is re-certified from the recovered system, the store starts from
+    /// the replayed committed state, and the WAL resumes appending to
+    /// the same directory with instance ids above everything already
+    /// logged. `cfg.wal_dir`/`initial_value` are overridden by the
+    /// recovery.
+    pub fn from_recovered(
+        rec: Recovered,
+        admission: AdmissionOptions,
+        mut cfg: EngineConfig,
+        dir: impl Into<PathBuf>,
+    ) -> io::Result<Self> {
+        let dir = dir.into();
+        let wal = Wal::resume(
+            dir.clone(),
+            rec.next_base,
+            WalOptions { sync: cfg.wal_sync },
+        )?;
+        let mut store = rec.store;
+        store.attach_wal(&wal)?;
+        cfg.wal_dir = Some(dir);
+        cfg.initial_value = rec.initial_value;
+        let registry = TemplateRegistry::register_with(rec.system, admission);
+        Ok(Self {
+            registry,
+            store,
+            cfg,
+            wal: Some(wal),
+            cumulative: Mutex::new(None),
+        })
     }
 
     /// The template registry (with its cached verdict).
@@ -155,6 +247,11 @@ impl Engine {
     /// The sharded store (inspect after a run).
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// The attached write-ahead log, if `wal_dir` asked for one.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Whether this run executes the no-detector path.
@@ -237,7 +334,22 @@ impl Engine {
 
     fn run_instances(&self, instances: Vec<Instance>) -> Report {
         let sys = self.registry.system().clone();
-        let shared = SharedHistory::new();
+        // With a WAL attached, this run's instances get globally unique
+        // ids `base..base + n` within the log directory, so histories of
+        // successive runs concatenate without collisions; the history
+        // sink writes each event durably from inside the timestamp
+        // critical section.
+        let base = match &self.wal {
+            Some(w) => w.begin_run(instances.len() as u32),
+            None => 0,
+        };
+        let shared = match &self.wal {
+            Some(w) => {
+                let w = Arc::clone(w);
+                SharedHistory::with_sink(Box::new(move |ev| w.log_event(ev, base)))
+            }
+            None => SharedHistory::new(),
+        };
         let (work_tx, work_rx) = unbounded::<Instance>();
         for inst in &instances {
             work_tx.send(*inst).expect("receiver alive");
@@ -259,7 +371,7 @@ impl Engine {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
                 let shared = &shared;
-                scope.spawn(move || self.worker(work_rx, done_tx, shared));
+                scope.spawn(move || self.worker(work_rx, done_tx, shared, base));
             }
         });
         let wall = started.elapsed();
@@ -283,16 +395,17 @@ impl Engine {
         work_rx: Receiver<Instance>,
         done_tx: Sender<(u32, Outcome)>,
         shared: &SharedHistory,
+        base: u32,
     ) {
         // The queue is fully loaded (and its sender dropped) before
         // workers start, so the first failed receive means drained.
         while let Ok(inst) = work_rx.try_recv() {
-            let out = self.execute_instance(inst, shared);
+            let out = self.execute_instance(inst, shared, base);
             let _ = done_tx.send((inst.id, out));
         }
     }
 
-    fn execute_instance(&self, inst: Instance, shared: &SharedHistory) -> Outcome {
+    fn execute_instance(&self, inst: Instance, shared: &SharedHistory, base: u32) -> Outcome {
         let started = Instant::now();
         let tmpl = self.registry.template(inst.template);
         // Admission gate: occupy one of the template's certified slots
@@ -308,21 +421,48 @@ impl Engine {
 
         let budget = if certified { 1 } else { self.cfg.max_attempts };
         for attempt in 0..budget {
+            let ctx = WriteCtx {
+                instance: TxnId(inst.id),
+                gid: base + inst.id,
+                attempt,
+                // The certified path cannot abort, so it skips undo
+                // bookkeeping entirely (the no-WAL hot path stays
+                // unchanged).
+                track_undo: !certified,
+            };
+            if let Some(w) = &self.wal {
+                w.log_begin(ctx.gid, inst.template, attempt);
+            }
             let result = if certified {
-                self.attempt_blocking(inst, t, attempt, shared)
+                self.attempt_blocking(inst, t, &ctx, shared)
             } else {
-                self.attempt_wait_die(inst, t, attempt, shared)
+                self.attempt_wait_die(inst, t, &ctx, shared)
             };
             match result {
-                AttemptResult::Committed { reads, writes } => {
+                AttemptResult::Committed {
+                    reads,
+                    writes,
+                    writes_skipped,
+                } => {
+                    self.commit_instance(inst, t, &ctx);
                     out.committed_attempt = Some(attempt);
                     out.reads += reads;
                     out.writes += writes;
+                    out.writes_skipped += writes_skipped;
                     break;
                 }
-                AttemptResult::Died { dirty } => {
+                AttemptResult::Died {
+                    rolled_back,
+                    unrecovered,
+                } => {
+                    if let Some(w) = &self.wal {
+                        w.log_abort(ctx.gid, attempt);
+                    }
                     out.aborts += 1;
-                    out.dirty_aborts += u32::from(dirty);
+                    out.rolled_back += u64::from(rolled_back);
+                    // Only a write that could not be rolled back leaves
+                    // the abort dirty (and voids the run's audit).
+                    out.dirty_aborts += u32::from(unrecovered > 0);
                     let jitter = rng.gen_range(0..=self.cfg.backoff.as_micros() as u64);
                     std::thread::sleep(
                         self.cfg.backoff
@@ -335,21 +475,44 @@ impl Engine {
         out
     }
 
+    /// Seals a committed attempt: drops its undo entries shard by shard
+    /// (its writes are now permanent) and appends the durable commit
+    /// decision. Ordered after every `Write`/`Event` record of the
+    /// attempt, so a recovered `Commit` implies a complete instance.
+    fn commit_instance(&self, inst: Instance, t: &Transaction, ctx: &WriteCtx) {
+        if ctx.track_undo {
+            let tmpl = self.registry.template(inst.template);
+            let mut cleared = HashSet::new();
+            for &e in t.entities() {
+                if tmpl.program.write_for(e).is_some() {
+                    let site = self.store.db().site_of(e);
+                    if cleared.insert(site) {
+                        self.store.shard_of(e).commit_clear(ctx.instance);
+                    }
+                }
+            }
+        }
+        if let Some(w) = &self.wal {
+            w.log_commit(ctx.gid, inst.template, ctx.attempt);
+        }
+    }
+
     /// The `Nothing`-policy attempt: issue every ready lock, park on the
     /// grant channel, never abort. Single attempt, cannot fail.
     fn attempt_blocking(
         &self,
         inst: Instance,
         t: &Transaction,
-        attempt: u32,
+        ctx: &WriteCtx,
         shared: &SharedHistory,
     ) -> AttemptResult {
-        let me = TxnId(inst.id);
+        let me = ctx.instance;
+        let attempt = ctx.attempt;
         let tmpl = self.registry.template(inst.template);
         let (grant_tx, grant_rx) = unbounded::<EntityId>();
         let mut executed = Prefix::empty(t);
         let mut issued = vec![false; t.node_count()];
-        let (mut reads, mut writes) = (0u64, 0u64);
+        let (mut reads, mut writes, mut writes_skipped) = (0u64, 0u64, 0u64);
 
         loop {
             let mut progressed = false;
@@ -363,7 +526,7 @@ impl Engine {
                 if op.is_lock() {
                     match shard.request(me, op.entity, &grant_tx) {
                         LockOutcome::Granted => {
-                            reads += 1;
+                            reads += u64::from(tmpl.program.reads_entity(op.entity));
                             self.simulate_work();
                             shared.record(me, attempt, n);
                             executed.push(n);
@@ -372,16 +535,22 @@ impl Engine {
                         LockOutcome::Queued { .. } => {} // grant arrives later
                     }
                 } else {
-                    let w = tmpl.program.write_for(op.entity);
-                    writes += u64::from(w.is_some());
                     shared.record(me, attempt, n);
                     executed.push(n);
-                    shard.write_and_release(me, op.entity, w);
+                    Self::count_write(
+                        shard.write_and_release(ctx, op.entity, tmpl.program.write_for(op.entity)),
+                        &mut writes,
+                        &mut writes_skipped,
+                    );
                     progressed = true;
                 }
             }
             if executed.is_complete(t) {
-                return AttemptResult::Committed { reads, writes };
+                return AttemptResult::Committed {
+                    reads,
+                    writes,
+                    writes_skipped,
+                };
             }
             if progressed {
                 continue;
@@ -391,10 +560,24 @@ impl Engine {
                 .recv()
                 .expect("grant channel lives as long as this attempt");
             let n = t.lock_node_of(entity).expect("granted entity is accessed");
-            reads += 1;
+            reads += u64::from(tmpl.program.reads_entity(entity));
             self.simulate_work();
             shared.record(me, attempt, n);
             executed.push(n);
+        }
+    }
+
+    /// Folds one write outcome into the attempt counters: applied writes
+    /// count, absent writes don't, and a typed skip ([`crate::store::WriteError`])
+    /// is counted separately instead of silently clobbering.
+    fn count_write(
+        result: Result<bool, crate::store::WriteError>,
+        writes: &mut u64,
+        skipped: &mut u64,
+    ) {
+        match result {
+            Ok(applied) => *writes += u64::from(applied),
+            Err(_) => *skipped += 1,
         }
     }
 
@@ -405,14 +588,15 @@ impl Engine {
         &self,
         inst: Instance,
         t: &Transaction,
-        attempt: u32,
+        ctx: &WriteCtx,
         shared: &SharedHistory,
     ) -> AttemptResult {
-        let me = TxnId(inst.id);
+        let me = ctx.instance;
+        let attempt = ctx.attempt;
         let tmpl = self.registry.template(inst.template);
         let (grant_tx, _grant_rx) = unbounded::<EntityId>();
         let mut executed = Prefix::empty(t);
-        let (mut reads, mut writes) = (0u64, 0u64);
+        let (mut reads, mut writes, mut writes_skipped) = (0u64, 0u64, 0u64);
 
         while !executed.is_complete(t) {
             let ready = executed.ready_nodes(t);
@@ -429,7 +613,7 @@ impl Engine {
                 loop {
                     match shard.request(me, op.entity, &grant_tx) {
                         LockOutcome::Granted => {
-                            reads += 1;
+                            reads += u64::from(tmpl.program.reads_entity(op.entity));
                             self.simulate_work();
                             shared.record(me, attempt, next);
                             executed.push(next);
@@ -441,7 +625,7 @@ impl Engine {
                             // die (younger).
                             if shard.withdraw(me, op.entity) {
                                 // Promoted in the race: the lock is ours.
-                                reads += 1;
+                                reads += u64::from(tmpl.program.reads_entity(op.entity));
                                 self.simulate_work();
                                 shared.record(me, attempt, next);
                                 executed.push(next);
@@ -450,21 +634,31 @@ impl Engine {
                             if me.0 < holder.0 {
                                 std::thread::sleep(self.cfg.poll);
                             } else {
-                                let dirty = self.abort_attempt(me, t, &executed);
-                                return AttemptResult::Died { dirty };
+                                let (rolled_back, unrecovered) =
+                                    self.abort_attempt(ctx, t, tmpl, &executed);
+                                return AttemptResult::Died {
+                                    rolled_back,
+                                    unrecovered,
+                                };
                             }
                         }
                     }
                 }
             } else {
-                let w = tmpl.program.write_for(op.entity);
-                writes += u64::from(w.is_some());
                 shared.record(me, attempt, next);
                 executed.push(next);
-                shard.write_and_release(me, op.entity, w);
+                Self::count_write(
+                    shard.write_and_release(ctx, op.entity, tmpl.program.write_for(op.entity)),
+                    &mut writes,
+                    &mut writes_skipped,
+                );
             }
         }
-        AttemptResult::Committed { reads, writes }
+        AttemptResult::Committed {
+            reads,
+            writes,
+            writes_skipped,
+        }
     }
 
     fn simulate_work(&self) {
@@ -473,15 +667,41 @@ impl Engine {
         }
     }
 
-    /// Releases everything a dying attempt holds. Returns whether the
-    /// abort is dirty (an unlock had already executed, exposing its
-    /// write — impossible for two-phase templates, which die before
-    /// their first unlock).
-    fn abort_attempt(&self, me: TxnId, t: &Transaction, executed: &Prefix) -> bool {
+    /// Unwinds a dying attempt. Held locks are released (their writes
+    /// were never applied — writes happen at unlock), then every write
+    /// an earlier unlock already exposed is rolled back through the
+    /// shard undo logs (non-two-phase templates can die after their
+    /// first unlock; two-phase ones die before it and have nothing to
+    /// undo). Returns `(rolled_back, unrecovered)` write counts — an
+    /// abort is only *dirty* if some write could not be undone.
+    fn abort_attempt(
+        &self,
+        ctx: &WriteCtx,
+        t: &Transaction,
+        tmpl: &Template,
+        executed: &Prefix,
+    ) -> (u32, u32) {
         for e in executed.held_entities(t) {
-            self.store.shard_of(e).write_and_release(me, e, None);
+            self.store.shard_of(e).release(ctx.instance, e);
         }
-        executed.iter().any(|n| !t.op(n).is_lock())
+        let (mut rolled_back, mut unrecovered) = (0u32, 0u32);
+        // Exposed writes: entities whose unlock executed and whose
+        // program has a write. Each entity is written at most once per
+        // attempt and rollback is per-entity image/compensation, so
+        // reverse execution order is not required.
+        for n in executed.iter() {
+            let op = t.op(n);
+            if op.is_lock() || tmpl.program.write_for(op.entity).is_none() {
+                continue;
+            }
+            match self.store.shard_of(op.entity).undo_write(ctx, op.entity) {
+                out if out.rolled_back() => rolled_back += 1,
+                UndoOutcome::Unrecoverable => unrecovered += 1,
+                // A skipped (mistyped) write left nothing to undo.
+                _ => {}
+            }
+        }
+        (rolled_back, unrecovered)
     }
 
     fn build_report(
@@ -504,10 +724,12 @@ impl Engine {
         let dirty_aborts: usize = outcomes.iter().map(|o| o.dirty_aborts as usize).sum();
 
         // Audit: one transaction per instance, so `D(S)` sees each
-        // instance as its own node set. A dirty abort voids the audit's
-        // premise (an aborted attempt left a durable write the committed
-        // projection cannot see), so report `None` rather than a verdict
-        // over the wrong schedule.
+        // instance as its own node set. Rolled-back aborts are clean —
+        // their writes were undone, so excluding their events is sound —
+        // and wait-die runs now audit like certified ones. Only an
+        // *unrecovered* dirty abort (a write the undo log could not take
+        // back) still voids the audit's premise, reporting `None` rather
+        // than a verdict over the wrong schedule.
         let serializable = if failed.is_empty() && !instances.is_empty() && dirty_aborts == 0 {
             let txns: Vec<Transaction> = instances
                 .iter()
@@ -560,9 +782,11 @@ impl Engine {
                 .count(),
             aborted_attempts: outcomes.iter().map(|o| o.aborts as usize).sum(),
             dirty_aborts,
+            rolled_back: outcomes.iter().map(|o| o.rolled_back).sum(),
             failed,
             reads: outcomes.iter().map(|o| o.reads).sum(),
             writes: outcomes.iter().map(|o| o.writes).sum(),
+            writes_skipped: outcomes.iter().map(|o| o.writes_skipped).sum(),
             wall,
             serializable,
             history_len: history.len(),

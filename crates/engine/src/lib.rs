@@ -24,20 +24,30 @@
 //!       Certified / CertifiedDeadlockFree     Fallback
 //!        `Nothing` policy:                wait-die w/ retry:
 //!        block on FIFO grants,            poll, re-check rule,
-//!        no detector, no timeout,         younger dies, backoff
-//!        zero aborts possible             bounded attempts
+//!        no detector, no timeout,         younger dies, backoff;
+//!        zero aborts possible             a victim's exposed writes
+//!              │                          roll back via the undo log
 //!              └──────────────┬────────────────────┘
 //!                        Executor (worker pool)
 //!                             │ SlotGate.acquire() ⇒ in-flight mix is a
 //!                             │ subsystem of the certified inflated system
 //!                             │ partial-order-respecting lock acquisition
 //!                          Store: one Shard per SiteId
-//!                          { values + LockTable } per mutex
-//!                             │
+//!                          { values + LockTable + undo log } per mutex
+//!                             │                  │
+//!                             │   Wal (optional file sink, framed records)
+//!                             │     shard-<k>.wal   Write/Undo per shard
+//!                             │     commit.wal      Begin/Commit/Abort
+//!                             │     history.wal     lock/unlock events
+//!                             │                  │
+//!                             │        wal::recover(dir): replay committed
+//!                             │        ops ▶ fresh Store ▶ re-run D(S)
+//!                             ▼
 //!                          History ──▶ D(S) audit
 //!                             │
 //!                          Report: certified k vs achieved peak,
-//!                          aborts, latency, per template
+//!                          aborts (rolled back vs dirty), latency,
+//!                          per template
 //! ```
 //!
 //! * [`store`] — entities carry versioned `u64`/bytes payloads, sharded
@@ -58,6 +68,11 @@
 //!   projection is audited with the model's `D(S)` serializability test.
 //! * [`report`] — throughput / latency / abort metrics following the
 //!   `ddlf_sim::metrics` conventions.
+//! * [`wal`] — the per-shard value/undo log behind both the wait-die
+//!   rollback (no more dirty aborts: the audit covers non-two-phase
+//!   fallback runs too) and the optional write-ahead file sink whose
+//!   [`wal::recover`] replays committed operations into a fresh store
+//!   and re-audits the recovered history after a crash.
 //!
 //! Concurrency is a *certified quantity*: each template's [`SlotGate`]
 //! admits at most its certified `k_t` live instances (∞ under Theorem 5,
@@ -100,11 +115,13 @@ pub mod executor;
 pub mod report;
 pub mod store;
 pub mod template;
+pub mod wal;
 
 pub use executor::{run_system, Engine, EngineConfig};
 pub use report::{LatencyStats, Report, TemplateReport};
-pub use store::{Datum, Shard, Store, VersionedValue};
+pub use store::{Datum, Shard, Store, VersionedValue, WriteError};
 pub use template::{
     AdmissionOptions, AdmissionPlan, AdmissionVerdict, Inflation, Program, SlotGate, SlotGuard,
     Slots, Template, TemplateRegistry, WriteOp,
 };
+pub use wal::{recover, Recovered, Wal, WalError, WalOptions, WalRecord};

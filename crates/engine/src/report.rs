@@ -89,16 +89,28 @@ pub struct Report {
     /// Aborted attempts — every abort is a wait-die victim that retried;
     /// the certified path cannot abort, so this is always 0 there.
     pub aborted_attempts: usize,
-    /// Aborts that happened after an unlock had already exposed a write
-    /// (impossible for two-phase templates). Nonzero voids the
-    /// serializability audit (`serializable` becomes `None`).
+    /// Aborts that exposed a write the shard undo logs could **not**
+    /// take back (a clobbered absolute write). Exposed writes are
+    /// normally rolled back (see [`Report::rolled_back`]); only this
+    /// residue voids the serializability audit (`serializable` becomes
+    /// `None`).
     pub dirty_aborts: usize,
+    /// Exposed writes of dying attempts that were rolled back through
+    /// the per-shard undo logs (exact before-image or inverse-delta
+    /// compensation) — what used to be unconditionally dirty.
+    pub rolled_back: u64,
     /// Instance ids that exhausted their attempt budget.
     pub failed: Vec<u32>,
-    /// Reads performed under locks.
+    /// Data reads performed under locks (lock-only ticket entities are
+    /// not reads; see [`crate::Program::reads_entity`]).
     pub reads: u64,
     /// Writes committed to the store.
     pub writes: u64,
+    /// Writes skipped with a typed error because the operation did not
+    /// type against the entity's payload
+    /// ([`crate::store::WriteError`]); the old behavior silently
+    /// clobbered the payload instead.
+    pub writes_skipped: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// Post-hoc `D(S)` audit of the committed schedule; `None` when not
@@ -186,9 +198,11 @@ impl Report {
         self.committed += run.committed;
         self.aborted_attempts += run.aborted_attempts;
         self.dirty_aborts += run.dirty_aborts;
+        self.rolled_back += run.rolled_back;
         self.failed.extend_from_slice(&run.failed);
         self.reads += run.reads;
         self.writes += run.writes;
+        self.writes_skipped += run.writes_skipped;
         self.wall += run.wall;
         self.history_len += run.history_len;
         debug_assert_eq!(self.per_template.len(), run.per_template.len());
@@ -237,9 +251,11 @@ mod tests {
             committed: 4,
             aborted_attempts: 0,
             dirty_aborts: 0,
+            rolled_back: 0,
             failed: vec![],
             reads: 0,
             writes: 0,
+            writes_skipped: 0,
             wall: Duration::from_millis(1),
             serializable,
             history_len: 0,
@@ -283,9 +299,11 @@ mod tests {
             committed: 10,
             aborted_attempts: 0,
             dirty_aborts: 0,
+            rolled_back: 0,
             failed: vec![],
             reads: 0,
             writes: 0,
+            writes_skipped: 0,
             wall: Duration::from_secs(2),
             serializable: Some(true),
             history_len: 0,

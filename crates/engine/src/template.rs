@@ -32,7 +32,7 @@ use ddlf_core::{
 };
 use ddlf_model::{EntityId, ModelError, TransactionSystem, TxnId};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -47,12 +47,21 @@ pub enum WriteOp {
     PutBytes(Vec<u8>),
 }
 
-/// The data program of one template: every locked entity is read at
-/// lock-grant time; entities listed here are also written (the write
-/// becomes effective at unlock time, while the lock is still held).
+/// The data program of one template: which locked entities are *read*
+/// at lock-grant time and which are *written* (the write becomes
+/// effective at unlock time, while the lock is still held).
+///
+/// An entity is read when it is listed via [`Program::read`] or when its
+/// write is a [`WriteOp::Add`] (a delta reads the current value). An
+/// entity that is locked but neither read nor written — a ticket/ledger
+/// lock held purely for ordering — counts as **neither**, so the
+/// [`crate::Report`] read/write totals reflect data movement, not lock
+/// traffic. (Both executor paths share this accounting; the wait-die
+/// path used to charge a read for every grant.)
 #[derive(Debug, Clone, Default)]
 pub struct Program {
     writes: HashMap<EntityId, WriteOp>,
+    reads: HashSet<EntityId>,
 }
 
 impl Program {
@@ -75,6 +84,18 @@ impl Program {
     pub fn write(mut self, entity: EntityId, op: WriteOp) -> Self {
         self.writes.insert(entity, op);
         self
+    }
+
+    /// Declares that the program reads `entity` at lock-grant time
+    /// (entities with an [`WriteOp::Add`] write are read implicitly).
+    pub fn read(mut self, entity: EntityId) -> Self {
+        self.reads.insert(entity);
+        self
+    }
+
+    /// Whether the program reads `entity` when its lock is granted.
+    pub fn reads_entity(&self, entity: EntityId) -> bool {
+        self.reads.contains(&entity) || matches!(self.writes.get(&entity), Some(WriteOp::Add(_)))
     }
 
     /// A money-transfer program: `-amount` on `from`, `+amount` on `to`.
@@ -802,5 +823,20 @@ mod tests {
         assert_eq!(p.write_for(EntityId(0)), Some(&WriteOp::Add(-25)));
         assert_eq!(p.write_for(EntityId(1)), Some(&WriteOp::Add(25)));
         assert_eq!(Program::read_only().write_count(), 0);
+    }
+
+    #[test]
+    fn reads_are_declared_or_implied_by_deltas_never_by_locks_alone() {
+        let (acct, ledger, blind) = (EntityId(0), EntityId(1), EntityId(2));
+        let p = Program::default()
+            .write(acct, WriteOp::Add(-5)) // delta ⇒ implicit read
+            .write(blind, WriteOp::Put(9)) // blind overwrite ⇒ no read
+            .read(ledger); // explicit read, no write
+        assert!(p.reads_entity(acct));
+        assert!(p.reads_entity(ledger));
+        assert!(!p.reads_entity(blind));
+        // A lock-only ticket entity is neither read nor written.
+        assert!(!p.reads_entity(EntityId(3)));
+        assert!(p.write_for(EntityId(3)).is_none());
     }
 }

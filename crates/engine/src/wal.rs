@@ -1,0 +1,949 @@
+//! Per-shard value/undo logging with write-ahead durability and
+//! crash-recovery replay through the `D(S)` audit.
+//!
+//! Two jobs share one record stream:
+//!
+//! 1. **Undo** — the wait-die fallback can kill an attempt *after* its
+//!    first unlock has exposed a write (the paper's non-two-phase
+//!    regime). Each shard keeps the before-image of every write an
+//!    in-flight attempt applies, so [`crate::Engine`]'s abort path can
+//!    roll the attempt back instead of leaving a dirty write behind —
+//!    which is what used to void the serializability audit.
+//! 2. **Redo** — with a file sink attached, every record is appended to
+//!    disk *before* the in-memory store mutates, so a crashed process
+//!    can be replayed: committed operations are re-applied to a fresh
+//!    store and the recovered lock/unlock history is re-audited with the
+//!    model's `D(S)` test. Commit is a **durable decision** (Gray &
+//!    Lamport, *Consensus on Transaction Commit*): an instance is
+//!    recovered if and only if its `Commit` record reached the decision
+//!    log, never because its data writes happen to be present.
+//!
+//! ## On-disk layout
+//!
+//! A WAL directory holds one log file per shard plus two shared logs and
+//! a metadata file:
+//!
+//! ```text
+//!   wal/
+//!     meta.json      the registered SystemSpec + initial entity value
+//!     commit.wal     Begin / Commit / Abort — the durable decision log
+//!     history.wal    Event — the lock/unlock stream the D(S) audit replays
+//!     shard-<k>.wal  Write / Undo — the value log of shard k, apply order
+//! ```
+//!
+//! Every `.wal` file is a sequence of length-prefixed frames in the
+//! [`ddlf_sim::msg::frame`] codec (u32 LE length + payload); each payload
+//! is one binary [`WalRecord`]:
+//!
+//! ```text
+//!   Begin  := 0x01 gid:u32 template:u32 attempt:u32
+//!   Write  := 0x02 gid:u32 attempt:u32 entity:u32 op:WriteOp before:VV after:VV
+//!   Undo   := 0x03 gid:u32 entity:u32 restored:VV
+//!   Commit := 0x04 gid:u32 template:u32 attempt:u32
+//!   Abort  := 0x05 gid:u32 attempt:u32
+//!   Event  := 0x06 time:u64 gid:u32 attempt:u32 node:u32
+//!
+//!   WriteOp := 0x00 delta:i64(LE)  |  0x01 value:u64  |  0x02 len:u32 bytes
+//!   Datum   := 0x00 value:u64      |  0x01 len:u32 bytes
+//!   VV      := version:u64 Datum                      (all integers LE)
+//! ```
+//!
+//! `gid` is a **globally unique instance id** within the WAL directory:
+//! each engine run reserves `base..base + instances` above every id seen
+//! so far, so histories of successive runs concatenate without instance
+//! collisions and one audit covers them all.
+//!
+//! ## Durability model
+//!
+//! Records are written with one unbuffered `write(2)` per frame, in
+//! program order: a `Commit` record can only be durable after every
+//! `Write` and `Event` record of its instance. That makes replay correct
+//! against process death (`SIGKILL` — the page cache survives), which is
+//! what the CI crash-recovery smoke exercises. Surviving *power loss*
+//! additionally needs [`WalOptions::sync`], which fsyncs the decision
+//! log on every commit.
+
+use crate::store::{Store, WriteError};
+use crate::template::WriteOp;
+use crate::{Datum, VersionedValue};
+use bytes::{BufMut, Bytes, BytesMut};
+use ddlf_model::{EntityId, NodeId, SystemSpec, TransactionSystem, TxnId};
+use ddlf_sim::msg::{codec, frame};
+use ddlf_sim::{History, HistoryEvent, SimTime};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// One log record. See the module docs for the binary layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// An attempt of instance `gid` started executing.
+    Begin {
+        /// Global instance id.
+        gid: u32,
+        /// Template index within the registered system.
+        template: u32,
+        /// Attempt number (wait-die retries bump it).
+        attempt: u32,
+    },
+    /// A write was applied to `entity` (logged *before* the in-memory
+    /// apply).
+    Write {
+        /// Global instance id.
+        gid: u32,
+        /// Attempt that performed the write.
+        attempt: u32,
+        /// Written entity.
+        entity: EntityId,
+        /// The operation — recovery replays the *operation*, not the
+        /// after-image, so interleaved rolled-back writes of other
+        /// instances cannot corrupt the replay.
+        op: WriteOp,
+        /// Value before the write (the undo image).
+        before: VersionedValue,
+        /// Value after the write.
+        after: VersionedValue,
+    },
+    /// An exposed write of a dying attempt was rolled back.
+    Undo {
+        /// Global instance id.
+        gid: u32,
+        /// Entity restored.
+        entity: EntityId,
+        /// The value the rollback installed.
+        restored: VersionedValue,
+    },
+    /// The durable commit decision for instance `gid`.
+    Commit {
+        /// Global instance id.
+        gid: u32,
+        /// Template index within the registered system.
+        template: u32,
+        /// The committing attempt.
+        attempt: u32,
+    },
+    /// The attempt died (wait-die victim); its writes were undone.
+    Abort {
+        /// Global instance id.
+        gid: u32,
+        /// The dying attempt.
+        attempt: u32,
+    },
+    /// One lock/unlock history event (the `D(S)` audit's input).
+    Event {
+        /// Logical timestamp within the run.
+        time: u64,
+        /// Global instance id.
+        gid: u32,
+        /// Attempt the event belongs to.
+        attempt: u32,
+        /// Operation node within the template.
+        node: NodeId,
+    },
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_WRITE: u8 = 2;
+const TAG_UNDO: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_ABORT: u8 = 5;
+const TAG_EVENT: u8 = 6;
+
+const OP_ADD: u8 = 0;
+const OP_PUT: u8 = 1;
+const OP_PUT_BYTES: u8 = 2;
+
+const DATUM_INT: u8 = 0;
+const DATUM_BYTES: u8 = 1;
+
+fn put_datum(b: &mut BytesMut, d: &Datum) {
+    match d {
+        Datum::Int(v) => {
+            b.put_u8(DATUM_INT);
+            b.put_u64_le(*v);
+        }
+        Datum::Bytes(bytes) => {
+            b.put_u8(DATUM_BYTES);
+            codec::put_bytes(b, bytes);
+        }
+    }
+}
+
+fn get_datum(buf: &mut Bytes) -> Option<Datum> {
+    match codec::get_u8(buf)? {
+        DATUM_INT => Some(Datum::Int(codec::get_u64(buf)?)),
+        DATUM_BYTES => Some(Datum::Bytes(codec::get_bytes(buf)?)),
+        _ => None,
+    }
+}
+
+fn put_versioned(b: &mut BytesMut, v: &VersionedValue) {
+    b.put_u64_le(v.version);
+    put_datum(b, &v.datum);
+}
+
+fn get_versioned(buf: &mut Bytes) -> Option<VersionedValue> {
+    Some(VersionedValue {
+        version: codec::get_u64(buf)?,
+        datum: get_datum(buf)?,
+    })
+}
+
+fn put_op(b: &mut BytesMut, op: &WriteOp) {
+    match op {
+        WriteOp::Add(delta) => {
+            b.put_u8(OP_ADD);
+            b.put_u64_le(*delta as u64);
+        }
+        WriteOp::Put(v) => {
+            b.put_u8(OP_PUT);
+            b.put_u64_le(*v);
+        }
+        WriteOp::PutBytes(bytes) => {
+            b.put_u8(OP_PUT_BYTES);
+            codec::put_bytes(b, bytes);
+        }
+    }
+}
+
+fn get_op(buf: &mut Bytes) -> Option<WriteOp> {
+    match codec::get_u8(buf)? {
+        OP_ADD => Some(WriteOp::Add(codec::get_u64(buf)? as i64)),
+        OP_PUT => Some(WriteOp::Put(codec::get_u64(buf)?)),
+        OP_PUT_BYTES => Some(WriteOp::PutBytes(codec::get_bytes(buf)?)),
+        _ => None,
+    }
+}
+
+impl WalRecord {
+    /// Encodes to the binary record format (see module docs).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        match self {
+            WalRecord::Begin {
+                gid,
+                template,
+                attempt,
+            } => {
+                b.put_u8(TAG_BEGIN);
+                b.put_u32_le(*gid);
+                b.put_u32_le(*template);
+                b.put_u32_le(*attempt);
+            }
+            WalRecord::Write {
+                gid,
+                attempt,
+                entity,
+                op,
+                before,
+                after,
+            } => {
+                b.put_u8(TAG_WRITE);
+                b.put_u32_le(*gid);
+                b.put_u32_le(*attempt);
+                b.put_u32_le(entity.0);
+                put_op(&mut b, op);
+                put_versioned(&mut b, before);
+                put_versioned(&mut b, after);
+            }
+            WalRecord::Undo {
+                gid,
+                entity,
+                restored,
+            } => {
+                b.put_u8(TAG_UNDO);
+                b.put_u32_le(*gid);
+                b.put_u32_le(entity.0);
+                put_versioned(&mut b, restored);
+            }
+            WalRecord::Commit {
+                gid,
+                template,
+                attempt,
+            } => {
+                b.put_u8(TAG_COMMIT);
+                b.put_u32_le(*gid);
+                b.put_u32_le(*template);
+                b.put_u32_le(*attempt);
+            }
+            WalRecord::Abort { gid, attempt } => {
+                b.put_u8(TAG_ABORT);
+                b.put_u32_le(*gid);
+                b.put_u32_le(*attempt);
+            }
+            WalRecord::Event {
+                time,
+                gid,
+                attempt,
+                node,
+            } => {
+                b.put_u8(TAG_EVENT);
+                b.put_u64_le(*time);
+                b.put_u32_le(*gid);
+                b.put_u32_le(*attempt);
+                b.put_u32_le(node.0);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes one record; `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<WalRecord> {
+        let rec = match codec::get_u8(&mut buf)? {
+            TAG_BEGIN => WalRecord::Begin {
+                gid: codec::get_u32(&mut buf)?,
+                template: codec::get_u32(&mut buf)?,
+                attempt: codec::get_u32(&mut buf)?,
+            },
+            TAG_WRITE => WalRecord::Write {
+                gid: codec::get_u32(&mut buf)?,
+                attempt: codec::get_u32(&mut buf)?,
+                entity: EntityId(codec::get_u32(&mut buf)?),
+                op: get_op(&mut buf)?,
+                before: get_versioned(&mut buf)?,
+                after: get_versioned(&mut buf)?,
+            },
+            TAG_UNDO => WalRecord::Undo {
+                gid: codec::get_u32(&mut buf)?,
+                entity: EntityId(codec::get_u32(&mut buf)?),
+                restored: get_versioned(&mut buf)?,
+            },
+            TAG_COMMIT => WalRecord::Commit {
+                gid: codec::get_u32(&mut buf)?,
+                template: codec::get_u32(&mut buf)?,
+                attempt: codec::get_u32(&mut buf)?,
+            },
+            TAG_ABORT => WalRecord::Abort {
+                gid: codec::get_u32(&mut buf)?,
+                attempt: codec::get_u32(&mut buf)?,
+            },
+            TAG_EVENT => WalRecord::Event {
+                time: codec::get_u64(&mut buf)?,
+                gid: codec::get_u32(&mut buf)?,
+                attempt: codec::get_u32(&mut buf)?,
+                node: NodeId(codec::get_u32(&mut buf)?),
+            },
+            _ => return None,
+        };
+        codec::finished(&buf, rec)
+    }
+}
+
+/// WAL tuning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalOptions {
+    /// `fsync` the decision log on every commit. Off by default: the
+    /// per-record `write(2)` already survives process death, and the
+    /// crash model the tests exercise is `SIGKILL`, not power loss.
+    pub sync: bool,
+}
+
+/// The metadata file a WAL directory starts with: enough to rebuild the
+/// registered system and the store's initial state at recovery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WalMeta {
+    spec: SystemSpec,
+    initial_value: u64,
+}
+
+const META_FILE: &str = "meta.json";
+const COMMIT_FILE: &str = "commit.wal";
+const HISTORY_FILE: &str = "history.wal";
+
+fn shard_file(k: usize) -> String {
+    format!("shard-{k}.wal")
+}
+
+/// The file-backed sink of one engine: the shared decision and history
+/// logs, plus the per-shard value logs the [`Store`] opens through
+/// [`Wal::open_shard_log`]. Append failures poison the WAL (reported
+/// once on stderr, then dropped) rather than panicking the hot path.
+pub struct Wal {
+    dir: PathBuf,
+    commit: Mutex<File>,
+    history: Mutex<File>,
+    next_base: AtomicU32,
+    sync: bool,
+    failed: AtomicBool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("next_base", &self.next_base.load(Ordering::Relaxed))
+            .field("failed", &self.failed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn append_mode(path: &Path) -> io::Result<File> {
+    OpenOptions::new().create(true).append(true).open(path)
+}
+
+impl Wal {
+    /// Creates (or **rotates**) a WAL directory for a fresh engine over
+    /// `sys`: wipes any previous generation's log files, then writes
+    /// `meta.json`. Refuses to touch a non-empty directory that does not
+    /// look like a WAL directory (no `meta.json`), so a mistyped path
+    /// cannot destroy unrelated data.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        sys: &TransactionSystem,
+        initial_value: u64,
+        opts: WalOptions,
+    ) -> io::Result<Arc<Wal>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let occupied = std::fs::read_dir(&dir)?.next().is_some();
+        if occupied && !dir.join(META_FILE).exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} is non-empty and has no {META_FILE}: refusing to rotate a non-WAL directory",
+                    dir.display()
+                ),
+            ));
+        }
+        // Rotate: a new registration means a new system and a new store,
+        // so the previous generation's records are dead.
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == META_FILE
+                || name == COMMIT_FILE
+                || name == HISTORY_FILE
+                || (name.starts_with("shard-") && name.ends_with(".wal"))
+            {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        let meta = WalMeta {
+            spec: SystemSpec::from_system(sys),
+            initial_value,
+        };
+        let json = serde_json::to_string_pretty(&meta)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("meta: {e}")))?;
+        std::fs::write(dir.join(META_FILE), json)?;
+        Ok(Arc::new(Wal {
+            commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE))?),
+            history: Mutex::new(append_mode(&dir.join(HISTORY_FILE))?),
+            next_base: AtomicU32::new(0),
+            sync: opts.sync,
+            failed: AtomicBool::new(false),
+            dir,
+        }))
+    }
+
+    /// Re-opens an existing WAL directory in append mode after a
+    /// [`recover`], continuing global instance ids above `next_base`.
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        next_base: u32,
+        opts: WalOptions,
+    ) -> io::Result<Arc<Wal>> {
+        let dir = dir.into();
+        if !dir.join(META_FILE).exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} has no {META_FILE}", dir.display()),
+            ));
+        }
+        Ok(Arc::new(Wal {
+            commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE))?),
+            history: Mutex::new(append_mode(&dir.join(HISTORY_FILE))?),
+            next_base: AtomicU32::new(next_base),
+            sync: opts.sync,
+            failed: AtomicBool::new(false),
+            dir,
+        }))
+    }
+
+    /// The directory this WAL writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether an append has failed (the WAL stopped recording).
+    pub fn poisoned(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Opens the value log of shard `k` in append mode.
+    pub(crate) fn open_shard_log(&self, k: usize) -> io::Result<File> {
+        append_mode(&self.dir.join(shard_file(k)))
+    }
+
+    /// Reserves `count` globally unique instance ids for one run,
+    /// returning the base (ids are `base..base + count`).
+    pub(crate) fn begin_run(&self, count: u32) -> u32 {
+        let base = self.next_base.fetch_add(count, Ordering::SeqCst);
+        assert!(
+            base.checked_add(count).is_some(),
+            "WAL instance-id space exhausted (u32)"
+        );
+        base
+    }
+
+    /// Appends one frame to `file`, poisoning the WAL on I/O failure.
+    pub(crate) fn append_record(&self, file: &mut File, rec: &WalRecord) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Err(e) = frame::write_frame(file, rec.encode().as_ref()) {
+            if !self.failed.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "ddlf-engine: WAL append to {} failed, log disabled: {e}",
+                    self.dir.display()
+                );
+            }
+        }
+    }
+
+    fn append_shared(&self, file: &Mutex<File>, rec: &WalRecord, sync: bool) {
+        let mut f = file.lock();
+        self.append_record(&mut f, rec);
+        if sync && !self.poisoned() {
+            let _ = f.sync_data();
+        }
+    }
+
+    pub(crate) fn log_begin(&self, gid: u32, template: TxnId, attempt: u32) {
+        self.append_shared(
+            &self.commit,
+            &WalRecord::Begin {
+                gid,
+                template: template.0,
+                attempt,
+            },
+            false,
+        );
+    }
+
+    pub(crate) fn log_commit(&self, gid: u32, template: TxnId, attempt: u32) {
+        self.append_shared(
+            &self.commit,
+            &WalRecord::Commit {
+                gid,
+                template: template.0,
+                attempt,
+            },
+            self.sync,
+        );
+    }
+
+    pub(crate) fn log_abort(&self, gid: u32, attempt: u32) {
+        self.append_shared(&self.commit, &WalRecord::Abort { gid, attempt }, false);
+    }
+
+    /// Appends one history event, translated to the run's global id
+    /// space. Called from inside the history's timestamp critical
+    /// section, so file order equals timestamp order.
+    pub(crate) fn log_event(&self, ev: &HistoryEvent, base: u32) {
+        self.append_shared(
+            &self.history,
+            &WalRecord::Event {
+                time: ev.time.micros(),
+                gid: base + ev.txn.0,
+                attempt: ev.attempt,
+                node: ev.node,
+            },
+            false,
+        );
+    }
+}
+
+/// Recovery failures.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem-level failure.
+    Io(io::Error),
+    /// `meta.json` missing or unusable.
+    Meta(String),
+    /// A fully framed record failed to decode or referenced an unknown
+    /// template/entity — corruption beyond a torn tail.
+    Record(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Meta(m) => write!(f, "wal meta error: {m}"),
+            WalError::Record(m) => write!(f, "wal record error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// The outcome of replaying a WAL directory.
+pub struct Recovered {
+    /// The system spec the WAL was recorded under.
+    pub spec: SystemSpec,
+    /// The rebuilt system.
+    pub system: TransactionSystem,
+    /// Initial entity value the store was seeded with.
+    pub initial_value: u64,
+    /// A fresh store holding exactly the committed writes.
+    pub store: Store,
+    /// Committed instances replayed.
+    pub committed: usize,
+    /// Attempts that began (committed or not).
+    pub begun: usize,
+    /// Aborted attempts recorded.
+    pub aborted_attempts: usize,
+    /// Committed write operations re-applied.
+    pub replayed_writes: u64,
+    /// Committed writes skipped because the operation no longer typed
+    /// (see [`WriteError`]); nonzero indicates store corruption.
+    pub skipped_writes: u64,
+    /// `D(S)` verdict over the recovered committed history; `None` when
+    /// the recovered schedule failed validation (`audit_error` says why).
+    pub serializable: Option<bool>,
+    /// Why the audit could not run, if it could not.
+    pub audit_error: Option<String>,
+    /// Committed history events replayed into the audit.
+    pub history_len: usize,
+    /// Log files that ended in a torn frame (the crash point).
+    pub torn_tails: usize,
+    /// First unused global instance id (resume runs from here).
+    pub next_base: u32,
+}
+
+impl Recovered {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "recovered {} committed / {} begun instances | {} writes replayed | history {} events | torn tails {} | serializable {:?}",
+            self.committed,
+            self.begun,
+            self.replayed_writes,
+            self.history_len,
+            self.torn_tails,
+            self.serializable,
+        )
+    }
+}
+
+/// Reads every complete frame of `path` (missing file = empty log).
+/// A torn final frame — the crash point — ends the log; a record that
+/// frames completely but does not decode is real corruption and errors.
+fn read_log(path: &Path, torn: &mut usize) -> Result<Vec<WalRecord>, WalError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = io::BufReader::new(file);
+    let mut out = Vec::new();
+    loop {
+        match frame::read_frame(&mut r) {
+            Ok(None) => break,
+            Ok(Some(payload)) => match WalRecord::decode(Bytes::from(payload)) {
+                Some(rec) => out.push(rec),
+                None => {
+                    return Err(WalError::Record(format!(
+                        "{}: record {} framed but did not decode",
+                        path.display(),
+                        out.len()
+                    )))
+                }
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::UnexpectedEof
+                    || e.kind() == io::ErrorKind::InvalidData =>
+            {
+                *torn += 1;
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(out)
+}
+
+/// Replays a WAL directory: rebuilds the registered system from
+/// `meta.json`, re-applies every **committed** write operation to a
+/// fresh [`Store`], reconstructs the committed lock/unlock history, and
+/// re-runs the model's `D(S)` audit over it. Uncommitted instances —
+/// in-flight at the crash, or wait-die victims — contribute nothing:
+/// commit is decided solely by the decision log.
+pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
+    let dir = dir.as_ref();
+    let meta_json = std::fs::read_to_string(dir.join(META_FILE))
+        .map_err(|e| WalError::Meta(format!("{}: {e}", dir.join(META_FILE).display())))?;
+    let meta: WalMeta =
+        serde_json::from_str(&meta_json).map_err(|e| WalError::Meta(format!("parse: {e}")))?;
+    let system = meta
+        .spec
+        .build()
+        .map_err(|e| WalError::Meta(format!("spec does not build: {e}")))?;
+    let db = system.db().clone();
+
+    let mut torn = 0usize;
+
+    // 1. The decision log: which instances committed, with what template
+    //    and attempt.
+    let mut committed: HashMap<u32, (TxnId, u32)> = HashMap::new();
+    let mut begun = 0usize;
+    let mut aborted = 0usize;
+    let mut next_base = 0u32;
+    for rec in read_log(&dir.join(COMMIT_FILE), &mut torn)? {
+        match rec {
+            WalRecord::Begin { gid, .. } => {
+                begun += 1;
+                next_base = next_base.max(gid.saturating_add(1));
+            }
+            WalRecord::Commit {
+                gid,
+                template,
+                attempt,
+            } => {
+                if template as usize >= system.len() {
+                    return Err(WalError::Record(format!(
+                        "commit of instance {gid} names template {template}, system has {}",
+                        system.len()
+                    )));
+                }
+                committed.insert(gid, (TxnId(template), attempt));
+                next_base = next_base.max(gid.saturating_add(1));
+            }
+            WalRecord::Abort { gid, .. } => {
+                aborted += 1;
+                next_base = next_base.max(gid.saturating_add(1));
+            }
+            other => {
+                return Err(WalError::Record(format!(
+                    "unexpected record in decision log: {other:?}"
+                )))
+            }
+        }
+    }
+
+    // 2. The value logs: replay committed operations, in apply order,
+    //    onto a fresh store.
+    let mut store = Store::new(&db, meta.initial_value);
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    for k in 0..db.site_count() {
+        for rec in read_log(&dir.join(shard_file(k)), &mut torn)? {
+            match rec {
+                WalRecord::Write {
+                    gid,
+                    attempt,
+                    entity,
+                    op,
+                    ..
+                } => {
+                    // Replay only the *committing* attempt's writes: an
+                    // instance that died dirty on an earlier attempt and
+                    // committed on a retry must not replay the rolled-
+                    // back write too.
+                    if committed.get(&gid).map(|&(_, a)| a) != Some(attempt) {
+                        continue;
+                    }
+                    if entity.index() >= db.entity_count() {
+                        return Err(WalError::Record(format!(
+                            "write to unknown entity {entity} in shard {k}"
+                        )));
+                    }
+                    match store.replay_write(entity, &op) {
+                        Ok(()) => replayed += 1,
+                        Err(WriteError::AddToBytes { .. }) => skipped += 1,
+                    }
+                }
+                WalRecord::Undo { .. } => {} // uncommitted by construction
+                other => {
+                    return Err(WalError::Record(format!(
+                        "unexpected record in shard log {k}: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    // 3. The history log: keep the committed attempts' events, re-keyed
+    //    onto a dense audit system (one transaction per committed
+    //    instance), and re-run D(S).
+    let mut gids: Vec<u32> = committed.keys().copied().collect();
+    gids.sort_unstable();
+    let dense: HashMap<u32, usize> = gids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+    let mut history = History::new();
+    for rec in read_log(&dir.join(HISTORY_FILE), &mut torn)? {
+        match rec {
+            WalRecord::Event {
+                gid, attempt, node, ..
+            } => {
+                let Some(&idx) = dense.get(&gid) else {
+                    continue;
+                };
+                if committed[&gid].1 != attempt {
+                    continue; // an earlier, aborted attempt of a committed instance
+                }
+                // Times renumbered densely: file order *is* the global
+                // order (runs serialize; within a run the sink writes
+                // inside the timestamp critical section).
+                history.record(HistoryEvent {
+                    time: SimTime(history.len() as u64),
+                    txn: TxnId(idx as u32),
+                    attempt,
+                    node,
+                });
+            }
+            other => {
+                return Err(WalError::Record(format!(
+                    "unexpected record in history log: {other:?}"
+                )))
+            }
+        }
+    }
+
+    let txns: Vec<_> = gids
+        .iter()
+        .map(|g| {
+            let t = system.txn(committed[g].0);
+            t.clone().with_name(format!("{}#{g}", t.name()))
+        })
+        .collect();
+    let committed_attempt: Vec<Option<u32>> = gids.iter().map(|g| Some(committed[g].1)).collect();
+    let (serializable, audit_error) = match TransactionSystem::new(db, txns) {
+        Ok(audit_sys) => match history.audit(&audit_sys, &committed_attempt) {
+            Ok(v) => (Some(v), None),
+            Err(e) => (None, Some(format!("recovered schedule invalid: {e}"))),
+        },
+        Err(e) => (None, Some(format!("audit system: {e}"))),
+    };
+    let history_len = history.len();
+
+    Ok(Recovered {
+        spec: meta.spec,
+        system,
+        initial_value: meta.initial_value,
+        store,
+        committed: gids.len(),
+        begun,
+        aborted_attempts: aborted,
+        replayed_writes: replayed,
+        skipped_writes: skipped,
+        serializable,
+        audit_error,
+        history_len,
+        torn_tails: torn,
+        next_base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf as _;
+
+    fn roundtrip(rec: WalRecord) {
+        let enc = rec.encode();
+        assert_eq!(WalRecord::decode(enc), Some(rec));
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        roundtrip(WalRecord::Begin {
+            gid: 7,
+            template: 1,
+            attempt: 3,
+        });
+        roundtrip(WalRecord::Write {
+            gid: u32::MAX,
+            attempt: 0,
+            entity: EntityId(5),
+            op: WriteOp::Add(-42),
+            before: VersionedValue {
+                version: 9,
+                datum: Datum::Int(100),
+            },
+            after: VersionedValue {
+                version: 10,
+                datum: Datum::Int(58),
+            },
+        });
+        roundtrip(WalRecord::Write {
+            gid: 0,
+            attempt: 2,
+            entity: EntityId(0),
+            op: WriteOp::PutBytes(vec![1, 2, 3]),
+            before: VersionedValue {
+                version: 0,
+                datum: Datum::Bytes(vec![]),
+            },
+            after: VersionedValue {
+                version: 1,
+                datum: Datum::Bytes(vec![1, 2, 3]),
+            },
+        });
+        roundtrip(WalRecord::Undo {
+            gid: 3,
+            entity: EntityId(2),
+            restored: VersionedValue {
+                version: 4,
+                datum: Datum::Int(1),
+            },
+        });
+        roundtrip(WalRecord::Commit {
+            gid: 1,
+            template: 0,
+            attempt: 1,
+        });
+        roundtrip(WalRecord::Abort { gid: 2, attempt: 0 });
+        roundtrip(WalRecord::Event {
+            time: u64::MAX,
+            gid: 1,
+            attempt: 0,
+            node: NodeId(6),
+        });
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        assert_eq!(WalRecord::decode(Bytes::new()), None);
+        assert_eq!(WalRecord::decode(Bytes::from_static(&[99])), None);
+        // Truncated Write.
+        assert_eq!(WalRecord::decode(Bytes::from_static(&[TAG_WRITE, 1])), None);
+        // Trailing garbage after a valid Abort.
+        let mut enc: Vec<u8> = WalRecord::Abort { gid: 2, attempt: 0 }
+            .encode()
+            .chunk()
+            .to_vec();
+        enc.push(0xFF);
+        assert_eq!(WalRecord::decode(Bytes::from(enc)), None);
+    }
+
+    #[test]
+    fn datum_and_op_exhaustive_roundtrip() {
+        for op in [
+            WriteOp::Add(i64::MIN),
+            WriteOp::Add(i64::MAX),
+            WriteOp::Put(u64::MAX),
+            WriteOp::PutBytes(vec![0xAB; 300]),
+        ] {
+            let mut b = BytesMut::new();
+            put_op(&mut b, &op);
+            assert_eq!(get_op(&mut b.freeze()), Some(op));
+        }
+        for d in [Datum::Int(0), Datum::Bytes(vec![9; 70000])] {
+            let mut b = BytesMut::new();
+            put_datum(&mut b, &d);
+            assert_eq!(get_datum(&mut b.freeze()), Some(d));
+        }
+    }
+}

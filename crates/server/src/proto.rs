@@ -10,49 +10,11 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ddlf_engine::{Report, TemplateRegistry};
+// The checked readers/writers (bounds-checked little-endian integers,
+// length-prefixed strings) are shared with the engine's WAL record
+// format — one hardened implementation for every msg-convention codec.
+use ddlf_sim::msg::codec::{finished, get_bool, get_str, get_u32, get_u64, get_u8, put_str};
 use std::fmt;
-
-// ---- checked little-endian readers -------------------------------------
-
-fn get_u8(b: &mut Bytes) -> Option<u8> {
-    (b.remaining() >= 1).then(|| Buf::get_u8(b))
-}
-
-fn get_u32(b: &mut Bytes) -> Option<u32> {
-    (b.remaining() >= 4).then(|| Buf::get_u32_le(b))
-}
-
-fn get_u64(b: &mut Bytes) -> Option<u64> {
-    (b.remaining() >= 8).then(|| Buf::get_u64_le(b))
-}
-
-fn get_bool(b: &mut Bytes) -> Option<bool> {
-    match get_u8(b)? {
-        0 => Some(false),
-        1 => Some(true),
-        _ => None,
-    }
-}
-
-fn get_str(b: &mut Bytes) -> Option<String> {
-    let len = get_u32(b)? as usize;
-    if b.remaining() < len {
-        return None;
-    }
-    let s = std::str::from_utf8(&b.chunk()[..len]).ok()?.to_owned();
-    b.advance(len);
-    Some(s)
-}
-
-fn put_str(b: &mut BytesMut, s: &str) {
-    b.put_u32_le(u32::try_from(s.len()).expect("string fits a frame"));
-    b.put_slice(s.as_bytes());
-}
-
-/// `Some(v)` iff the buffer was fully consumed — trailing bytes reject.
-fn finished<T>(b: &Bytes, v: T) -> Option<T> {
-    b.is_empty().then_some(v)
-}
 
 // ---- requests ----------------------------------------------------------
 

@@ -37,6 +37,11 @@ pub struct ServeConfig {
     /// Engine knobs for registered systems (`threads`/`instances` are
     /// overridden per registration/submission).
     pub engine: EngineConfig,
+    /// Write-ahead log directory for registered engines: every
+    /// registration rotates it and logs there, so a crashed server can
+    /// be replayed with `ddlf-audit recover` (or resumed by restarting
+    /// `serve --wal` on the same directory).
+    pub wal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +50,7 @@ impl Default for ServeConfig {
             threads: 4,
             default_inflate: InflateSpec::None,
             engine: EngineConfig::default(),
+            wal_dir: None,
         }
     }
 }
@@ -126,14 +132,26 @@ impl Shared {
                 message: "inflation k must be ≥ 1".to_string(),
             };
         }
-        let engine = Engine::with_admission(
+        let engine = match Engine::try_with_admission(
             sys,
             admission_of(requested, self.cfg.threads),
             EngineConfig {
                 threads: self.cfg.threads,
+                wal_dir: self.cfg.wal_dir.clone(),
                 ..self.cfg.engine.clone()
             },
-        );
+        ) {
+            Ok(e) => e,
+            // A registration rotates the WAL directory; an unusable
+            // directory is an operator-side error the peer should see
+            // typed, not a dead worker.
+            Err(e) => {
+                return Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("WAL directory unusable: {e}"),
+                }
+            }
+        };
         let reply = Registered::from_registry(engine.registry());
         *self.engine.lock() = Some(engine);
         Response::Registered(reply)
@@ -203,12 +221,24 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
+        Self::bind_with(addr, cfg, None)
+    }
+
+    /// [`Server::bind`] with an engine pre-installed — the recovery path
+    /// of `ddlf-audit serve --wal`, where the WAL of a previous process
+    /// has already been replayed into `engine`. A later `RegisterSystem`
+    /// replaces it (and rotates the WAL) as usual.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        engine: Option<Engine>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                engine: Mutex::new(None),
+                engine: Mutex::new(engine),
                 cfg,
                 shutdown: AtomicBool::new(false),
                 addr,

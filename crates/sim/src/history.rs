@@ -101,9 +101,26 @@ impl History {
 /// the subtle part: deriving the timestamp outside the lock lets two
 /// threads append out of timestamp order, violating
 /// [`History::record`]'s monotonicity contract.
-#[derive(Debug, Default)]
+///
+/// An optional **sink** observes every event from inside the same
+/// critical section, so a durable copy (the engine's `history.wal`)
+/// sees events in exactly timestamp order.
+#[derive(Default)]
 pub struct SharedHistory {
     history: Mutex<History>,
+    sink: Option<EventSink>,
+}
+
+/// The observer type [`SharedHistory::with_sink`] installs.
+pub type EventSink = Box<dyn Fn(&HistoryEvent) + Send + Sync>;
+
+impl std::fmt::Debug for SharedHistory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedHistory")
+            .field("history", &self.history)
+            .field("sink", &self.sink.as_ref().map(|_| "Fn(&HistoryEvent)"))
+            .finish()
+    }
 }
 
 impl SharedHistory {
@@ -112,16 +129,30 @@ impl SharedHistory {
         Self::default()
     }
 
+    /// An empty shared history whose every recorded event is also handed
+    /// to `sink`, inside the timestamp critical section (write-ahead
+    /// logging hangs off this).
+    pub fn with_sink(sink: EventSink) -> Self {
+        Self {
+            history: Mutex::new(History::new()),
+            sink: Some(sink),
+        }
+    }
+
     /// Appends an event stamped with the next logical time.
     pub fn record(&self, txn: TxnId, attempt: u32, node: NodeId) {
         let mut history = self.history.lock();
         let t = history.len() as u64;
-        history.record(HistoryEvent {
+        let ev = HistoryEvent {
             time: SimTime(t),
             txn,
             attempt,
             node,
-        });
+        };
+        if let Some(sink) = &self.sink {
+            sink(&ev);
+        }
+        history.record(ev);
     }
 
     /// Locks and exposes the history (audits, length checks).
@@ -205,6 +236,35 @@ mod tests {
         let h = History::new();
         assert!(h.audit(&sys, &[None, None]).unwrap());
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn sink_sees_events_in_timestamp_order_under_threads() {
+        use std::sync::Arc;
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let shared = Arc::new(SharedHistory::with_sink(Box::new(move |ev| {
+            seen2.lock().push(ev.time);
+        })));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for a in 0..100 {
+                        shared.record(TxnId(t), a, NodeId(0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 400);
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "sink order = time order"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod threaded;
 pub mod time;
 
 pub use des::{run, DeadlockPolicy, SimConfig, Simulator};
-pub use history::{History, HistoryEvent, SharedHistory};
+pub use history::{EventSink, History, HistoryEvent, SharedHistory};
 pub use lockmgr::{Acquire, LockTable};
 pub use metrics::SimReport;
 pub use msg::Message;

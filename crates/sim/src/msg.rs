@@ -10,6 +10,125 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ddlf_model::{EntityId, TxnId};
 use serde::{Deserialize, Serialize};
 
+pub mod codec {
+    //! Checked binary-codec primitives shared by every consumer of the
+    //! `ddlf_sim::msg` conventions (1-byte tags, little-endian
+    //! fixed-width integers, length-prefixed strings/byte vectors):
+    //! the wire protocol in `ddlf-server` and the WAL record format in
+    //! `ddlf-engine`. One implementation means one place to harden —
+    //! every reader bounds-checks before consuming, so a hostile or
+    //! truncated buffer yields `None`, never a panic or a misread.
+
+    use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+    /// Reads one byte, if present.
+    pub fn get_u8(b: &mut Bytes) -> Option<u8> {
+        (b.remaining() >= 1).then(|| Buf::get_u8(b))
+    }
+
+    /// Reads a little-endian `u32`, if present.
+    pub fn get_u32(b: &mut Bytes) -> Option<u32> {
+        (b.remaining() >= 4).then(|| Buf::get_u32_le(b))
+    }
+
+    /// Reads a little-endian `u64`, if present.
+    pub fn get_u64(b: &mut Bytes) -> Option<u64> {
+        (b.remaining() >= 8).then(|| Buf::get_u64_le(b))
+    }
+
+    /// Reads a `0`/`1` boolean; any other byte is malformed.
+    pub fn get_bool(b: &mut Bytes) -> Option<bool> {
+        match get_u8(b)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte vector, if fully present.
+    pub fn get_bytes(b: &mut Bytes) -> Option<Vec<u8>> {
+        let len = get_u32(b)? as usize;
+        if b.remaining() < len {
+            return None;
+        }
+        let out = b.chunk()[..len].to_vec();
+        b.advance(len);
+        Some(out)
+    }
+
+    /// Writes a `u32`-length-prefixed byte vector.
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds `u32::MAX` (nothing that large fits a
+    /// frame anyway).
+    pub fn put_bytes(b: &mut BytesMut, bytes: &[u8]) {
+        b.put_u32_le(u32::try_from(bytes.len()).expect("byte vector fits a frame"));
+        b.put_slice(bytes);
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn get_str(b: &mut Bytes) -> Option<String> {
+        let bytes = get_bytes(b)?;
+        String::from_utf8(bytes).ok()
+    }
+
+    /// Writes a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    /// Panics if `s` exceeds `u32::MAX` bytes.
+    pub fn put_str(b: &mut BytesMut, s: &str) {
+        put_bytes(b, s.as_bytes());
+    }
+
+    /// `Some(v)` iff the buffer was fully consumed — decoded messages
+    /// with trailing bytes reject.
+    pub fn finished<T>(b: &Bytes, v: T) -> Option<T> {
+        b.is_empty().then_some(v)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn primitives_roundtrip_and_reject_short_buffers() {
+            let mut b = BytesMut::new();
+            b.put_u8(7);
+            b.put_u32_le(9);
+            b.put_u64_le(u64::MAX);
+            put_bytes(&mut b, &[1, 2, 3]);
+            put_str(&mut b, "héllo");
+            let mut r = b.freeze();
+            assert_eq!(get_u8(&mut r), Some(7));
+            assert_eq!(get_u32(&mut r), Some(9));
+            assert_eq!(get_u64(&mut r), Some(u64::MAX));
+            assert_eq!(get_bytes(&mut r), Some(vec![1, 2, 3]));
+            assert_eq!(get_str(&mut r).as_deref(), Some("héllo"));
+            assert_eq!(finished(&r, ()), Some(()));
+
+            let mut short: Bytes = {
+                let mut b = BytesMut::new();
+                b.put_u32_le(100); // promises 100 bytes, delivers none
+                b.freeze()
+            };
+            assert_eq!(get_bytes(&mut short), None);
+            assert_eq!(get_u64(&mut Bytes::new()), None);
+            assert_eq!(get_bool(&mut Bytes::from_static(&[2])), None);
+        }
+
+        #[test]
+        fn hostile_length_prefix_allocates_nothing() {
+            // A length prefix of u32::MAX with a tiny payload must be
+            // rejected by the bounds check before any allocation.
+            let mut b = BytesMut::new();
+            b.put_u32_le(u32::MAX);
+            b.put_u8(1);
+            let mut r = b.freeze();
+            assert_eq!(get_bytes(&mut r), None);
+        }
+    }
+}
+
 pub mod frame {
     //! Length-prefixed framing for binary messages over byte streams.
     //!
@@ -24,6 +143,16 @@ pub mod frame {
     //!   │ u32 LE: length │ length payload bytes │
     //!   └────────────────┴──────────────────────┘
     //! ```
+    //!
+    //! The same framing carries byte *streams* beyond sockets: the
+    //! `ddlf-server` wire protocol frames its requests/responses, and
+    //! `ddlf-engine`'s write-ahead log files (`wal/commit.wal`,
+    //! `wal/history.wal`, `wal/shard-<k>.wal`) are sequences of these
+    //! frames, each payload one binary `WalRecord` — see the record
+    //! grammar in `ddlf_engine::wal`'s module docs. For log files the
+    //! error taxonomy below is what makes crash recovery clean: a torn
+    //! final frame (`UnexpectedEof`/`InvalidData`) *is* the crash point,
+    //! distinguishable from a complete log (`Ok(None)`).
     //!
     //! [`write_frame`] prepends the prefix; [`read_frame`] strips it and
     //! distinguishes three stream conditions:

@@ -21,7 +21,10 @@
 //!   whose admission control is the certifier: certified systems run
 //!   with **no detector and no timeouts** at their certified
 //!   k-inflation (a counting `SlotGate` per template), uncertified
-//!   ones fall back to wait-die;
+//!   ones fall back to wait-die — with a per-shard value/undo log that
+//!   rolls dying attempts back (no dirty aborts) and an optional
+//!   write-ahead file sink whose `wal::recover` replays a crashed
+//!   store and re-audits its history;
 //! * [`server`] — a TCP wire-protocol front-end for the engine
 //!   (length-prefixed binary frames), plus the typed client that
 //!   `ddlf-audit serve` / `submit` and external processes use;
@@ -34,10 +37,12 @@
 //!                      │                                        │
 //!   ddlf-cli (ddlf-audit) ──────────┐                           │
 //!     certify/deadlock/simulate/run │ serve/submit              │
+//!     recover (WAL replay + audit)  │                           │
 //!                      ▼            ▼                           │
 //!   ddlf-workloads   ddlf-engine   ddlf-server ── TCP frames ── clients
 //!        │              │  certify-then-run admission           │
-//!        ▼              ▼                                       │
+//!        │              │  wal: shard value/undo logs ──▶ recover
+//!        ▼              ▼          (frames via msg::frame)      │
 //!   ddlf-core ───── ddlf-model ◀──── ddlf-sim (runtime, msg::frame)
 //!        │ Theorems 1–5   model substrate        │
 //!        ▼                                       │

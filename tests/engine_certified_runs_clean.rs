@@ -24,20 +24,25 @@ fn config(instances: usize, threads: usize, work_us: u64) -> EngineConfig {
 }
 
 /// Installs real money-transfer programs on the two transfer templates
-/// (accounts move value; ledgers are read/locked but not written, so the
-/// total is conserved).
+/// (accounts move value; ledgers are read — declared explicitly, since
+/// a locked entity no longer counts as a read by itself — but not
+/// written, so the total is conserved).
 fn with_transfer_programs(
     mut reg: TemplateRegistry,
     bank: &ddlf::workloads::Bank,
 ) -> TemplateRegistry {
     reg.set_program(
         TxnId(0),
-        Program::transfer(bank.accounts[0][0], bank.accounts[1][0], 5),
+        Program::transfer(bank.accounts[0][0], bank.accounts[1][0], 5)
+            .read(bank.ledgers[0])
+            .read(bank.ledgers[1]),
     )
     .unwrap();
     reg.set_program(
         TxnId(1),
-        Program::transfer(bank.accounts[1][1], bank.accounts[0][1], 3),
+        Program::transfer(bank.accounts[1][1], bank.accounts[0][1], 3)
+            .read(bank.ledgers[0])
+            .read(bank.ledgers[1]),
     )
     .unwrap();
     reg

@@ -66,12 +66,34 @@ fn banking_fixture_certifies_and_matches_the_workload() {
 }
 
 #[test]
+fn banking_uniform_fixture_matches_the_workload_and_is_not_two_phase() {
+    // The CI crash-recovery and wait-die-audit steps drive this file:
+    // a single Theorem 5-certifiable hand-over-hand transfer. Unlike
+    // `banking_ordered.json` it is *not* two-phase, so a wait-die victim
+    // can die after an unlock — exactly the regime the undo log exists
+    // for.
+    let sys = load("banking_uniform.json");
+    let (_, built) = ddlf::workloads::bank_uniform_transfer();
+    assert_eq!(sys.len(), built.len());
+    for (a, b) in sys.txns().iter().zip(built.txns()) {
+        assert_eq!(
+            format!("{a}"),
+            format!("{b}"),
+            "fixture drifted from bank_uniform_transfer"
+        );
+    }
+    certify_safe_and_deadlock_free(&sys, CertifyOptions::default())
+        .expect("hand-over-hand chain certifies (Theorem 5)");
+}
+
+#[test]
 fn fixtures_roundtrip_through_spec() {
     for name in [
         "fig2_tirri_counterexample.json",
         "classic_opposite_order.json",
         "ticketed_pair.json",
         "banking_ordered.json",
+        "banking_uniform.json",
     ] {
         let sys = load(name);
         let spec = SystemSpec::from_system(&sys);

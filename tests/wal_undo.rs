@@ -1,0 +1,190 @@
+//! The dirty abort is dead: wait-die victims that die *after* an unlock
+//! has exposed a write are rolled back through the per-shard undo logs,
+//! so non-two-phase fallback runs keep their conservation invariants
+//! **and** their `D(S)` audit — previously such runs reported
+//! `serializable: None` (audit voided) and could silently violate
+//! conservation.
+
+use ddlf::engine::{
+    AdmissionOptions, AdmissionVerdict, Engine, EngineConfig, Inflation, Program, Report,
+    TemplateRegistry, WriteOp,
+};
+use ddlf::model::{Database, EntityId, Op, Transaction, TransactionSystem, TxnId};
+use ddlf::workloads::bank_uniform_transfer;
+use std::time::Duration;
+
+/// The certified hand-over-hand transfer forced onto wait-die: the
+/// non-two-phase shape means victims can die mid-chain with their first
+/// write already exposed. With rollback, the run must stay conserving
+/// and auditable.
+fn pipelined_wait_die_run(seed: u64) -> (Report, u128, u64) {
+    let (bank, sys) = bank_uniform_transfer();
+    let mut reg = TemplateRegistry::register_with(
+        sys,
+        AdmissionOptions {
+            inflate: Inflation::Uniform(6),
+            ..Default::default()
+        },
+    );
+    reg.set_program(
+        TxnId(0),
+        Program::transfer(bank.accounts[0][0], bank.accounts[1][0], 5),
+    )
+    .unwrap();
+    let engine = Engine::with_registry(
+        reg,
+        EngineConfig {
+            threads: 8,
+            instances: 120,
+            work: Duration::from_micros(60),
+            seed,
+            force_fallback: true,
+            ..Default::default()
+        },
+    );
+    let report = engine.run();
+    (
+        report,
+        engine.store().total_int(),
+        engine.store().total_versions(),
+    )
+}
+
+#[test]
+fn forced_wait_die_on_non_two_phase_chain_conserves_and_audits() {
+    let (mut aborts, mut rolled_back) = (0usize, 0u64);
+    for seed in [11, 42, 77] {
+        let (report, total, versions) = pipelined_wait_die_run(seed);
+        assert!(report.all_committed(), "seed {seed}: {report:?}");
+        // The heart of the fix: every exposed write of a victim was
+        // taken back, so no abort is dirty and the audit runs — and
+        // passes — instead of being voided to None.
+        assert_eq!(report.dirty_aborts, 0, "seed {seed}: {report:?}");
+        assert_eq!(
+            report.serializable,
+            Some(true),
+            "seed {seed}: wait-die run must audit serializable: {report:?}"
+        );
+        // Money is conserved through aborts: 6 entities × 1 000.
+        assert_eq!(total, 6_000, "seed {seed}: conservation violated");
+        // Version accounting survives rollback: only committed writes
+        // remain counted (2 account writes per committed instance).
+        assert_eq!(versions, 120 * 2, "seed {seed}");
+        assert_eq!(report.writes, 120 * 2, "seed {seed}");
+        aborts += report.aborted_attempts;
+        rolled_back += report.rolled_back;
+    }
+    // Across seeds the fallback path was genuinely exercised, including
+    // deaths past the first unlock (the previously-dirty regime).
+    assert!(aborts > 0, "contended wait-die must abort somewhere");
+    assert!(
+        rolled_back > 0,
+        "some victim must have died after an unlock (else this test lost its subject)"
+    );
+}
+
+/// Two *opposite* non-two-phase chains: uncertifiable (real fallback,
+/// not forced), deadlock-prone under naive blocking, and able to die
+/// dirty. The old executor excluded this shape from conservation tests;
+/// now it holds the same invariants as certified runs.
+#[test]
+fn uncertified_opposite_chains_complete_conserving_with_audit() {
+    let db = Database::one_entity_per_site(2);
+    let (a, b) = (EntityId(0), EntityId(1));
+    // Hand-over-hand in opposite directions: La Lb Ua Ub vs Lb La Ub Ua.
+    let fwd = [Op::lock(a), Op::lock(b), Op::unlock(a), Op::unlock(b)];
+    let rev = [Op::lock(b), Op::lock(a), Op::unlock(b), Op::unlock(a)];
+    let t0 = Transaction::from_total_order("chain_ab", &fwd, &db).unwrap();
+    let t1 = Transaction::from_total_order("chain_ba", &rev, &db).unwrap();
+    let sys = TransactionSystem::new(db, vec![t0, t1]).unwrap();
+
+    let mut reg = TemplateRegistry::register(sys);
+    assert!(
+        matches!(reg.verdict(), AdmissionVerdict::Fallback { .. }),
+        "opposite chains must not certify: {}",
+        reg.verdict()
+    );
+    // Every instance adds +1 to both entities; an aborted attempt must
+    // contribute exactly nothing.
+    reg.set_program(
+        TxnId(0),
+        Program::default()
+            .write(a, WriteOp::Add(1))
+            .write(b, WriteOp::Add(1)),
+    )
+    .unwrap();
+    reg.set_program(
+        TxnId(1),
+        Program::default()
+            .write(a, WriteOp::Add(1))
+            .write(b, WriteOp::Add(1)),
+    )
+    .unwrap();
+
+    let engine = Engine::with_registry(
+        reg,
+        EngineConfig {
+            threads: 4,
+            instances: 40,
+            work: Duration::from_micros(80),
+            seed: 5,
+            initial_value: 1_000,
+            ..Default::default()
+        },
+    );
+    let report = engine.run();
+    assert!(report.all_committed(), "{report:?}");
+    assert_eq!(report.dirty_aborts, 0, "{report:?}");
+    assert_eq!(report.serializable, Some(true), "{report:?}");
+    // 2 000 initial + 2 per committed instance, aborts invisible.
+    assert_eq!(engine.store().total_int(), 2_000 + 40 * 2);
+    assert_eq!(engine.store().total_versions(), 40 * 2);
+}
+
+/// The typed write-skip end to end: one template PutBytes-es an entity,
+/// another tries to Add to it. The Add is skipped and counted — the old
+/// engine silently replaced the bytes with an integer.
+#[test]
+fn mistyped_add_is_skipped_and_counted_not_clobbered() {
+    let db = Database::one_entity_per_site(1);
+    let e = EntityId(0);
+    let ops = [Op::lock(e), Op::unlock(e)];
+    let t0 = Transaction::from_total_order("writer_bytes", &ops, &db).unwrap();
+    let t1 = Transaction::from_total_order("adder", &ops, &db).unwrap();
+    let sys = TransactionSystem::new(db, vec![t0, t1]).unwrap();
+    let mut reg = TemplateRegistry::register(sys);
+    reg.set_program(
+        TxnId(0),
+        Program::default().write(e, WriteOp::PutBytes(vec![9])),
+    )
+    .unwrap();
+    reg.set_program(TxnId(1), Program::default().write(e, WriteOp::Add(3)))
+        .unwrap();
+
+    // Single worker: instance 0 (bytes) strictly precedes instance 1
+    // (add), so the Add deterministically meets a bytes payload.
+    let engine = Engine::with_registry(
+        reg,
+        EngineConfig {
+            threads: 1,
+            instances: 2,
+            ..Default::default()
+        },
+    );
+    let report = engine.run();
+    assert!(report.all_committed(), "{report:?}");
+    assert_eq!(report.writes, 1, "only the PutBytes landed");
+    assert_eq!(report.writes_skipped, 1, "the Add was skipped, typed");
+    let (_, v) = engine
+        .store()
+        .snapshot()
+        .into_iter()
+        .find(|(ent, _)| *ent == e)
+        .unwrap();
+    assert_eq!(
+        v.datum,
+        ddlf::engine::Datum::Bytes(vec![9]),
+        "payload must survive the mistyped Add"
+    );
+    assert_eq!(engine.store().total_versions(), 1);
+}

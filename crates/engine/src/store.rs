@@ -16,13 +16,12 @@
 //! crash.
 
 use crate::template::WriteOp;
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{ShardSink, Wal, WalRecord};
 use crossbeam::channel::Sender;
 use ddlf_model::{Database, EntityId, SiteId, TxnId};
 use ddlf_sim::{Acquire, LockTable};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::fs::File;
 use std::io;
 use std::sync::Arc;
 
@@ -176,6 +175,16 @@ struct UndoEntry {
     /// count at undo time proves an intervening `Put`/`PutBytes` erased
     /// the dead write.
     abs_count: u64,
+    /// Shard-wide apply sequence: orders this entry against sibling
+    /// in-flight writers of the same entity, so an undo knows which
+    /// pending images to repair (see [`ShardState::repair_pending`]).
+    seq: u64,
+    /// Whether the write was absolute (`Put`/`PutBytes`): its undo must
+    /// also retract its bump of the absolute-write witness.
+    absolute: bool,
+    /// A sibling's undo could not rewrite this entry's images into the
+    /// post-rollback timeline; undoing it would be unsound.
+    poisoned: bool,
 }
 
 /// Mutable state of one shard: values plus the site's lock table, the
@@ -189,13 +198,17 @@ pub(crate) struct ShardState {
     /// Before-images of writes applied by in-flight attempts, cleared at
     /// commit, replayed (in reverse) at abort.
     undo: HashMap<TxnId, Vec<UndoEntry>>,
-    /// Monotone count of absolute writes (`Put`/`PutBytes`) per entity —
-    /// the witness [`Shard::undo_write`] uses to decide between delta
-    /// compensation and erased-by-overwrite.
+    /// Count of absolute writes (`Put`/`PutBytes`) per entity currently
+    /// in the value's timeline — the witness [`Shard::undo_write`] uses
+    /// to decide between delta compensation and erased-by-overwrite.
+    /// Undoing an absolute write decrements it again, so the witness
+    /// always describes the surviving timeline.
     absolute_writes: HashMap<EntityId, u64>,
+    /// Monotone apply counter stamping undo entries with their order.
+    write_seq: u64,
     /// Optional file sink: `shard-<k>.wal`, written under this mutex so
     /// file order is apply order.
-    sink: Option<(File, Arc<Wal>)>,
+    sink: Option<(ShardSink, Arc<Wal>)>,
 }
 
 /// One shard: the entities of one [`SiteId`] behind a mutex.
@@ -291,9 +304,14 @@ impl Shard {
     ///
     /// The one remaining unsound corner — delta successors that rode on
     /// a dead absolute write over a *byte* payload — stays
-    /// [`UndoOutcome::Unrecoverable`] (a dirty abort; impossible here
-    /// because `Add` on bytes is a typed skip, kept as a defensive arm).
-    /// The restoration is logged to the shard's WAL sink.
+    /// [`UndoOutcome::Unrecoverable`] (a dirty abort).
+    ///
+    /// A successful rollback also rewrites the images of **still-pending
+    /// sibling writers** of the entity into the post-rollback timeline
+    /// ([`ShardState::repair_pending`]): without that, two overlapping
+    /// doomed writers could resurrect the first victim's write out of
+    /// the second victim's stale before-image. The restoration is logged
+    /// to the shard's WAL sink.
     pub(crate) fn undo_write(&self, ctx: &WriteCtx, entity: EntityId) -> UndoOutcome {
         let mut st = self.state.lock();
         let Some(entries) = st.undo.get_mut(&ctx.instance) else {
@@ -305,6 +323,9 @@ impl Shard {
         let entry = entries.remove(pos);
         if entries.is_empty() {
             st.undo.remove(&ctx.instance);
+        }
+        if entry.poisoned {
+            return UndoOutcome::Unrecoverable;
         }
         let current = st.read(entity);
         let (restored, outcome) = if current == entry.after {
@@ -336,16 +357,18 @@ impl Shard {
                 UndoOutcome::Compensated,
             )
         } else {
-            // Defensive: no sound reconstruction.
+            // No sound reconstruction (delta successors rode on a dead
+            // absolute write over a byte payload).
             return UndoOutcome::Unrecoverable;
         };
-        if let Some((file, wal)) = st.sink.as_mut() {
+        st.repair_pending(&entry);
+        if let Some((sink, wal)) = st.sink.as_mut() {
             let rec = WalRecord::Undo {
                 gid: ctx.gid,
                 entity,
                 restored: restored.clone(),
             };
-            wal.append_record(file, &rec);
+            wal.append_shard(sink, &rec);
         }
         st.values.insert(entity, restored);
         outcome
@@ -376,7 +399,7 @@ impl ShardState {
     ) -> Result<bool, WriteError> {
         let before = self.read(entity);
         let after = apply_op(entity, &before, write)?;
-        if let Some((file, wal)) = self.sink.as_mut() {
+        if let Some((sink, wal)) = self.sink.as_mut() {
             let rec = WalRecord::Write {
                 gid: ctx.gid,
                 attempt: ctx.attempt,
@@ -385,21 +408,80 @@ impl ShardState {
                 before: before.clone(),
                 after: after.clone(),
             };
-            wal.append_record(file, &rec);
+            wal.append_shard(sink, &rec);
         }
-        if matches!(write, WriteOp::Put(_) | WriteOp::PutBytes(_)) {
+        let absolute = matches!(write, WriteOp::Put(_) | WriteOp::PutBytes(_));
+        if absolute {
             *self.absolute_writes.entry(entity).or_insert(0) += 1;
         }
         if ctx.track_undo {
+            self.write_seq += 1;
             self.undo.entry(ctx.instance).or_default().push(UndoEntry {
                 entity,
                 before,
                 after: after.clone(),
                 abs_count: self.absolute_writes.get(&entity).copied().unwrap_or(0),
+                seq: self.write_seq,
+                absolute,
+                poisoned: false,
             });
         }
         self.values.insert(entity, after);
         Ok(true)
+    }
+
+    /// Rewrites the undo images of still-pending sibling writers after
+    /// `undone`'s write left the timeline. Every later image loses the
+    /// retracted version bump; an image that still *rode on* the dead
+    /// write — no absolute write detached it, witnessed by the
+    /// per-entity absolute counters — additionally has the dead effect
+    /// removed from its datum (delta re-base, or the exact before-image
+    /// when it equalled the dead after-image). An image that cannot be
+    /// rewritten (byte payloads with no arithmetic) poisons its entry:
+    /// that entry's own undo later reports [`UndoOutcome::Unrecoverable`]
+    /// instead of restoring a corrupt image. If the undone write was
+    /// absolute, its witness bump is retracted from the counter and from
+    /// every later entry's recorded count.
+    fn repair_pending(&mut self, undone: &UndoEntry) {
+        let delta = match (&undone.before.datum, &undone.after.datum) {
+            (Datum::Int(b), Datum::Int(a)) => Some(a.wrapping_sub(*b)),
+            _ => None,
+        };
+        let fix = |img: &mut VersionedValue, img_abs: u64| -> bool {
+            let ok = if img_abs != undone.abs_count {
+                // A later absolute write already detached this image
+                // from the dead write; only the version shifts.
+                true
+            } else if *img == undone.after {
+                img.datum = undone.before.datum.clone();
+                true
+            } else if let (Some(d), Datum::Int(v)) = (delta, &img.datum) {
+                img.datum = Datum::Int(v.wrapping_sub(d));
+                true
+            } else {
+                false
+            };
+            img.version = img.version.saturating_sub(1);
+            ok
+        };
+        for e in self
+            .undo
+            .values_mut()
+            .flat_map(|v| v.iter_mut())
+            .filter(|e| e.entity == undone.entity && e.seq > undone.seq)
+        {
+            let before_ok = fix(&mut e.before, e.abs_count - u64::from(e.absolute));
+            let after_ok = fix(&mut e.after, e.abs_count);
+            e.poisoned |= !(before_ok && after_ok);
+            if undone.absolute {
+                e.abs_count = e.abs_count.saturating_sub(1);
+            }
+        }
+        if undone.absolute {
+            if let Some(c) = self.absolute_writes.get_mut(&undone.entity) {
+                *c = c.saturating_sub(1);
+            }
+        }
     }
 
     /// Releases and hands the lock to the next FIFO waiter, delivering
@@ -450,6 +532,7 @@ impl Store {
                     waiters: HashMap::new(),
                     undo: HashMap::new(),
                     absolute_writes: HashMap::new(),
+                    write_seq: 0,
                     sink: None,
                 }),
                 site: SiteId::from_index(s),
@@ -805,6 +888,110 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_doomed_writers_cannot_resurrect_a_dead_delta() {
+        // Two victims on one entity: A (Add +50) then B (Put 200), both
+        // still in flight when A is undone. A's undo sees B's absolute
+        // write and reports Erased — but it must also rewrite B's stale
+        // before-image (which embeds A's +50), or B's later undo
+        // restores 150 and A's dead delta survives both rollbacks.
+        let s = store2();
+        let e = EntityId(0);
+        let (tx, _rx) = unbounded();
+        let a = ctx(0);
+        let b = ctx(1);
+        s.shard_of(e).request(a.instance, e, &tx);
+        s.shard_of(e)
+            .write_and_release(&a, e, Some(&WriteOp::Add(50)))
+            .unwrap();
+        s.shard_of(e).request(b.instance, e, &tx);
+        s.shard_of(e)
+            .write_and_release(&b, e, Some(&WriteOp::Put(200)))
+            .unwrap();
+        assert_eq!(s.shard_of(e).undo_write(&a, e), UndoOutcome::Erased);
+        assert_eq!(s.shard_of(e).undo_write(&b, e), UndoOutcome::Exact);
+        let v = s.shard_of(e).peek(e);
+        assert_eq!((v.version, v.datum), (0, Datum::Int(100)));
+    }
+
+    #[test]
+    fn overlapping_doomed_writers_undo_in_reverse_order_too() {
+        let s = store2();
+        let e = EntityId(0);
+        let (tx, _rx) = unbounded();
+        let a = ctx(0);
+        let b = ctx(1);
+        s.shard_of(e).request(a.instance, e, &tx);
+        s.shard_of(e)
+            .write_and_release(&a, e, Some(&WriteOp::Add(50)))
+            .unwrap();
+        s.shard_of(e).request(b.instance, e, &tx);
+        s.shard_of(e)
+            .write_and_release(&b, e, Some(&WriteOp::Put(200)))
+            .unwrap();
+        assert_eq!(s.shard_of(e).undo_write(&b, e), UndoOutcome::Exact);
+        assert_eq!(s.shard_of(e).undo_write(&a, e), UndoOutcome::Exact);
+        let v = s.shard_of(e).peek(e);
+        assert_eq!((v.version, v.datum), (0, Datum::Int(100)));
+    }
+
+    #[test]
+    fn undoing_an_absolute_write_retracts_the_witness() {
+        // Victim W (Add +50) is in flight when victim A lands Put(999)
+        // on top and is undone first (Exact). If A's undo left the
+        // absolute-write witness at 1, W's later undo — after a
+        // committed +7 intervened — would see witness ≠ recorded count,
+        // classify (falsely) as Erased, and keep its own dead +50.
+        let s = store2();
+        let e = EntityId(0);
+        let (tx, _rx) = unbounded();
+        let w = ctx(0);
+        s.shard_of(e).request(w.instance, e, &tx);
+        s.shard_of(e)
+            .write_and_release(&w, e, Some(&WriteOp::Add(50)))
+            .unwrap();
+        let a = ctx(1);
+        s.shard_of(e).request(a.instance, e, &tx);
+        s.shard_of(e)
+            .write_and_release(&a, e, Some(&WriteOp::Put(999)))
+            .unwrap();
+        assert_eq!(s.shard_of(e).undo_write(&a, e), UndoOutcome::Exact);
+        s.shard_of(e).request(TxnId(2), e, &tx);
+        s.shard_of(e)
+            .write_and_release(&ctx(2), e, Some(&WriteOp::Add(7)))
+            .unwrap();
+        s.shard_of(e).commit_clear(TxnId(2));
+        assert_eq!(s.shard_of(e).undo_write(&w, e), UndoOutcome::Compensated);
+        let v = s.shard_of(e).peek(e);
+        assert_eq!((v.version, v.datum), (1, Datum::Int(107)));
+    }
+
+    #[test]
+    fn three_interleaved_doomed_deltas_undo_middle_first() {
+        let s = store2();
+        let e = EntityId(0);
+        let (tx, _rx) = unbounded();
+        let cs: Vec<WriteCtx> = (0..3).map(ctx).collect();
+        for (c, d) in cs.iter().zip([10i64, 20, 30]) {
+            s.shard_of(e).request(c.instance, e, &tx);
+            s.shard_of(e)
+                .write_and_release(c, e, Some(&WriteOp::Add(d)))
+                .unwrap();
+        }
+        assert_eq!(s.shard_of(e).peek(e).datum, Datum::Int(160));
+        assert_eq!(
+            s.shard_of(e).undo_write(&cs[1], e),
+            UndoOutcome::Compensated
+        );
+        assert_eq!(
+            s.shard_of(e).undo_write(&cs[0], e),
+            UndoOutcome::Compensated
+        );
+        assert_eq!(s.shard_of(e).undo_write(&cs[2], e), UndoOutcome::Exact);
+        let v = s.shard_of(e).peek(e);
+        assert_eq!((v.version, v.datum), (0, Datum::Int(100)));
+    }
+
+    #[test]
     fn commit_clear_makes_writes_permanent() {
         let s = store2();
         let e = EntityId(1);
@@ -932,6 +1119,93 @@ mod tests {
                     && live_raws.iter().any(|r| matches!(op_of(*r), WriteOp::Add(_)));
                 if !skipped_divergence {
                     prop_assert_eq!(s.shard_of(e).peek(e), expected);
+                }
+            }
+
+            /// ≥2 doomed writers overlap on one entity, interleaved with
+            /// committed writers, and are undone in an arbitrary order:
+            /// every undo must roll back and the store must end at
+            /// exactly the committed-only state (datum *and* version) —
+            /// the overlapping-victims regression class. Int ops only;
+            /// the byte corners are exercised below and may honestly
+            /// report `Unrecoverable`.
+            #[test]
+            fn interleaved_doomed_writers_fully_undo_in_any_order(
+                initial in 0u64..1_000_000,
+                writers in prop::collection::vec(
+                    (any::<bool>(), 0u8..2, -1_000i64..1_000),
+                    2..7,
+                ),
+                order_keys in prop::collection::vec(any::<u32>(), 7..8),
+            ) {
+                let s = store2_with(initial);
+                let e = EntityId(0);
+                let (tx, _rx) = unbounded();
+                let mut expected = VersionedValue {
+                    version: 0,
+                    datum: Datum::Int(initial),
+                };
+                let mut doomed = Vec::new();
+                for (i, (doom, kind, n)) in writers.iter().enumerate() {
+                    let op = match kind % 2 {
+                        0 => WriteOp::Add(*n),
+                        _ => WriteOp::Put(*n as u64),
+                    };
+                    let c = ctx(i as u32);
+                    s.shard_of(e).request(c.instance, e, &tx);
+                    s.shard_of(e).write_and_release(&c, e, Some(&op)).unwrap();
+                    // The first two writers are always victims, so every
+                    // case has overlapping doomed attempts.
+                    if *doom || i < 2 {
+                        doomed.push(c);
+                    } else {
+                        s.shard_of(e).commit_clear(c.instance);
+                        expected = apply_op(e, &expected, &op).unwrap();
+                    }
+                }
+                let mut order: Vec<usize> = (0..doomed.len()).collect();
+                order.sort_by_key(|&i| order_keys[i]);
+                for &i in &order {
+                    let out = s.shard_of(e).undo_write(&doomed[i], e);
+                    prop_assert!(out.rolled_back(), "victim {i}: {out:?}");
+                }
+                prop_assert_eq!(s.shard_of(e).peek(e), expected);
+            }
+
+            /// The full op space (including `PutBytes`): a rollback that
+            /// *claims* to be clean — every undo reports `rolled_back` —
+            /// must restore the exact pre-attempt state, in every undo
+            /// order. The byte corners may instead report
+            /// `Unrecoverable` (an honest dirty abort), but never a
+            /// silent corruption dressed as a clean rollback.
+            #[test]
+            fn overlapping_victims_never_fake_a_clean_rollback(
+                initial in any::<u64>(),
+                raws in prop::collection::vec((any::<u8>(), any::<i64>()), 2..6),
+                order_keys in prop::collection::vec(any::<u32>(), 6..7),
+            ) {
+                let s = store2_with(initial);
+                let e = EntityId(0);
+                let (tx, _rx) = unbounded();
+                let pre = s.shard_of(e).peek(e);
+                let mut doomed = Vec::new();
+                for (i, raw) in raws.iter().enumerate() {
+                    let c = ctx(i as u32);
+                    s.shard_of(e).request(c.instance, e, &tx);
+                    // An `Add` meeting a byte payload is a typed skip:
+                    // nothing applied, nothing to undo.
+                    if s.shard_of(e).write_and_release(&c, e, Some(&op_of(*raw))).is_ok() {
+                        doomed.push(c);
+                    }
+                }
+                let mut order: Vec<usize> = (0..doomed.len()).collect();
+                order.sort_by_key(|&i| order_keys[i]);
+                let mut all_clean = true;
+                for &i in &order {
+                    all_clean &= s.shard_of(e).undo_write(&doomed[i], e).rolled_back();
+                }
+                if all_clean {
+                    prop_assert_eq!(s.shard_of(e).peek(e), pre);
                 }
             }
         }

@@ -60,8 +60,10 @@
 //! `Write` and `Event` record of its instance. That makes replay correct
 //! against process death (`SIGKILL` — the page cache survives), which is
 //! what the CI crash-recovery smoke exercises. Surviving *power loss*
-//! additionally needs [`WalOptions::sync`], which fsyncs the decision
-//! log on every commit.
+//! additionally needs [`WalOptions::sync`], which on every commit fsyncs
+//! the shard value logs and the history log **before** appending and
+//! fsyncing the commit record — so a durable `Commit` implies its
+//! `Write`/`Event` records are durable too, never the reverse.
 
 use crate::store::{Store, WriteError};
 use crate::template::WriteOp;
@@ -337,9 +339,12 @@ impl WalRecord {
 /// WAL tuning.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WalOptions {
-    /// `fsync` the decision log on every commit. Off by default: the
-    /// per-record `write(2)` already survives process death, and the
-    /// crash model the tests exercise is `SIGKILL`, not power loss.
+    /// Power-loss durability: on every commit, `fsync` the shard value
+    /// logs and the history log, *then* append and `fsync` the commit
+    /// record — the decision only becomes durable after the writes it
+    /// decides over. Off by default: the per-record `write(2)` already
+    /// survives process death, and the crash model the tests exercise
+    /// is `SIGKILL`, not power loss.
     pub sync: bool,
 }
 
@@ -367,9 +372,24 @@ pub struct Wal {
     dir: PathBuf,
     commit: Mutex<File>,
     history: Mutex<File>,
+    /// Clones of the per-shard value-log handles with their dirty flags,
+    /// registered by [`Wal::open_shard_log`]. Kept only under
+    /// [`WalOptions::sync`], where every commit must fsync the data logs
+    /// before the decision record; the flags let a commit skip shard
+    /// logs with nothing new to flush.
+    shard_sinks: Mutex<Vec<(File, Arc<AtomicBool>)>>,
     next_base: AtomicU32,
     sync: bool,
     failed: AtomicBool,
+}
+
+/// A shard's handle on its value log: the append-mode file plus the
+/// dirty flag [`Wal::sync_data_logs`] consults. The flag is set *after*
+/// each append, so whichever committer clears it first is guaranteed to
+/// have started its fsync after the append reached the kernel.
+pub(crate) struct ShardSink {
+    file: File,
+    dirty: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -434,6 +454,7 @@ impl Wal {
         Ok(Arc::new(Wal {
             commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE))?),
             history: Mutex::new(append_mode(&dir.join(HISTORY_FILE))?),
+            shard_sinks: Mutex::new(Vec::new()),
             next_base: AtomicU32::new(0),
             sync: opts.sync,
             failed: AtomicBool::new(false),
@@ -458,6 +479,7 @@ impl Wal {
         Ok(Arc::new(Wal {
             commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE))?),
             history: Mutex::new(append_mode(&dir.join(HISTORY_FILE))?),
+            shard_sinks: Mutex::new(Vec::new()),
             next_base: AtomicU32::new(next_base),
             sync: opts.sync,
             failed: AtomicBool::new(false),
@@ -475,20 +497,59 @@ impl Wal {
         self.failed.load(Ordering::Relaxed)
     }
 
-    /// Opens the value log of shard `k` in append mode.
-    pub(crate) fn open_shard_log(&self, k: usize) -> io::Result<File> {
-        append_mode(&self.dir.join(shard_file(k)))
+    /// Opens the value log of shard `k` in append mode. Under
+    /// [`WalOptions::sync`] a clone of the handle (with the sink's dirty
+    /// flag) is also registered so [`Wal::log_commit`] can fsync the
+    /// data logs before the decision record.
+    pub(crate) fn open_shard_log(&self, k: usize) -> io::Result<ShardSink> {
+        let file = append_mode(&self.dir.join(shard_file(k)))?;
+        let dirty = Arc::new(AtomicBool::new(false));
+        if self.sync {
+            self.shard_sinks
+                .lock()
+                .push((file.try_clone()?, Arc::clone(&dirty)));
+        }
+        Ok(ShardSink { file, dirty })
+    }
+
+    /// Appends one record to a shard's value log, marking the sink dirty
+    /// (append first, flag second — see [`ShardSink`]).
+    pub(crate) fn append_shard(&self, sink: &mut ShardSink, rec: &WalRecord) {
+        self.append_record(&mut sink.file, rec);
+        if self.sync {
+            sink.dirty.store(true, Ordering::SeqCst);
+        }
     }
 
     /// Reserves `count` globally unique instance ids for one run,
-    /// returning the base (ids are `base..base + count`).
+    /// returning the base (ids are `base..base + count`). The range is
+    /// claimed with a compare-exchange on `checked_add`, so exhaustion
+    /// panics *before* a wrapped base is ever published — a concurrent
+    /// `begin_run` can never observe colliding ids.
     pub(crate) fn begin_run(&self, count: u32) -> u32 {
-        let base = self.next_base.fetch_add(count, Ordering::SeqCst);
-        assert!(
-            base.checked_add(count).is_some(),
-            "WAL instance-id space exhausted (u32)"
-        );
-        base
+        let mut base = self.next_base.load(Ordering::SeqCst);
+        loop {
+            let next = base
+                .checked_add(count)
+                .expect("WAL instance-id space exhausted (u32)");
+            match self
+                .next_base
+                .compare_exchange(base, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return base,
+                Err(observed) => base = observed,
+            }
+        }
+    }
+
+    /// Poisons the WAL (reported once on stderr, then silent).
+    fn fail(&self, what: &str, e: &io::Error) {
+        if !self.failed.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "ddlf-engine: WAL {what} in {} failed, log disabled: {e}",
+                self.dir.display()
+            );
+        }
     }
 
     /// Appends one frame to `file`, poisoning the WAL on I/O failure.
@@ -497,12 +558,7 @@ impl Wal {
             return;
         }
         if let Err(e) = frame::write_frame(file, rec.encode().as_ref()) {
-            if !self.failed.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "ddlf-engine: WAL append to {} failed, log disabled: {e}",
-                    self.dir.display()
-                );
-            }
+            self.fail("append", &e);
         }
     }
 
@@ -510,7 +566,12 @@ impl Wal {
         let mut f = file.lock();
         self.append_record(&mut f, rec);
         if sync && !self.poisoned() {
-            let _ = f.sync_data();
+            // A failed decision-record fsync must poison too: otherwise
+            // the engine reports a durable commit that power loss can
+            // still take back.
+            if let Err(e) = f.sync_data() {
+                self.fail("fsync", &e);
+            }
         }
     }
 
@@ -527,6 +588,12 @@ impl Wal {
     }
 
     pub(crate) fn log_commit(&self, gid: u32, template: TxnId, attempt: u32) {
+        // Durability order: data logs first, the decision record last —
+        // after a power loss a durable Commit must imply that every
+        // Write/Event record it decides over is durable too.
+        if self.sync {
+            self.sync_data_logs();
+        }
         self.append_shared(
             &self.commit,
             &WalRecord::Commit {
@@ -536,6 +603,30 @@ impl Wal {
             },
             self.sync,
         );
+    }
+
+    /// Fsyncs the *dirty* shard value logs and the history log. The
+    /// committing thread appended its own Write/Event records (and set
+    /// their dirty flags) before calling this, so either this call
+    /// flushes them or a concurrent committer that cleared the flag
+    /// after the append did. Shard logs with nothing new since the last
+    /// flush are skipped — a commit pays per written shard, not per
+    /// shard in the store. Fsync failure poisons the WAL like an append
+    /// failure.
+    fn sync_data_logs(&self) {
+        if self.poisoned() {
+            return;
+        }
+        for (file, dirty) in self.shard_sinks.lock().iter() {
+            if dirty.swap(false, Ordering::SeqCst) {
+                if let Err(e) = file.sync_data() {
+                    self.fail("fsync", &e);
+                }
+            }
+        }
+        if let Err(e) = self.history.lock().sync_data() {
+            self.fail("fsync", &e);
+        }
     }
 
     pub(crate) fn log_abort(&self, gid: u32, attempt: u32) {
@@ -639,8 +730,15 @@ impl Recovered {
 }
 
 /// Reads every complete frame of `path` (missing file = empty log).
-/// A torn final frame — the crash point — ends the log; a record that
-/// frames completely but does not decode is real corruption and errors.
+/// A torn final frame (`UnexpectedEof` — the crash point) ends the log;
+/// a corrupt length prefix (`InvalidData`) or a fully framed record that
+/// does not decode is real corruption and errors — a torn append is a
+/// *prefix* of a valid frame, so its length bytes are either missing or
+/// intact, never garbage. (Caveat: a filesystem that persists a file's
+/// extended length before its data can leave a garbage tail after power
+/// loss; recovering such a log demands explicit truncation rather than
+/// this code guessing where it really ends — guessing is how committed
+/// mid-file records get silently dropped.)
 fn read_log(path: &Path, torn: &mut usize) -> Result<Vec<WalRecord>, WalError> {
     let file = match File::open(path) {
         Ok(f) => f,
@@ -662,12 +760,19 @@ fn read_log(path: &Path, torn: &mut usize) -> Result<Vec<WalRecord>, WalError> {
                     )))
                 }
             },
-            Err(e)
-                if e.kind() == io::ErrorKind::UnexpectedEof
-                    || e.kind() == io::ErrorKind::InvalidData =>
-            {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
                 *torn += 1;
                 break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Corrupt length prefix: stopping silently here would
+                // discard every later record — including committed
+                // writes — while reporting a clean crash point.
+                return Err(WalError::Record(format!(
+                    "{}: corrupt frame length after record {}: {e}",
+                    path.display(),
+                    out.len()
+                )));
             }
             Err(e) => return Err(e.into()),
         }
@@ -748,6 +853,11 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                     op,
                     ..
                 } => {
+                    // Every logged gid keeps `next_base` honest even if
+                    // its Begin record was lost (e.g. an unsynced
+                    // decision log after power loss): a resumed run must
+                    // never re-mint an id that survives in a data log.
+                    next_base = next_base.max(gid.saturating_add(1));
                     // Replay only the *committing* attempt's writes: an
                     // instance that died dirty on an earlier attempt and
                     // committed on a retry must not replay the rolled-
@@ -765,7 +875,10 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                         Err(WriteError::AddToBytes { .. }) => skipped += 1,
                     }
                 }
-                WalRecord::Undo { .. } => {} // uncommitted by construction
+                WalRecord::Undo { gid, .. } => {
+                    // Uncommitted by construction; still claims its id.
+                    next_base = next_base.max(gid.saturating_add(1));
+                }
                 other => {
                     return Err(WalError::Record(format!(
                         "unexpected record in shard log {k}: {other:?}"
@@ -787,6 +900,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
             WalRecord::Event {
                 gid, attempt, node, ..
             } => {
+                next_base = next_base.max(gid.saturating_add(1));
                 let Some(&idx) = dense.get(&gid) else {
                     continue;
                 };
@@ -926,6 +1040,87 @@ mod tests {
             .to_vec();
         enc.push(0xFF);
         assert_eq!(WalRecord::decode(Bytes::from(enc)), None);
+    }
+
+    fn unit_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ddlf-wal-unit-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn bare_wal(tag: &str, base: u32) -> Arc<Wal> {
+        let dir = unit_dir(tag);
+        Arc::new(Wal {
+            commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE)).unwrap()),
+            history: Mutex::new(append_mode(&dir.join(HISTORY_FILE)).unwrap()),
+            shard_sinks: Mutex::new(Vec::new()),
+            next_base: AtomicU32::new(base),
+            sync: false,
+            failed: AtomicBool::new(false),
+            dir,
+        })
+    }
+
+    #[test]
+    fn begin_run_reserves_disjoint_ranges() {
+        let w = bare_wal("ranges", 0);
+        assert_eq!(w.begin_run(10), 0);
+        assert_eq!(w.begin_run(5), 10);
+        assert_eq!(w.begin_run(1), 15);
+    }
+
+    #[test]
+    fn begin_run_never_publishes_a_wrapped_base() {
+        let w = bare_wal("wrap", u32::MAX - 1);
+        let attempt = Arc::clone(&w);
+        let wrapped =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || attempt.begin_run(5)));
+        assert!(wrapped.is_err(), "a wrapping reservation must panic");
+        // The failed reservation must not have wrapped the counter: the
+        // remaining id space is intact and collision-free.
+        assert_eq!(w.begin_run(1), u32::MAX - 1);
+    }
+
+    #[test]
+    fn read_log_reports_corrupt_length_prefix_as_record_error() {
+        use std::io::Write as _;
+        let path = unit_dir("corrupt").join("log.wal");
+        let mut f = File::create(&path).unwrap();
+        frame::write_frame(
+            &mut f,
+            WalRecord::Abort { gid: 0, attempt: 0 }.encode().as_ref(),
+        )
+        .unwrap();
+        // A length prefix above MAX_FRAME is never a torn append (a torn
+        // append is a prefix of a valid frame): this is corruption.
+        f.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        drop(f);
+        let mut torn = 0;
+        match read_log(&path, &mut torn) {
+            Err(WalError::Record(m)) => assert!(m.contains("corrupt frame length"), "{m}"),
+            other => panic!("expected Record error, got {other:?}"),
+        }
+        assert_eq!(torn, 0);
+    }
+
+    #[test]
+    fn read_log_still_treats_a_partial_final_frame_as_the_crash_point() {
+        use std::io::Write as _;
+        let path = unit_dir("torn").join("log.wal");
+        let mut f = File::create(&path).unwrap();
+        frame::write_frame(
+            &mut f,
+            WalRecord::Abort { gid: 0, attempt: 0 }.encode().as_ref(),
+        )
+        .unwrap();
+        f.write_all(&100u32.to_le_bytes()).unwrap();
+        f.write_all(&[1, 2, 3]).unwrap(); // payload cut short mid-append
+        drop(f);
+        let mut torn = 0;
+        let recs = read_log(&path, &mut torn).unwrap();
+        assert_eq!(recs.len(), 1, "the complete record survives");
+        assert_eq!(torn, 1);
     }
 
     #[test]

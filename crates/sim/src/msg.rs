@@ -151,8 +151,10 @@ pub mod frame {
     //! frames, each payload one binary `WalRecord` — see the record
     //! grammar in `ddlf_engine::wal`'s module docs. For log files the
     //! error taxonomy below is what makes crash recovery clean: a torn
-    //! final frame (`UnexpectedEof`/`InvalidData`) *is* the crash point,
-    //! distinguishable from a complete log (`Ok(None)`).
+    //! final frame (`UnexpectedEof`) *is* the crash point — a torn
+    //! append is always a prefix of a valid frame — distinguishable
+    //! both from a complete log (`Ok(None)`) and from real corruption
+    //! (`InvalidData`: a length prefix that was never validly written).
     //!
     //! [`write_frame`] prepends the prefix; [`read_frame`] strips it and
     //! distinguishes three stream conditions:

@@ -18,14 +18,21 @@
 //!   timestamp.
 //!
 //! Every effective lock/unlock is appended to a shared
-//! [`ddlf_sim::History`] and the committed projection is audited with the
-//! model's `D(S)` test after the run.
+//! [`ddlf_sim::History`] **and** fed — from inside the same timestamp
+//! critical section — to an incremental
+//! [`StreamingAuditor`], so
+//! the engine keeps a *live* `D(S)` verdict instead of re-running the
+//! quadratic batch audit per report. Commit/abort decisions flow to the
+//! same auditor (aborted attempts contribute nothing to the committed
+//! projection); the batch [`ddlf_sim::History::audit`] remains the
+//! oracle and cross-checks every run in debug builds.
 
 use crate::report::{LatencyStats, Report, TemplateReport};
 use crate::store::{LockOutcome, Store, UndoOutcome, WriteCtx};
 use crate::template::{AdmissionOptions, Template, TemplateRegistry};
 use crate::wal::{Recovered, Wal, WalOptions};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use ddlf_model::incremental::StreamingAuditor;
 use ddlf_model::{EntityId, Prefix, Transaction, TransactionSystem, TxnId};
 use ddlf_sim::SharedHistory;
 use parking_lot::Mutex;
@@ -266,7 +273,7 @@ impl Engine {
     pub fn run(&self) -> Report {
         let sys = self.registry.system().clone();
         if sys.is_empty() || self.cfg.instances == 0 {
-            return self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO);
+            return self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO, None);
         }
         let instances: Vec<Instance> = (0..self.cfg.instances)
             .map(|i| Instance {
@@ -299,7 +306,7 @@ impl Engine {
         }
         let total: usize = mix.iter().map(|&(_, n)| n).sum();
         if sys.is_empty() || total == 0 {
-            return self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO);
+            return self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO, None);
         }
         u32::try_from(total).expect("instance count fits u32");
         let mut remaining: Vec<(TxnId, usize)> = mix.to_vec();
@@ -328,7 +335,7 @@ impl Engine {
     pub fn report_snapshot(&self) -> Report {
         let sys = self.registry.system().clone();
         self.cumulative.lock().clone().unwrap_or_else(|| {
-            self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO)
+            self.build_report(&sys, &[], &[], SharedHistory::new(), Duration::ZERO, None)
         })
     }
 
@@ -343,13 +350,25 @@ impl Engine {
             Some(w) => w.begin_run(instances.len() as u32),
             None => 0,
         };
-        let shared = match &self.wal {
-            Some(w) => {
-                let w = Arc::clone(w);
-                SharedHistory::with_sink(Box::new(move |ev| w.log_event(ev, base)))
+        // The streaming auditor keeps the run's live D(S) verdict:
+        // instances are admitted up front, each event is fed from inside
+        // the history's timestamp critical section, and workers report
+        // commit/abort decisions as they happen — by the time the pool
+        // drains, the verdict is already computed.
+        let auditor = Arc::new(parking_lot::Mutex::new(StreamingAuditor::new(
+            self.registry.system(),
+        )));
+        {
+            let mut a = auditor.lock();
+            for inst in &instances {
+                a.admit(base + inst.id, inst.template);
             }
-            None => SharedHistory::new(),
-        };
+        }
+        let wal_sink: Option<ddlf_sim::EventSink> = self.wal.as_ref().map(|w| {
+            let w = Arc::clone(w);
+            Box::new(move |ev: &ddlf_sim::HistoryEvent| w.log_event(ev, base)) as _
+        });
+        let shared = SharedHistory::with_streaming_audit(Arc::clone(&auditor), base, wal_sink);
         let (work_tx, work_rx) = unbounded::<Instance>();
         for inst in &instances {
             work_tx.send(*inst).expect("receiver alive");
@@ -371,7 +390,8 @@ impl Engine {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
                 let shared = &shared;
-                scope.spawn(move || self.worker(work_rx, done_tx, shared, base));
+                let auditor = &auditor;
+                scope.spawn(move || self.worker(work_rx, done_tx, shared, base, auditor));
             }
         });
         let wall = started.elapsed();
@@ -381,7 +401,7 @@ impl Engine {
         for (id, out) in done_rx.iter() {
             outcomes[id as usize] = out;
         }
-        let report = self.build_report(&sys, &instances, &outcomes, shared, wall);
+        let report = self.build_report(&sys, &instances, &outcomes, shared, wall, Some(&auditor));
         let mut cumulative = self.cumulative.lock();
         match cumulative.as_mut() {
             Some(acc) => acc.absorb(&report),
@@ -396,16 +416,23 @@ impl Engine {
         done_tx: Sender<(u32, Outcome)>,
         shared: &SharedHistory,
         base: u32,
+        auditor: &Mutex<StreamingAuditor>,
     ) {
         // The queue is fully loaded (and its sender dropped) before
         // workers start, so the first failed receive means drained.
         while let Ok(inst) = work_rx.try_recv() {
-            let out = self.execute_instance(inst, shared, base);
+            let out = self.execute_instance(inst, shared, base, auditor);
             let _ = done_tx.send((inst.id, out));
         }
     }
 
-    fn execute_instance(&self, inst: Instance, shared: &SharedHistory, base: u32) -> Outcome {
+    fn execute_instance(
+        &self,
+        inst: Instance,
+        shared: &SharedHistory,
+        base: u32,
+        auditor: &Mutex<StreamingAuditor>,
+    ) -> Outcome {
         let started = Instant::now();
         let tmpl = self.registry.template(inst.template);
         // Admission gate: occupy one of the template's certified slots
@@ -445,6 +472,11 @@ impl Engine {
                     writes_skipped,
                 } => {
                     self.commit_instance(inst, t, &ctx);
+                    // The decision reaches the auditor only after every
+                    // event of the attempt did (the sink feeds events
+                    // synchronously from inside the history lock), so
+                    // the merge sees the complete attempt.
+                    auditor.lock().commit(ctx.gid, attempt);
                     out.committed_attempt = Some(attempt);
                     out.reads += reads;
                     out.writes += writes;
@@ -458,6 +490,10 @@ impl Engine {
                     if let Some(w) = &self.wal {
                         w.log_abort(ctx.gid, attempt);
                     }
+                    // The attempt's locks were released and its writes
+                    // rolled back: its buffered events leave the
+                    // committed projection.
+                    auditor.lock().abort(ctx.gid, attempt);
                     out.aborts += 1;
                     out.rolled_back += u64::from(rolled_back);
                     // Only a write that could not be rolled back leaves
@@ -711,9 +747,8 @@ impl Engine {
         outcomes: &[Outcome],
         shared: SharedHistory,
         wall: Duration,
+        auditor: Option<&Mutex<StreamingAuditor>>,
     ) -> Report {
-        let committed_attempt: Vec<Option<u32>> =
-            outcomes.iter().map(|o| o.committed_attempt).collect();
         let failed: Vec<u32> = instances
             .iter()
             .zip(outcomes)
@@ -724,23 +759,43 @@ impl Engine {
         let dirty_aborts: usize = outcomes.iter().map(|o| o.dirty_aborts as usize).sum();
 
         // Audit: one transaction per instance, so `D(S)` sees each
-        // instance as its own node set. Rolled-back aborts are clean —
-        // their writes were undone, so excluding their events is sound —
-        // and wait-die runs now audit like certified ones. Only an
-        // *unrecovered* dirty abort (a write the undo log could not take
-        // back) still voids the audit's premise, reporting `None` rather
-        // than a verdict over the wrong schedule.
+        // instance as its own node set. The verdict was maintained
+        // *during* the run by the streaming auditor; sealing is one
+        // linear sweep over committed instances that finds no Lemma 1
+        // stragglers (every committed instance ran to completion) —
+        // nothing is re-projected or rebuilt per report. Rolled-back
+        // aborts are clean — their writes were
+        // undone, so dropping their buffered events is sound — and
+        // wait-die runs audit like certified ones. Only an *unrecovered*
+        // dirty abort (a write the undo log could not take back) still
+        // voids the audit's premise, reporting `None` rather than a
+        // verdict over the wrong schedule.
         let serializable = if failed.is_empty() && !instances.is_empty() && dirty_aborts == 0 {
-            let txns: Vec<Transaction> = instances
-                .iter()
-                .map(|i| {
-                    let t = sys.txn(i.template);
-                    t.clone().with_name(format!("{}#{}", t.name(), i.id))
-                })
-                .collect();
-            TransactionSystem::new(sys.db().clone(), txns)
-                .ok()
-                .and_then(|audit_sys| history.audit(&audit_sys, &committed_attempt).ok())
+            let verdict = auditor.and_then(|a| a.lock().seal());
+            // Debug builds cross-check the streaming verdict against the
+            // batch oracle over the very same history — the whole
+            // existing engine test suite doubles as an equivalence
+            // proptest.
+            #[cfg(debug_assertions)]
+            {
+                let committed_attempt: Vec<Option<u32>> =
+                    outcomes.iter().map(|o| o.committed_attempt).collect();
+                let txns: Vec<Transaction> = instances
+                    .iter()
+                    .map(|i| {
+                        let t = sys.txn(i.template);
+                        t.clone().with_name(format!("{}#{}", t.name(), i.id))
+                    })
+                    .collect();
+                let batch = TransactionSystem::new(sys.db().clone(), txns)
+                    .ok()
+                    .and_then(|audit_sys| history.audit(&audit_sys, &committed_attempt).ok());
+                debug_assert_eq!(
+                    verdict, batch,
+                    "streaming audit diverged from the batch oracle"
+                );
+            }
+            verdict
         } else {
             None
         };

@@ -43,8 +43,9 @@
 //!                             │        wal::recover(dir): replay committed
 //!                             │        ops ▶ fresh Store ▶ re-run D(S)
 //!                             ▼
-//!                          History ──▶ D(S) audit
-//!                             │
+//!                          History ──▶ streaming D(S) audit
+//!                             │        (incremental; live verdict —
+//!                             │         batch audit is the oracle)
 //!                          Report: certified k vs achieved peak,
 //!                          aborts (rolled back vs dirty), latency,
 //!                          per template
@@ -64,8 +65,11 @@
 //!   the lock).
 //! * [`executor`] — a worker pool drains the instance queue, walks each
 //!   transaction's partial order, and appends every effective
-//!   lock/unlock to a shared [`ddlf_sim::History`]; the committed
-//!   projection is audited with the model's `D(S)` serializability test.
+//!   lock/unlock to a shared [`ddlf_sim::History`]; each event is also
+//!   fed live to an incremental
+//!   [`StreamingAuditor`](ddlf_model::incremental::StreamingAuditor),
+//!   so the `D(S)` serializability verdict is already sealed when the
+//!   run drains (debug builds cross-check it against the batch oracle).
 //! * [`report`] — throughput / latency / abort metrics following the
 //!   `ddlf_sim::metrics` conventions.
 //! * [`wal`] — the per-shard value/undo log behind both the wait-die

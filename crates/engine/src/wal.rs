@@ -13,12 +13,19 @@
 //!    disk *before* the in-memory store mutates, so a crashed process
 //!    can be replayed: committed operations are re-applied to a fresh
 //!    store and the recovered lock/unlock history is re-audited with the
-//!    model's `D(S)` test. Commit is a **durable decision** (Gray &
-//!    Lamport, *Consensus on Transaction Commit*): an instance is
-//!    recovered if and only if its `Commit` record reached the decision
-//!    log, never because its data writes happen to be present.
+//!    model's `D(S)` test — streamed through the incremental
+//!    [`StreamingAuditor`], so recovery stays linear in log size.
+//!    Commit is a **durable decision** (Gray & Lamport, *Consensus on
+//!    Transaction Commit*): an instance is recovered if and only if its
+//!    `Commit` record reached the decision log, never because its data
+//!    writes happen to be present.
 //!
 //! ## On-disk layout
+//!
+//! (The canonical copy of this grammar — alongside the shared
+//! [`ddlf_sim::msg::frame`] framing and [`ddlf_sim::msg::codec`]
+//! conventions it builds on — lives in `ARCHITECTURE.md` at the
+//! repository root; this rustdoc mirrors it for in-code readers.)
 //!
 //! A WAL directory holds one log file per shard plus two shared logs and
 //! a metadata file:
@@ -69,9 +76,10 @@ use crate::store::{Store, WriteError};
 use crate::template::WriteOp;
 use crate::{Datum, VersionedValue};
 use bytes::{BufMut, Bytes, BytesMut};
+use ddlf_model::incremental::StreamingAuditor;
 use ddlf_model::{EntityId, NodeId, SystemSpec, TransactionSystem, TxnId};
 use ddlf_sim::msg::{codec, frame};
-use ddlf_sim::{History, HistoryEvent, SimTime};
+use ddlf_sim::HistoryEvent;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -366,7 +374,7 @@ fn shard_file(k: usize) -> String {
 
 /// The file-backed sink of one engine: the shared decision and history
 /// logs, plus the per-shard value logs the [`Store`] opens through
-/// [`Wal::open_shard_log`]. Append failures poison the WAL (reported
+/// `Wal::open_shard_log`. Append failures poison the WAL (reported
 /// once on stderr, then dropped) rather than panicking the hot path.
 pub struct Wal {
     dir: PathBuf,
@@ -782,10 +790,13 @@ fn read_log(path: &Path, torn: &mut usize) -> Result<Vec<WalRecord>, WalError> {
 
 /// Replays a WAL directory: rebuilds the registered system from
 /// `meta.json`, re-applies every **committed** write operation to a
-/// fresh [`Store`], reconstructs the committed lock/unlock history, and
-/// re-runs the model's `D(S)` audit over it. Uncommitted instances —
-/// in-flight at the crash, or wait-die victims — contribute nothing:
-/// commit is decided solely by the decision log.
+/// fresh [`Store`], and streams the committed lock/unlock history
+/// through the incremental `D(S)` auditor — commit decisions are known
+/// up front, so every event merges on arrival and recovery is linear in
+/// log size (the old path rebuilt the quadratic batch conflict graph; a
+/// 20k-instance recovery took minutes, see `BENCH_audit.json`).
+/// Uncommitted instances — in-flight at the crash, or wait-die victims —
+/// contribute nothing: commit is decided solely by the decision log.
 pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
     let dir = dir.as_ref();
     let meta_json = std::fs::read_to_string(dir.join(META_FILE))
@@ -888,34 +899,32 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
         }
     }
 
-    // 3. The history log: keep the committed attempts' events, re-keyed
-    //    onto a dense audit system (one transaction per committed
-    //    instance), and re-run D(S).
+    // 3. The history log: stream the committed attempts' events through
+    //    the incremental auditor. Commit decisions are fed *first* (they
+    //    are all known from step 1), so every event of a committing
+    //    attempt merges immediately — file order is global time order —
+    //    and recovery stays linear in the log instead of rebuilding the
+    //    quadratic batch conflict graph. No per-instance audit system is
+    //    materialized at all; `seal` adds the Lemma 1 arcs for any
+    //    committed instance whose events a torn history tail swallowed.
     let mut gids: Vec<u32> = committed.keys().copied().collect();
     gids.sort_unstable();
-    let dense: HashMap<u32, usize> = gids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
-    let mut history = History::new();
+    let mut auditor = StreamingAuditor::new(&system);
+    for g in &gids {
+        let (template, attempt) = committed[g];
+        auditor.admit(*g, template);
+        auditor.commit(*g, attempt);
+    }
     for rec in read_log(&dir.join(HISTORY_FILE), &mut torn)? {
         match rec {
             WalRecord::Event {
                 gid, attempt, node, ..
             } => {
                 next_base = next_base.max(gid.saturating_add(1));
-                let Some(&idx) = dense.get(&gid) else {
-                    continue;
-                };
-                if committed[&gid].1 != attempt {
-                    continue; // an earlier, aborted attempt of a committed instance
+                if committed.get(&gid).map(|&(_, a)| a) != Some(attempt) {
+                    continue; // uncommitted instance, or a losing attempt
                 }
-                // Times renumbered densely: file order *is* the global
-                // order (runs serialize; within a run the sink writes
-                // inside the timestamp critical section).
-                history.record(HistoryEvent {
-                    time: SimTime(history.len() as u64),
-                    txn: TxnId(idx as u32),
-                    attempt,
-                    node,
-                });
+                auditor.event(gid, attempt, node);
             }
             other => {
                 return Err(WalError::Record(format!(
@@ -924,23 +933,11 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
             }
         }
     }
-
-    let txns: Vec<_> = gids
-        .iter()
-        .map(|g| {
-            let t = system.txn(committed[g].0);
-            t.clone().with_name(format!("{}#{g}", t.name()))
-        })
-        .collect();
-    let committed_attempt: Vec<Option<u32>> = gids.iter().map(|g| Some(committed[g].1)).collect();
-    let (serializable, audit_error) = match TransactionSystem::new(db, txns) {
-        Ok(audit_sys) => match history.audit(&audit_sys, &committed_attempt) {
-            Ok(v) => (Some(v), None),
-            Err(e) => (None, Some(format!("recovered schedule invalid: {e}"))),
-        },
-        Err(e) => (None, Some(format!("audit system: {e}"))),
-    };
-    let history_len = history.len();
+    let serializable = auditor.seal();
+    let audit_error = auditor
+        .error()
+        .map(|e| format!("recovered schedule invalid: {e}"));
+    let history_len = usize::try_from(auditor.merged_events()).unwrap_or(usize::MAX);
 
     Ok(Recovered {
         spec: meta.spec,

@@ -15,6 +15,11 @@
 //! * a [`Schedule`] is a lock-respecting merge of linear extensions, with
 //!   the conflict digraph `D(S)` serializability test and the partial-
 //!   schedule variant used by Lemma 1;
+//! * [`incremental`] maintains the same `D(S)` verdict **online**: a
+//!   [`StreamingAuditor`] consumes committed-attempt events one at a
+//!   time (per-entity lock chains + Pearce–Kelly incremental topological
+//!   ordering) at amortized near-constant cost per event, with the batch
+//!   audit kept as its oracle;
 //! * [`Prefix`]/[`SystemPrefix`] are the downward-closed node sets that
 //!   deadlock analysis (§3) is phrased in, including the maximal-prefix
 //!   and minimal-prefix constructions of §5.
@@ -57,6 +62,7 @@ pub mod dot;
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod incremental;
 pub mod inflate;
 pub mod linext;
 pub mod op;
@@ -71,6 +77,7 @@ pub use database::{Database, DatabaseBuilder};
 pub use error::ModelError;
 pub use graph::{DiGraph, UnGraph};
 pub use ids::{EntityId, GlobalNode, NodeId, SiteId, TxnId};
+pub use incremental::{IncrementalTopo, StreamingAuditor};
 pub use inflate::{CopyMap, InflatedSystem};
 pub use linext::{count_linear_extensions, for_each_linear_extension, linear_extensions};
 pub use op::{Op, OpKind};

@@ -1,14 +1,26 @@
-//! Execution histories and the post-hoc serializability audit.
+//! Execution histories and the serializability audits over them.
 //!
 //! The simulator records the *effective* order of lock/unlock events as
-//! decided by the sites. For committed transactions this trace is replayed
-//! into a model [`Schedule`] and audited with the paper's `D(S)` test —
-//! connecting the runtime back to the static theory.
+//! decided by the sites. For committed transactions this trace is a
+//! model [`Schedule`] audited with the paper's `D(S)` test — connecting
+//! the runtime back to the static theory. Two audit paths exist:
+//!
+//! * the **incremental streaming audit**
+//!   ([`ddlf_model::incremental::StreamingAuditor`], fed live through
+//!   [`SharedHistory::with_streaming_audit`]) is the primary path: it
+//!   maintains the verdict at amortized near-constant cost per event,
+//!   so live reports and WAL recovery stay linear in history size;
+//! * the **batch audit** ([`History::audit`]) re-validates and rebuilds
+//!   the full conflict digraph from scratch — quadratic in committed
+//!   instances — and is kept as the *oracle* the streaming verdict is
+//!   proptested (and debug-asserted) against.
 
 use crate::time::SimTime;
+use ddlf_model::incremental::StreamingAuditor;
 use ddlf_model::{GlobalNode, ModelError, NodeId, Schedule, TransactionSystem, TxnId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One recorded lock-manager event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,6 +80,11 @@ impl History {
     /// Events of aborted attempts carry no information flow in the pure
     /// locking model (no action was made durable), so excluding them
     /// preserves the conflict structure of the committed execution.
+    ///
+    /// This materialized projection backs the **batch** audit path; the
+    /// primary (streaming) path never materializes it — a
+    /// [`StreamingAuditor`] performs the same projection online by
+    /// buffering events per attempt until the commit/abort decision.
     pub fn committed_schedule(&self, committed_attempt: &[Option<u32>]) -> Schedule {
         let steps = self
             .events
@@ -78,10 +95,19 @@ impl History {
         Schedule::from_steps(steps)
     }
 
-    /// Audits a completed run: validates the committed schedule and tests
-    /// `D(S)` acyclicity. Returns `Ok(serializable)` or the validation
-    /// error (which would indicate an engine bug, not a workload
-    /// property).
+    /// The **batch** `D(S)` audit: validates the committed schedule step
+    /// by step and rebuilds the full conflict digraph from scratch.
+    /// Returns `Ok(serializable)` or the validation error (which would
+    /// indicate an engine bug, not a workload property).
+    ///
+    /// This is `Θ(instances²)` (the full `D(S)` carries an arc per
+    /// ordered locker pair) and is **no longer the primary path**: the
+    /// engine and `wal::recover` maintain the verdict incrementally via
+    /// [`StreamingAuditor`] at amortized near-constant cost per event.
+    /// The batch form stays as the independent *oracle* — proptests
+    /// drive random certified and wait-die histories through both and
+    /// assert verdict equality, and debug builds cross-check every
+    /// engine run.
     pub fn audit(
         &self,
         sys: &TransactionSystem,
@@ -137,6 +163,28 @@ impl SharedHistory {
             history: Mutex::new(History::new()),
             sink: Some(sink),
         }
+    }
+
+    /// The **streaming-audit sink mode**: every recorded event is fed —
+    /// inside the timestamp critical section, so the auditor sees
+    /// exactly timestamp order — to `auditor` as instance
+    /// `base + event.txn`, plus optionally to `extra` (the engine stacks
+    /// its WAL sink here). The caller keeps the `Arc` to admit
+    /// instances, report commit/abort decisions, and read the live
+    /// verdict; `base` translates the run-local `TxnId`s into the
+    /// auditor's global instance-id space (the WAL gid space when
+    /// logging, 0 otherwise).
+    pub fn with_streaming_audit(
+        auditor: Arc<Mutex<StreamingAuditor>>,
+        base: u32,
+        extra: Option<EventSink>,
+    ) -> Self {
+        Self::with_sink(Box::new(move |ev: &HistoryEvent| {
+            if let Some(extra) = &extra {
+                extra(ev);
+            }
+            auditor.lock().event(base + ev.txn.0, ev.attempt, ev.node);
+        }))
     }
 
     /// Appends an event stamped with the next logical time.
@@ -236,6 +284,38 @@ mod tests {
         let h = History::new();
         assert!(h.audit(&sys, &[None, None]).unwrap());
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn streaming_audit_sink_matches_batch_audit() {
+        let sys = sys();
+        let auditor = Arc::new(Mutex::new(StreamingAuditor::new(&sys)));
+        {
+            let mut a = auditor.lock();
+            a.admit(0, TxnId(0));
+            a.admit(1, TxnId(1));
+        }
+        let shared = SharedHistory::with_streaming_audit(Arc::clone(&auditor), 0, None);
+        // T0 attempt 0 dies after locking; attempt 1 commits; T1 commits.
+        shared.record(TxnId(0), 0, NodeId(0));
+        shared.record(TxnId(1), 0, NodeId(0));
+        shared.record(TxnId(1), 0, NodeId(1));
+        shared.record(TxnId(0), 1, NodeId(0));
+        shared.record(TxnId(0), 1, NodeId(1));
+        let streaming = {
+            let mut a = auditor.lock();
+            a.abort(0, 0);
+            a.commit(0, 1);
+            a.commit(1, 0);
+            a.seal()
+        };
+        // Attempt 0 of T0 locked e0 and never unlocked before T1's lock,
+        // but that attempt *aborted*, so the committed projection is
+        // clean — and the batch oracle agrees.
+        let history = shared.into_inner();
+        let committed = vec![Some(1), Some(0)];
+        assert_eq!(streaming, history.audit(&sys, &committed).ok());
+        assert_eq!(streaming, Some(true));
     }
 
     #[test]

@@ -132,6 +132,10 @@ pub mod codec {
 pub mod frame {
     //! Length-prefixed framing for binary messages over byte streams.
     //!
+    //! (Canonical system-wide description — this framing, the
+    //! [`codec`](super::codec) conventions, and the WAL record grammar
+    //! built on both — in `ARCHITECTURE.md` at the repository root.)
+    //!
     //! The in-memory encodings in this module ([`Message`](super::Message),
     //! and the `ddlf-server` request/response protocol built on the same
     //! conventions) are self-describing only given their length, so a

@@ -32,6 +32,10 @@
 //!
 //! ## Crate map
 //!
+//! (`ARCHITECTURE.md` at the repository root is the canonical, expanded
+//! version of this diagram, with the per-crate responsibility table, the
+//! instance-lifecycle data flow, and the binary format grammars.)
+//!
 //! ```text
 //!                      ┌────────── ddlf (this facade) ──────────┐
 //!                      │                                        │
@@ -44,9 +48,10 @@
 //!        │              │  wal: shard value/undo logs ──▶ recover
 //!        ▼              ▼          (frames via msg::frame)      │
 //!   ddlf-core ───── ddlf-model ◀──── ddlf-sim (runtime, msg::frame)
-//!        │ Theorems 1–5   model substrate        │
-//!        ▼                                       │
-//!   ddlf-sat (3SAT′ gadget)                      └ history → D(S) audit
+//!        │ Theorems 1–5   │ §2 model          │
+//!        ▼                │                   └ history ──▶ streaming
+//!   ddlf-sat (3SAT′)      └ incremental D(S) auditor ◀──── D(S) verdict
+//!                           (batch audit kept as the oracle)
 //! ```
 //!
 //! ## Quickstart
@@ -75,6 +80,8 @@
 //! let sys = TransactionSystem::copies(db, &t, 2).unwrap();
 //! assert!(certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_ok());
 //! ```
+
+#![warn(missing_docs)]
 
 pub use ddlf_core as core;
 pub use ddlf_engine as engine;

@@ -1,0 +1,59 @@
+//! E15: `telemetry_overhead` — the cost of observing the engine.
+//!
+//! The same certified banking run three ways: telemetry disabled (the
+//! library default and the baseline every other bench measures),
+//! histograms on (seven phase histograms + counters + gauges, the
+//! `ddlf-audit run`/`serve` default), and histograms plus lifecycle
+//! tracing sampled at 1 instance in 64. The acceptance bar for the
+//! telemetry layer is histograms-on ≤ 5% over disabled at 20k
+//! instances (snapshot: BENCH_telemetry.json; CI enforces a 10%
+//! wall-clock budget on the 20k CLI run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_engine::{Engine, EngineConfig};
+use ddlf_telemetry::{Telemetry, TelemetryConfig};
+use ddlf_workloads::bank_ordered_pair;
+
+fn cfg(instances: usize, telemetry: Telemetry) -> EngineConfig {
+    EngineConfig {
+        threads: 4,
+        instances,
+        telemetry,
+        ..Default::default()
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let (_, ordered) = bank_ordered_pair();
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    for &n in &[256usize, 2048] {
+        g.bench_with_input(BenchmarkId::new("off", n), &n, |b, &n| {
+            b.iter(|| {
+                Engine::new(ordered.clone(), cfg(n, Telemetry::disabled()))
+                    .run()
+                    .committed
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("histograms", n), &n, |b, &n| {
+            b.iter(|| {
+                Engine::new(ordered.clone(), cfg(n, Telemetry::enabled()))
+                    .run()
+                    .committed
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("histograms_trace64", n), &n, |b, &n| {
+            b.iter(|| {
+                let t = Telemetry::new(TelemetryConfig {
+                    trace_sample: 64,
+                    ..Default::default()
+                });
+                Engine::new(ordered.clone(), cfg(n, t)).run().committed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -8,12 +8,14 @@
 //! ddlf-audit deadlock system.json          # exhaustive deadlock search (small systems)
 //! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
 //! ddlf-audit run      system.json [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]
-//!                     [--wal DIR]
-//! ddlf-audit recover  <wal-dir> [--expect-total N]   # replay + re-audit a WAL
+//!                     [--wal DIR] [--wal-sync] [--json] [--no-telemetry] [--trace-sample N]
+//!                     [--trace-out FILE]
+//! ddlf-audit recover  <wal-dir> [--expect-total N] [--json]   # replay + re-audit a WAL
 //! ddlf-audit dot      system.json          # Graphviz rendering
-//! ddlf-audit serve    <addr> [--threads K] [--inflate k|auto] [--wal DIR]
+//! ddlf-audit serve    <addr> [--threads K] [--inflate k|auto] [--wal DIR] [--no-telemetry]
 //! ddlf-audit submit   <addr> system.json [--txns N] [--template NAME] [--inflate k|auto]
 //!                     [--expect-zero-aborts] [--shutdown]
+//! ddlf-audit stats    <addr> [--json|--prom]   # live telemetry digest, no pause
 //! ```
 //!
 //! `run` executes the system on the `ddlf-engine` key-value store:
@@ -40,15 +42,24 @@
 //! code contract as `run` (plus `--expect-zero-aborts`, which also fails
 //! the exit code on any wait-die retry — the certified path's promise).
 //!
+//! `run` and `serve` record phase-latency histograms and per-template
+//! outcome counters by default (`ddlf-telemetry`; `--no-telemetry`
+//! turns them off, `--trace-sample N` additionally traces one instance
+//! lifecycle in N). `stats` asks a running server for its live digest —
+//! answered lock-free, so it works *during* a long submission — as
+//! human text, `--json`, or `--prom` Prometheus-style exposition.
+//! `run --json` / `recover --json` print the full report as a single
+//! JSON object on stdout for scripting.
+//!
 //! The command logic lives in this library crate so it is unit-testable;
 //! `main.rs` only parses arguments.
 
 #![warn(missing_docs)]
 
 use ddlf_core::{certify_safe_and_deadlock_free, CertifyOptions, Explorer};
-use ddlf_engine::{AdmissionOptions, Inflation};
+use ddlf_engine::{AdmissionOptions, Inflation, Phase, Report, Telemetry, TelemetryConfig};
 use ddlf_model::{SystemSpec, TransactionSystem};
-use ddlf_server::{Client, InflateSpec, ServeConfig, Server};
+use ddlf_server::{Client, InflateSpec, ServeConfig, Server, StatsSnapshot};
 use ddlf_sim::{run, DeadlockPolicy, SimConfig};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -85,7 +96,8 @@ pub enum Command {
         /// Number of seeds to run.
         seeds: u64,
     },
-    /// `run <spec> [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--wal DIR]`
+    /// `run <spec> [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--wal DIR]
+    /// [--wal-sync]`
     Run {
         /// Path to the spec JSON.
         spec: String,
@@ -102,14 +114,29 @@ pub enum Command {
         work_us: u64,
         /// Write-ahead log directory (rotated at engine creation).
         wal: Option<String>,
+        /// Fsync WAL data logs + commit record on every commit (durable
+        /// against power loss; the `fsync` phase histogram measures it).
+        wal_sync: bool,
+        /// Emit the full report as one JSON object on stdout instead of
+        /// the human rendering.
+        json: bool,
+        /// Run with telemetry disabled (histograms are on by default;
+        /// this is the control arm of the overhead benchmark).
+        no_telemetry: bool,
+        /// Trace one instance lifecycle in every N (0 = tracing off).
+        trace_sample: u32,
+        /// Write the captured trace as JSON lines to this file.
+        trace_out: Option<String>,
     },
-    /// `recover <wal-dir> [--expect-total N]`
+    /// `recover <wal-dir> [--expect-total N] [--json]`
     Recover {
         /// The WAL directory to replay.
         dir: String,
         /// Fail unless the recovered store's Σint equals this
         /// (conservation check for transfer workloads).
         expect_total: Option<u128>,
+        /// Emit the recovery report as one JSON object on stdout.
+        json: bool,
     },
     /// `dot <spec>`
     Dot {
@@ -129,6 +156,9 @@ pub enum Command {
         /// Write-ahead log directory; if it already holds a WAL, the
         /// server recovers it and starts with the replayed engine.
         wal: Option<String>,
+        /// Serve with telemetry disabled (histograms are on by default,
+        /// feeding the `stats` verb's live digest).
+        no_telemetry: bool,
     },
     /// `submit <addr> <spec> [--txns N] [--template NAME] [--inflate k|auto]
     /// [--expect-zero-aborts] [--shutdown]`
@@ -148,6 +178,16 @@ pub enum Command {
         expect_zero_aborts: bool,
         /// Send `Shutdown` after reporting, stopping the server.
         shutdown: bool,
+    },
+    /// `stats <addr> [--json|--prom]`
+    Stats {
+        /// Address of a running `ddlf-audit serve`.
+        addr: String,
+        /// Emit the digest as one JSON object on stdout.
+        json: bool,
+        /// Emit Prometheus-style text exposition instead of the human
+        /// rendering.
+        prom: bool,
     },
 }
 
@@ -201,6 +241,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut force_fallback = false;
             let mut work_us = 0u64;
             let mut wal = None;
+            let mut wal_sync = false;
+            let mut json = false;
+            let mut no_telemetry = false;
+            let mut trace_sample = 0u32;
+            let mut trace_out = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -221,6 +266,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--work" => work_us = parse_value(&rest, &mut i, "--work")?,
                     "--wal" => wal = Some(take_value(&rest, &mut i, "--wal")?.to_string()),
+                    "--wal-sync" => {
+                        wal_sync = true;
+                        i += 1;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--no-telemetry" => {
+                        no_telemetry = true;
+                        i += 1;
+                    }
+                    "--trace-sample" => {
+                        trace_sample = parse_value(&rest, &mut i, "--trace-sample")?;
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(take_value(&rest, &mut i, "--trace-out")?.to_string());
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -232,11 +295,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 force_fallback,
                 work_us,
                 wal,
+                wal_sync,
+                json,
+                no_telemetry,
+                trace_sample,
+                trace_out,
             })
         }
         "recover" => {
             let dir = spec;
             let mut expect_total = None;
+            let mut json = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -244,16 +313,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--expect-total" => {
                         expect_total = Some(parse_value(&rest, &mut i, "--expect-total")?);
                     }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
-            Ok(Command::Recover { dir, expect_total })
+            Ok(Command::Recover {
+                dir,
+                expect_total,
+                json,
+            })
         }
         "serve" => {
             let addr = spec;
             let mut threads = 4usize;
             let mut inflate = None;
             let mut wal = None;
+            let mut no_telemetry = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -263,6 +341,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         inflate = Some(parse_inflate(take_value(&rest, &mut i, "--inflate")?)?);
                     }
                     "--wal" => wal = Some(take_value(&rest, &mut i, "--wal")?.to_string()),
+                    "--no-telemetry" => {
+                        no_telemetry = true;
+                        i += 1;
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -271,7 +353,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 threads,
                 inflate,
                 wal,
+                no_telemetry,
             })
+        }
+        "stats" => {
+            let addr = spec;
+            let mut json = false;
+            let mut prom = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--prom" => {
+                        prom = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Stats { addr, json, prom })
         }
         "submit" => {
             let addr = spec;
@@ -352,11 +456,14 @@ where
 fn usage() -> String {
     "usage: ddlf-audit <certify|deadlock|simulate|run|dot> <system.json> \
      [--policy nothing|detect|wound-wait|wait-die] [--seeds N] \
-     [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--work USEC] [--wal DIR]\n\
-     \x20      ddlf-audit recover <wal-dir> [--expect-total N]\n\
-     \x20      ddlf-audit serve <addr> [--threads K] [--inflate k|auto] [--wal DIR]\n\
+     [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--work USEC] [--wal DIR] \
+     [--wal-sync] [--json] [--no-telemetry] [--trace-sample N] [--trace-out FILE]\n\
+     \x20      ddlf-audit recover <wal-dir> [--expect-total N] [--json]\n\
+     \x20      ddlf-audit serve <addr> [--threads K] [--inflate k|auto] [--wal DIR] \
+     [--no-telemetry]\n\
      \x20      ddlf-audit submit <addr> <system.json> [--txns N] [--template NAME] \
-     [--inflate k|auto] [--expect-zero-aborts] [--shutdown]"
+     [--inflate k|auto] [--expect-zero-aborts] [--shutdown]\n\
+     \x20      ddlf-audit stats <addr> [--json|--prom]"
         .to_string()
 }
 
@@ -386,6 +493,329 @@ fn wire_inflate(inflate: Option<InflateArg>) -> InflateSpec {
     }
 }
 
+/// Builds the telemetry handle `run` and `serve` record into:
+/// histograms on unless `--no-telemetry`, tracing at the requested
+/// sample rate.
+fn make_telemetry(no_telemetry: bool, trace_sample: u32) -> Telemetry {
+    if no_telemetry {
+        Telemetry::disabled()
+    } else {
+        Telemetry::new(TelemetryConfig {
+            trace_sample,
+            ..Default::default()
+        })
+    }
+}
+
+/// Builds a JSON object from key/value pairs (the vendored `serde_json`
+/// has no `json!` macro; objects are ordered `Vec`s of entries).
+fn jobj(pairs: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn ju(n: u64) -> serde_json::Value {
+    serde_json::Value::U64(n)
+}
+
+/// Renders a run's per-phase histograms as a JSON object keyed by phase
+/// name (`{"lock_wait": {"count": …, "p99_ns": …}, …}`).
+fn phases_json(phases: &ddlf_engine::PhaseSnapshot) -> serde_json::Value {
+    serde_json::Value::Obj(
+        Phase::ALL
+            .iter()
+            .map(|&p| {
+                let h = phases.get(p);
+                (
+                    p.name().to_string(),
+                    jobj(vec![
+                        ("count", ju(h.count)),
+                        ("sum_ns", ju(h.sum)),
+                        ("mean_ns", ju(h.mean())),
+                        ("p50_ns", ju(h.p50())),
+                        ("p95_ns", ju(h.p95())),
+                        ("p99_ns", ju(h.p99())),
+                        ("max_ns", ju(h.max)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The full [`Report`] as one JSON object — the `--json` output of
+/// `run`, stable enough for scripting (CI parses it).
+pub fn report_json(report: &Report) -> serde_json::Value {
+    use serde_json::Value;
+    jobj(vec![
+        ("verdict", Value::Str(report.verdict.to_string())),
+        (
+            "path",
+            Value::Str(
+                if report.verdict.is_certified() && !report.forced_fallback {
+                    "no-detector"
+                } else {
+                    "wait-die"
+                }
+                .to_string(),
+            ),
+        ),
+        ("plan_floored", Value::Bool(report.plan_floored)),
+        ("forced_fallback", Value::Bool(report.forced_fallback)),
+        ("instances", ju(report.instances as u64)),
+        ("committed", ju(report.committed as u64)),
+        ("aborted_attempts", ju(report.aborted_attempts as u64)),
+        ("dirty_aborts", ju(report.dirty_aborts as u64)),
+        ("rolled_back", ju(report.rolled_back)),
+        (
+            "failed",
+            Value::Arr(report.failed.iter().map(|&id| ju(id.into())).collect()),
+        ),
+        ("reads", ju(report.reads)),
+        ("writes", ju(report.writes)),
+        ("writes_skipped", ju(report.writes_skipped)),
+        (
+            "wall_us",
+            ju(u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX)),
+        ),
+        (
+            "throughput_per_sec",
+            Value::F64(report.throughput_per_sec()),
+        ),
+        (
+            "serializable",
+            report.serializable.map_or(Value::Null, Value::Bool),
+        ),
+        ("history_len", ju(report.history_len as u64)),
+        ("peak_inflight", ju(report.peak_inflight() as u64)),
+        (
+            "latency_us",
+            jobj(vec![
+                ("mean", Value::F64(report.latency.mean_us)),
+                ("p50", ju(report.latency.p50_us)),
+                ("p99", ju(report.latency.p99_us)),
+                ("max", ju(report.latency.max_us)),
+            ]),
+        ),
+        ("phases", phases_json(&report.phases)),
+        (
+            "per_template",
+            Value::Arr(
+                report
+                    .per_template
+                    .iter()
+                    .map(|t| {
+                        jobj(vec![
+                            ("name", Value::Str(t.name.clone())),
+                            ("certified_slots", Value::Str(t.certified_slots.to_string())),
+                            ("peak_inflight", ju(t.peak_inflight as u64)),
+                            ("committed", ju(t.committed as u64)),
+                            ("aborted_attempts", ju(t.aborted_attempts as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `stats --json` rendering of a server digest.
+fn stats_json(s: &StatsSnapshot) -> serde_json::Value {
+    use serde_json::Value;
+    jobj(vec![
+        ("uptime_us", ju(s.uptime_us)),
+        ("inflight", Value::I64(s.inflight)),
+        ("auditor_nodes", ju(s.auditor_nodes)),
+        ("auditor_arcs", ju(s.auditor_arcs)),
+        ("wal_bytes", ju(s.wal_bytes)),
+        ("trace_captured", ju(s.trace_captured)),
+        ("trace_dropped", ju(s.trace_dropped)),
+        ("committed", ju(s.committed())),
+        (
+            "phases",
+            Value::Obj(
+                s.phases
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.name.clone(),
+                            jobj(vec![
+                                ("count", ju(p.count)),
+                                ("sum_ns", ju(p.sum_ns)),
+                                ("p50_ns", ju(p.p50_ns)),
+                                ("p95_ns", ju(p.p95_ns)),
+                                ("p99_ns", ju(p.p99_ns)),
+                                ("max_ns", ju(p.max_ns)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "templates",
+            Value::Arr(
+                s.templates
+                    .iter()
+                    .map(|t| {
+                        jobj(vec![
+                            ("name", Value::Str(t.name.clone())),
+                            ("committed", ju(t.committed)),
+                            ("aborted", ju(t.aborted)),
+                            ("wounds", ju(t.wounds)),
+                            ("dies", ju(t.dies)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// The `stats --prom` rendering: Prometheus text exposition, phase
+/// histogram digests as summaries (quantile labels), counters as
+/// `_total` series.
+fn stats_prom(s: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE ddlf_uptime_seconds gauge");
+    let _ = writeln!(out, "ddlf_uptime_seconds {}", s.uptime_us as f64 / 1e6);
+    let _ = writeln!(out, "# TYPE ddlf_inflight gauge");
+    let _ = writeln!(out, "ddlf_inflight {}", s.inflight);
+    let _ = writeln!(out, "# TYPE ddlf_auditor_nodes gauge");
+    let _ = writeln!(out, "ddlf_auditor_nodes {}", s.auditor_nodes);
+    let _ = writeln!(out, "# TYPE ddlf_auditor_arcs gauge");
+    let _ = writeln!(out, "ddlf_auditor_arcs {}", s.auditor_arcs);
+    let _ = writeln!(out, "# TYPE ddlf_wal_bytes_total counter");
+    let _ = writeln!(out, "ddlf_wal_bytes_total {}", s.wal_bytes);
+    let _ = writeln!(out, "# TYPE ddlf_trace_captured gauge");
+    let _ = writeln!(out, "ddlf_trace_captured {}", s.trace_captured);
+    let _ = writeln!(out, "# TYPE ddlf_trace_dropped_total counter");
+    let _ = writeln!(out, "ddlf_trace_dropped_total {}", s.trace_dropped);
+    if !s.phases.is_empty() {
+        let _ = writeln!(out, "# TYPE ddlf_phase_latency_seconds summary");
+        for p in &s.phases {
+            let phase = prom_escape(&p.name);
+            for (q, v) in [("0.5", p.p50_ns), ("0.95", p.p95_ns), ("0.99", p.p99_ns)] {
+                let _ = writeln!(
+                    out,
+                    "ddlf_phase_latency_seconds{{phase=\"{phase}\",quantile=\"{q}\"}} {}",
+                    v as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "ddlf_phase_latency_seconds_sum{{phase=\"{phase}\"}} {}",
+                p.sum_ns as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "ddlf_phase_latency_seconds_count{{phase=\"{phase}\"}} {}",
+                p.count
+            );
+        }
+    }
+    if !s.templates.is_empty() {
+        let _ = writeln!(out, "# TYPE ddlf_template_committed_total counter");
+        for t in &s.templates {
+            let _ = writeln!(
+                out,
+                "ddlf_template_committed_total{{template=\"{}\"}} {}",
+                prom_escape(&t.name),
+                t.committed
+            );
+        }
+        let _ = writeln!(out, "# TYPE ddlf_template_aborted_total counter");
+        for t in &s.templates {
+            let _ = writeln!(
+                out,
+                "ddlf_template_aborted_total{{template=\"{}\"}} {}",
+                prom_escape(&t.name),
+                t.aborted
+            );
+        }
+    }
+    out
+}
+
+/// The default human rendering of `stats`.
+fn stats_human(s: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "uptime {:.1}s | inflight {} | auditor {} nodes / {} arcs | wal {} B | trace {} captured (+{} dropped)",
+        s.uptime_us as f64 / 1e6,
+        s.inflight,
+        s.auditor_nodes,
+        s.auditor_arcs,
+        s.wal_bytes,
+        s.trace_captured,
+        s.trace_dropped,
+    );
+    if s.phases.is_empty() {
+        let _ = writeln!(
+            out,
+            "no phase histograms (telemetry disabled or nothing registered)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "phase", "count", "p50", "p95", "p99", "max"
+        );
+        let us = |ns: u64| format!("{:.1}µs", ns as f64 / 1e3);
+        for p in &s.phases {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                p.name,
+                p.count,
+                us(p.p50_ns),
+                us(p.p95_ns),
+                us(p.p99_ns),
+                us(p.max_ns)
+            );
+        }
+    }
+    for t in &s.templates {
+        let _ = writeln!(
+            out,
+            "  {:<24} committed {} aborted {} dies {}",
+            t.name, t.committed, t.aborted, t.dies
+        );
+    }
+    out
+}
+
+/// `stats`: asks a running server for its live telemetry digest (the
+/// lock-free `Stats` RPC — answers even mid-submission) and renders it
+/// as human text, `--json`, or `--prom`. Connection failures exit 2.
+pub fn run_stats(addr: &str, json: bool, prom: bool) -> (String, i32) {
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => return (format!("cannot connect to {addr}: {e}\n"), 2),
+    };
+    let stats = match client.stats() {
+        Ok(s) => s,
+        Err(e) => return (format!("stats failed: {e}\n"), 2),
+    };
+    if json {
+        (
+            format!("{}\n", serde_json::to_string(&stats_json(&stats)).unwrap()),
+            0,
+        )
+    } else if prom {
+        (stats_prom(&stats), 0)
+    } else {
+        (stats_human(&stats), 0)
+    }
+}
+
 /// `serve`: binds the wire server and blocks until a client sends
 /// `Shutdown`. Prints the bound address first (port `0` resolves to an
 /// ephemeral port). With `--wal DIR`, registered engines log there; if
@@ -396,12 +826,19 @@ pub fn run_serve(
     threads: usize,
     inflate: Option<InflateArg>,
     wal: Option<&str>,
+    no_telemetry: bool,
 ) -> Result<(), String> {
+    // One handle for the server's lifetime: every registered engine
+    // records into it, and the `Stats` RPC digests it lock-free.
+    let telemetry = make_telemetry(no_telemetry, 0);
     let cfg = ServeConfig {
         threads: threads.max(1),
         default_inflate: wire_inflate(inflate),
         wal_dir: wal.map(std::path::PathBuf::from),
-        ..Default::default()
+        engine: ddlf_engine::EngineConfig {
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        },
     };
     let mut recovered_engine = None;
     if let Some(dir) = wal {
@@ -423,6 +860,7 @@ pub fn run_serve(
                 },
                 ddlf_engine::EngineConfig {
                     threads: threads.max(1),
+                    telemetry: telemetry.clone(),
                     ..Default::default()
                 },
                 dir,
@@ -450,12 +888,51 @@ pub fn run_serve(
 /// `--expect-total` is given, the recovered Σint to match — the same
 /// contract `run`/`submit` enforce for live histories, applied to a
 /// crash's remains.
-pub fn run_recover(dir: &str, expect_total: Option<u128>) -> (String, i32) {
+pub fn run_recover(dir: &str, expect_total: Option<u128>, json: bool) -> (String, i32) {
     let mut out = String::new();
     let rec = match ddlf_engine::recover(dir) {
         Ok(r) => r,
         Err(e) => return (format!("recover {dir}: {e}\n"), 2),
     };
+    if json {
+        let total = rec.store.total_int();
+        let conservation_ok = expect_total.map(|expected| total == expected);
+        let bad = rec.serializable != Some(true) || conservation_ok == Some(false);
+        use serde_json::Value;
+        let obj = jobj(vec![
+            ("committed", ju(rec.committed as u64)),
+            ("begun", ju(rec.begun as u64)),
+            ("aborted_attempts", ju(rec.aborted_attempts as u64)),
+            ("replayed_writes", ju(rec.replayed_writes)),
+            ("skipped_writes", ju(rec.skipped_writes)),
+            (
+                "serializable",
+                rec.serializable.map_or(Value::Null, Value::Bool),
+            ),
+            (
+                "audit_error",
+                rec.audit_error.clone().map_or(Value::Null, Value::Str),
+            ),
+            ("history_len", ju(rec.history_len as u64)),
+            ("torn_tails", ju(rec.torn_tails as u64)),
+            ("entities", ju(rec.store.db().entity_count() as u64)),
+            // u128 exceeds JSON's interoperable number range; ship it
+            // as a string.
+            ("sum_int", Value::Str(total.to_string())),
+            (
+                "expected_total",
+                expect_total.map_or(Value::Null, |t| Value::Str(t.to_string())),
+            ),
+            (
+                "conservation_ok",
+                conservation_ok.map_or(Value::Null, Value::Bool),
+            ),
+        ]);
+        return (
+            format!("{}\n", serde_json::to_string(&obj).unwrap()),
+            i32::from(bad),
+        );
+    }
     let _ = writeln!(out, "{}", rec.summary());
     if let Some(err) = &rec.audit_error {
         let _ = writeln!(out, "audit error: {err}");
@@ -647,6 +1124,11 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
             force_fallback,
             work_us,
             wal,
+            wal_sync,
+            json,
+            no_telemetry,
+            trace_sample,
+            trace_out,
             ..
         } => {
             let admission = AdmissionOptions {
@@ -659,6 +1141,7 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                 },
                 ..Default::default()
             };
+            let telemetry = make_telemetry(*no_telemetry, *trace_sample);
             let engine = match ddlf_engine::Engine::try_with_admission(
                 sys.clone(),
                 admission,
@@ -668,6 +1151,8 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                     force_fallback: *force_fallback,
                     work: Duration::from_micros(*work_us),
                     wal_dir: wal.as_ref().map(std::path::PathBuf::from),
+                    wal_sync: *wal_sync,
+                    telemetry: telemetry.clone(),
                     ..Default::default()
                 },
             ) {
@@ -675,21 +1160,48 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                 Err(e) => return (format!("cannot open WAL: {e}\n"), 2),
             };
             let mut out = String::new();
-            if let Some(dir) = wal {
-                let _ = writeln!(out, "wal: logging to {dir}");
+            if !*json {
+                if let Some(dir) = wal {
+                    let _ = writeln!(out, "wal: logging to {dir}");
+                }
+                let _ = writeln!(out, "admission: {}", engine.registry().verdict());
+                let _ = write!(out, "{}", engine.registry().plan().render(sys));
             }
-            let _ = writeln!(out, "admission: {}", engine.registry().verdict());
-            let _ = write!(out, "{}", engine.registry().plan().render(sys));
             let report = engine.run();
-            let _ = writeln!(out, "{}", report.summary());
-            let _ = write!(out, "{}", report.template_table());
-            let _ = writeln!(
-                out,
-                "store: {} entities, {} committed writes, Σint {}",
-                sys.db().entity_count(),
-                engine.store().total_versions(),
-                engine.store().total_int()
-            );
+            if let Some(path) = trace_out {
+                if let Err(e) = std::fs::write(path, telemetry.dump_trace_jsonl()) {
+                    return (out + &format!("cannot write trace to {path}: {e}\n"), 2);
+                }
+            }
+            if *json {
+                // One JSON object, nothing else on stdout — scripts pipe
+                // this straight into a parser. Store totals ride along.
+                let mut obj = report_json(&report);
+                if let serde_json::Value::Obj(entries) = &mut obj {
+                    entries.push((
+                        "store".to_string(),
+                        jobj(vec![
+                            ("entities", ju(sys.db().entity_count() as u64)),
+                            ("committed_writes", ju(engine.store().total_versions())),
+                            (
+                                "sum_int",
+                                serde_json::Value::Str(engine.store().total_int().to_string()),
+                            ),
+                        ]),
+                    ));
+                }
+                let _ = writeln!(out, "{}", serde_json::to_string(&obj).unwrap());
+            } else {
+                let _ = writeln!(out, "{}", report.summary());
+                let _ = write!(out, "{}", report.template_table());
+                let _ = writeln!(
+                    out,
+                    "store: {} entities, {} committed writes, Σint {}",
+                    sys.db().entity_count(),
+                    engine.store().total_versions(),
+                    engine.store().total_int()
+                );
+            }
             let bad = audit_exit_failure(
                 report.instances,
                 report.all_committed(),
@@ -700,8 +1212,11 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
         }
         Command::Dot { .. } => (ddlf_model::dot::system_to_dot(sys), 0),
         // These commands do not load a spec file; `main` dispatches them
-        // to `run_serve` / `run_submit` / `run_recover`.
-        Command::Serve { .. } | Command::Submit { .. } | Command::Recover { .. } => (
+        // to `run_serve` / `run_submit` / `run_recover` / `run_stats`.
+        Command::Serve { .. }
+        | Command::Submit { .. }
+        | Command::Recover { .. }
+        | Command::Stats { .. } => (
             "internal error: specless commands are dispatched in main\n".to_string(),
             2,
         ),
@@ -847,6 +1362,11 @@ mod tests {
                 force_fallback: true,
                 work_us: 0,
                 wal: None,
+                wal_sync: false,
+                json: false,
+                no_telemetry: false,
+                trace_sample: 0,
+                trace_out: None,
             }
         );
         assert!(parse_args(&["run".into(), "f".into(), "--txns".into()]).is_err());
@@ -885,6 +1405,60 @@ mod tests {
     }
 
     #[test]
+    fn parse_stats_command() {
+        let c = parse_args(&["stats".into(), "127.0.0.1:7471".into(), "--json".into()]).unwrap();
+        assert_eq!(
+            c,
+            Command::Stats {
+                addr: "127.0.0.1:7471".into(),
+                json: true,
+                prom: false,
+            }
+        );
+        let c = parse_args(&["stats".into(), "addr".into(), "--prom".into()]).unwrap();
+        assert_eq!(
+            c,
+            Command::Stats {
+                addr: "addr".into(),
+                json: false,
+                prom: true,
+            }
+        );
+        assert!(parse_args(&["stats".into()]).is_err());
+        assert!(parse_args(&["stats".into(), "a".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn run_command_parses_telemetry_flags() {
+        let c = parse_args(&[
+            "run".into(),
+            "f.json".into(),
+            "--json".into(),
+            "--no-telemetry".into(),
+            "--trace-sample".into(),
+            "64".into(),
+            "--trace-out".into(),
+            "trace.jsonl".into(),
+        ])
+        .unwrap();
+        let Command::Run {
+            json,
+            no_telemetry,
+            trace_sample,
+            trace_out,
+            ..
+        } = c
+        else {
+            panic!("run command");
+        };
+        assert!(json);
+        assert!(no_telemetry);
+        assert_eq!(trace_sample, 64);
+        assert_eq!(trace_out.as_deref(), Some("trace.jsonl"));
+        assert!(parse_args(&["run".into(), "f".into(), "--trace-sample".into()]).is_err());
+    }
+
+    #[test]
     fn run_executes_certified_system_clean() {
         let sys = load_system(SPEC).unwrap();
         let cmd = Command::Run {
@@ -895,6 +1469,11 @@ mod tests {
             force_fallback: false,
             work_us: 0,
             wal: None,
+            wal_sync: false,
+            json: false,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -915,6 +1494,11 @@ mod tests {
             force_fallback: false,
             work_us: 0,
             wal: None,
+            wal_sync: false,
+            json: false,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -932,6 +1516,11 @@ mod tests {
             force_fallback: false,
             work_us: 0,
             wal: None,
+            wal_sync: false,
+            json: false,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -950,11 +1539,245 @@ mod tests {
             force_fallback: false,
             work_us: 0,
             wal: None,
+            wal_sync: false,
+            json: false,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("fallback to wait-die"), "{out}");
         assert!(out.contains("k = 1"), "{out}");
+    }
+
+    /// Looks a key up in a parsed JSON object (the vendored `Value` has
+    /// no `Index` impl).
+    fn jget<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+        v.as_obj()
+            .expect("not a JSON object")
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key {key}"))
+    }
+
+    /// `run --json` prints exactly one JSON object carrying the full
+    /// report — committed counts, nonzero phase histograms (telemetry
+    /// is on by default), store totals.
+    #[test]
+    fn run_json_emits_one_parseable_object() {
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 8,
+            threads: 2,
+            inflate: None,
+            force_fallback: false,
+            work_us: 0,
+            wal: None,
+            wal_sync: false,
+            json: true,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        use serde_json::Value;
+        let v = serde_json::parse_value(out.trim()).expect("one JSON object");
+        assert_eq!(jget(&v, "committed"), &Value::U64(8));
+        assert_eq!(jget(&v, "serializable"), &Value::Bool(true));
+        assert_eq!(jget(&v, "path"), &Value::Str("no-detector".to_string()));
+        let phases = jget(&v, "phases");
+        assert_eq!(jget(jget(phases, "commit"), "count"), &Value::U64(8));
+        assert_eq!(jget(jget(phases, "execute"), "count"), &Value::U64(8));
+        assert!(matches!(
+            jget(jget(phases, "commit"), "p99_ns"),
+            Value::U64(p) if *p > 0
+        ));
+        assert!(matches!(jget(jget(&v, "store"), "sum_int"), Value::Str(_)));
+        assert_eq!(jget(&v, "per_template").as_arr().unwrap().len(), 2);
+    }
+
+    /// `--no-telemetry` zeroes the phase histograms but changes nothing
+    /// else about the report.
+    #[test]
+    fn run_json_without_telemetry_has_empty_phases() {
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 8,
+            threads: 2,
+            inflate: None,
+            force_fallback: false,
+            work_us: 0,
+            wal: None,
+            wal_sync: false,
+            json: true,
+            no_telemetry: true,
+            trace_sample: 0,
+            trace_out: None,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        use serde_json::Value;
+        let v = serde_json::parse_value(out.trim()).unwrap();
+        assert_eq!(jget(&v, "committed"), &Value::U64(8));
+        assert_eq!(
+            jget(jget(jget(&v, "phases"), "commit"), "count"),
+            &Value::U64(0)
+        );
+    }
+
+    /// `--wal --wal-sync` lights up the whole durability column: every
+    /// phase the stats digest promises — lock_wait, wal_append, fsync,
+    /// commit — records nonzero sample counts.
+    #[test]
+    fn run_wal_sync_records_fsync_histograms() {
+        let dir = std::env::temp_dir().join(format!("ddlf-walsync-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 8,
+            threads: 2,
+            inflate: None,
+            force_fallback: false,
+            work_us: 0,
+            wal: Some(dir.to_string_lossy().into_owned()),
+            wal_sync: true,
+            json: true,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        use serde_json::Value;
+        let v = serde_json::parse_value(out.trim()).unwrap();
+        let phases = jget(&v, "phases");
+        for phase in ["lock_wait", "wal_append", "fsync", "commit"] {
+            assert!(
+                matches!(jget(jget(phases, phase), "count"), Value::U64(n) if *n > 0),
+                "phase {phase} recorded no samples: {out}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_wal_sync_flag() {
+        let args = vec![
+            "run".to_string(),
+            "s.json".to_string(),
+            "--wal".to_string(),
+            "/tmp/w".to_string(),
+            "--wal-sync".to_string(),
+        ];
+        let Command::Run { wal, wal_sync, .. } = parse_args(&args).unwrap() else {
+            panic!("not a run command");
+        };
+        assert_eq!(wal.as_deref(), Some("/tmp/w"));
+        assert!(wal_sync);
+    }
+
+    /// `--trace-sample 1 --trace-out` writes lifecycle JSON lines for
+    /// every instance.
+    #[test]
+    fn run_trace_out_writes_jsonl() {
+        let dir = std::env::temp_dir().join(format!("ddlf-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 8,
+            threads: 2,
+            inflate: None,
+            force_fallback: false,
+            work_us: 0,
+            wal: None,
+            wal_sync: false,
+            json: true,
+            no_telemetry: false,
+            trace_sample: 1,
+            trace_out: Some(path.to_string_lossy().into_owned()),
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = trace.lines().collect();
+        // Every instance is sampled at rate 1: at least admit + commit
+        // per instance.
+        assert!(lines.len() >= 16, "only {} trace lines", lines.len());
+        for line in &lines {
+            let ev = serde_json::parse_value(line).expect("valid JSON line");
+            assert!(matches!(jget(&ev, "kind"), serde_json::Value::Str(_)));
+            assert!(matches!(jget(&ev, "gid"), serde_json::Value::U64(_)));
+        }
+        assert!(trace.contains("\"commit\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `stats` against a telemetry-enabled in-process server: human and
+    /// JSON renderings both reflect the submitted work.
+    #[test]
+    fn stats_round_trips_against_a_live_server() {
+        let telemetry = Telemetry::new(TelemetryConfig::default());
+        let server = ddlf_server::Server::bind(
+            "127.0.0.1:0",
+            ddlf_server::ServeConfig {
+                engine: ddlf_engine::EngineConfig {
+                    telemetry,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect(&addr).unwrap();
+        client.register(SPEC, InflateSpec::None).unwrap();
+        client.submit_all(16).unwrap();
+
+        let (out, code) = run_stats(&addr, false, false);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("commit"), "{out}");
+        assert!(out.contains("T1"), "{out}");
+
+        let (out, code) = run_stats(&addr, true, false);
+        assert_eq!(code, 0, "{out}");
+        use serde_json::Value;
+        let v = serde_json::parse_value(out.trim()).unwrap();
+        assert_eq!(jget(&v, "committed"), &Value::U64(16));
+        assert_eq!(
+            jget(jget(jget(&v, "phases"), "commit"), "count"),
+            &Value::U64(16)
+        );
+
+        let (out, code) = run_stats(&addr, false, true);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("ddlf_phase_latency_seconds_count{phase=\"commit\"} 16"),
+            "{out}"
+        );
+        assert!(
+            out.contains("ddlf_template_committed_total{template=\"T1\"} 8"),
+            "{out}"
+        );
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stats_against_a_dead_address_fails_cleanly() {
+        let (out, code) = run_stats("127.0.0.1:1", true, false);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("cannot connect"), "{out}");
     }
 
     #[test]
@@ -991,6 +1814,7 @@ mod tests {
                 threads: 8,
                 inflate: Some(InflateArg::Auto),
                 wal: None,
+                no_telemetry: false,
             }
         );
         assert!(parse_args(&["serve".into()]).is_err());

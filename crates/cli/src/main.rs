@@ -17,15 +17,25 @@ fn main() {
             threads,
             inflate,
             wal,
-        } => match ddlf_cli::run_serve(addr, *threads, *inflate, wal.as_deref()) {
+            no_telemetry,
+        } => match ddlf_cli::run_serve(addr, *threads, *inflate, wal.as_deref(), *no_telemetry) {
             Ok(()) => std::process::exit(0),
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
         },
-        ddlf_cli::Command::Recover { dir, expect_total } => {
-            let (out, code) = ddlf_cli::run_recover(dir, *expect_total);
+        ddlf_cli::Command::Recover {
+            dir,
+            expect_total,
+            json,
+        } => {
+            let (out, code) = ddlf_cli::run_recover(dir, *expect_total, *json);
+            print!("{out}");
+            std::process::exit(code);
+        }
+        ddlf_cli::Command::Stats { addr, json, prom } => {
+            let (out, code) = ddlf_cli::run_stats(addr, *json, *prom);
             print!("{out}");
             std::process::exit(code);
         }

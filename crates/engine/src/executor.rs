@@ -35,6 +35,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use ddlf_model::incremental::StreamingAuditor;
 use ddlf_model::{EntityId, Prefix, Transaction, TransactionSystem, TxnId};
 use ddlf_sim::SharedHistory;
+use ddlf_telemetry::{Phase, SpanEvent, SpanKind, Telemetry, TemplateTable};
 use parking_lot::Mutex;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -78,6 +79,13 @@ pub struct EngineConfig {
     /// `fsync` the commit decision log on every commit (see
     /// [`WalOptions::sync`]).
     pub wal_sync: bool,
+    /// Observability handle shared by the executor, the store's shards,
+    /// and the WAL: phase-latency histograms, per-template counters,
+    /// gauges, and the sampled lifecycle trace ring. The default
+    /// [`Telemetry::disabled`] handle costs one branch per
+    /// instrumentation point (see `ddlf_telemetry`); `ddlf-audit run`
+    /// and `serve` enable histograms by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +102,7 @@ impl Default for EngineConfig {
             force_fallback: false,
             wal_dir: None,
             wal_sync: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -192,19 +201,24 @@ impl Engine {
 
     /// [`Engine::with_registry`], surfacing WAL I/O errors.
     pub fn try_with_registry(registry: TemplateRegistry, cfg: EngineConfig) -> io::Result<Self> {
-        let (store, wal) = match &cfg.wal_dir {
+        let (mut store, wal) = match &cfg.wal_dir {
             None => (Store::new(registry.system().db(), cfg.initial_value), None),
             Some(dir) => {
                 let wal = Wal::create(
                     dir.clone(),
                     registry.system(),
                     cfg.initial_value,
-                    WalOptions { sync: cfg.wal_sync },
+                    WalOptions {
+                        sync: cfg.wal_sync,
+                        telemetry: cfg.telemetry.clone(),
+                    },
                 )?;
                 let store = Store::with_wal(registry.system().db(), cfg.initial_value, &wal)?;
                 (store, Some(wal))
             }
         };
+        store.set_telemetry(&cfg.telemetry);
+        Self::install_template_counters(&registry, &cfg.telemetry);
         Ok(Self {
             registry,
             store,
@@ -230,13 +244,18 @@ impl Engine {
         let wal = Wal::resume(
             dir.clone(),
             rec.next_base,
-            WalOptions { sync: cfg.wal_sync },
+            WalOptions {
+                sync: cfg.wal_sync,
+                telemetry: cfg.telemetry.clone(),
+            },
         )?;
         let mut store = rec.store;
         store.attach_wal(&wal)?;
+        store.set_telemetry(&cfg.telemetry);
         cfg.wal_dir = Some(dir);
         cfg.initial_value = rec.initial_value;
         let registry = TemplateRegistry::register_with(rec.system, admission);
+        Self::install_template_counters(&registry, &cfg.telemetry);
         Ok(Self {
             registry,
             store,
@@ -244,6 +263,20 @@ impl Engine {
             wal: Some(wal),
             cumulative: Mutex::new(None),
         })
+    }
+
+    /// (Re)installs the per-template outcome counter table for this
+    /// engine's registered system, resetting any previous counts — a
+    /// new registration means new template identities.
+    fn install_template_counters(registry: &TemplateRegistry, telemetry: &Telemetry) {
+        if telemetry.is_enabled() {
+            let names: Vec<String> = registry
+                .system()
+                .iter()
+                .map(|(_, t)| t.name().to_string())
+                .collect();
+            telemetry.install_templates(&names);
+        }
     }
 
     /// The template registry (with its cached verdict).
@@ -384,6 +417,14 @@ impl Engine {
         }
 
         let (done_tx, done_rx) = unbounded::<(u32, Outcome)>();
+        // Per-run phase attribution: snapshot the cumulative histograms
+        // around the pool, then diff. Buckets are monotone counters, so
+        // the difference is exactly this run's samples (runs on one
+        // engine are not concurrent — the server serializes them).
+        let phases_before = self.cfg.telemetry.phase_snapshot();
+        // Workers bump per-template counters through this resolved
+        // table: pure atomics, no per-instance locking.
+        let ttable = self.cfg.telemetry.template_table();
         let started = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..self.cfg.threads.max(1) {
@@ -391,7 +432,8 @@ impl Engine {
                 let done_tx = done_tx.clone();
                 let shared = &shared;
                 let auditor = &auditor;
-                scope.spawn(move || self.worker(work_rx, done_tx, shared, base, auditor));
+                let ttable = ttable.as_deref();
+                scope.spawn(move || self.worker(work_rx, done_tx, shared, base, auditor, ttable));
             }
         });
         let wall = started.elapsed();
@@ -401,7 +443,9 @@ impl Engine {
         for (id, out) in done_rx.iter() {
             outcomes[id as usize] = out;
         }
-        let report = self.build_report(&sys, &instances, &outcomes, shared, wall, Some(&auditor));
+        let mut report =
+            self.build_report(&sys, &instances, &outcomes, shared, wall, Some(&auditor));
+        report.phases = self.cfg.telemetry.phase_snapshot().delta(&phases_before);
         let mut cumulative = self.cumulative.lock();
         match cumulative.as_mut() {
             Some(acc) => acc.absorb(&report),
@@ -417,11 +461,12 @@ impl Engine {
         shared: &SharedHistory,
         base: u32,
         auditor: &Mutex<StreamingAuditor>,
+        ttable: Option<&TemplateTable>,
     ) {
         // The queue is fully loaded (and its sender dropped) before
         // workers start, so the first failed receive means drained.
         while let Ok(inst) = work_rx.try_recv() {
-            let out = self.execute_instance(inst, shared, base, auditor);
+            let out = self.execute_instance(inst, shared, base, auditor, ttable);
             let _ = done_tx.send((inst.id, out));
         }
     }
@@ -432,14 +477,34 @@ impl Engine {
         shared: &SharedHistory,
         base: u32,
         auditor: &Mutex<StreamingAuditor>,
+        ttable: Option<&TemplateTable>,
     ) -> Outcome {
+        let tel = &self.cfg.telemetry;
         let started = Instant::now();
         let tmpl = self.registry.template(inst.template);
+        // Whole instances are trace-sampled by global id, so a captured
+        // instance's span events are complete end to end.
+        let sampled = tel.sampled(u64::from(base + inst.id));
         // Admission gate: occupy one of the template's certified slots
         // (see template.rs) so the in-flight mix stays a subsystem of the
         // certified inflated system. Acquired before any data lock, so
         // gate waits cannot entangle with lock waits.
+        let t_gate = tel.timer();
         let _slot = tmpl.gate.acquire();
+        tel.record_since(Phase::GateWait, t_gate);
+        tel.inflight_inc();
+        if sampled {
+            tel.trace(SpanEvent {
+                ts_ns: tel.now_ns(),
+                gid: u64::from(base + inst.id),
+                template: inst.template.0,
+                attempt: 0,
+                kind: SpanKind::Admit,
+                entity: u32::MAX,
+                dur_ns: t_gate.map(|t0| t0.elapsed().as_nanos() as u64).unwrap_or(0),
+                n: 0,
+            });
+        }
         let t = self.registry.system().txn(inst.template);
         let certified = self.certified_path();
         let mut rng =
@@ -460,23 +525,60 @@ impl Engine {
             if let Some(w) = &self.wal {
                 w.log_begin(ctx.gid, inst.template, attempt);
             }
+            let t_exec = tel.timer();
             let result = if certified {
-                self.attempt_blocking(inst, t, &ctx, shared)
+                self.attempt_blocking(inst, t, &ctx, shared, sampled)
             } else {
-                self.attempt_wait_die(inst, t, &ctx, shared)
+                self.attempt_wait_die(inst, t, &ctx, shared, sampled)
             };
+            tel.record_since(Phase::Execute, t_exec);
             match result {
                 AttemptResult::Committed {
                     reads,
                     writes,
                     writes_skipped,
                 } => {
+                    let t_commit = tel.timer();
                     self.commit_instance(inst, t, &ctx);
                     // The decision reaches the auditor only after every
                     // event of the attempt did (the sink feeds events
                     // synchronously from inside the history lock), so
                     // the merge sees the complete attempt.
-                    auditor.lock().commit(ctx.gid, attempt);
+                    let (nodes, arcs) = {
+                        let mut a = auditor.lock();
+                        a.commit(ctx.gid, attempt);
+                        (a.node_count() as u64, a.arc_count() as u64)
+                    };
+                    tel.set_auditor(nodes, arcs);
+                    tel.record_since(Phase::Commit, t_commit);
+                    if let Some(tt) = ttable {
+                        tt.commit(inst.template.index());
+                    }
+                    if sampled {
+                        let dur = t_commit
+                            .map(|t0| t0.elapsed().as_nanos() as u64)
+                            .unwrap_or(0);
+                        tel.trace(SpanEvent {
+                            ts_ns: tel.now_ns(),
+                            gid: u64::from(ctx.gid),
+                            template: inst.template.0,
+                            attempt,
+                            kind: SpanKind::Commit,
+                            entity: u32::MAX,
+                            dur_ns: dur,
+                            n: 0,
+                        });
+                        tel.trace(SpanEvent {
+                            ts_ns: tel.now_ns(),
+                            gid: u64::from(ctx.gid),
+                            template: inst.template.0,
+                            attempt,
+                            kind: SpanKind::AuditArc,
+                            entity: u32::MAX,
+                            dur_ns: 0,
+                            n: arcs,
+                        });
+                    }
                     out.committed_attempt = Some(attempt);
                     out.reads += reads;
                     out.writes += writes;
@@ -494,6 +596,24 @@ impl Engine {
                     // rolled back: its buffered events leave the
                     // committed projection.
                     auditor.lock().abort(ctx.gid, attempt);
+                    if let Some(tt) = ttable {
+                        // Every engine-path abort is a wait-die death
+                        // (the requester self-aborted); wounds stay 0.
+                        tt.abort(inst.template.index());
+                        tt.die(inst.template.index());
+                    }
+                    if sampled {
+                        tel.trace(SpanEvent {
+                            ts_ns: tel.now_ns(),
+                            gid: u64::from(ctx.gid),
+                            template: inst.template.0,
+                            attempt,
+                            kind: SpanKind::Abort,
+                            entity: u32::MAX,
+                            dur_ns: 0,
+                            n: u64::from(rolled_back),
+                        });
+                    }
                     out.aborts += 1;
                     out.rolled_back += u64::from(rolled_back);
                     // Only a write that could not be rolled back leaves
@@ -507,6 +627,7 @@ impl Engine {
                 }
             }
         }
+        tel.inflight_dec();
         out.latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         out
     }
@@ -541,7 +662,9 @@ impl Engine {
         t: &Transaction,
         ctx: &WriteCtx,
         shared: &SharedHistory,
+        sampled: bool,
     ) -> AttemptResult {
+        let tel = &self.cfg.telemetry;
         let me = ctx.instance;
         let attempt = ctx.attempt;
         let tmpl = self.registry.template(inst.template);
@@ -549,6 +672,16 @@ impl Engine {
         let mut executed = Prefix::empty(t);
         let mut issued = vec![false; t.node_count()];
         let (mut reads, mut writes, mut writes_skipped) = (0u64, 0u64, 0u64);
+        let span = |kind: SpanKind, entity: EntityId, dur_ns: u64| SpanEvent {
+            ts_ns: tel.now_ns(),
+            gid: u64::from(ctx.gid),
+            template: inst.template.0,
+            attempt,
+            kind,
+            entity: entity.0,
+            dur_ns,
+            n: 0,
+        };
 
         loop {
             let mut progressed = false;
@@ -562,6 +695,13 @@ impl Engine {
                 if op.is_lock() {
                     match shard.request(me, op.entity, &grant_tx) {
                         LockOutcome::Granted => {
+                            // Immediate grant: the zero-wait sample that
+                            // pairs with the store-measured queue waits —
+                            // exactly one lock-wait sample per acquisition.
+                            tel.record(Phase::LockWait, Duration::ZERO);
+                            if sampled {
+                                tel.trace(span(SpanKind::LockAcquire, op.entity, 0));
+                            }
                             reads += u64::from(tmpl.program.reads_entity(op.entity));
                             self.simulate_work();
                             shared.record(me, attempt, n);
@@ -578,6 +718,9 @@ impl Engine {
                         &mut writes,
                         &mut writes_skipped,
                     );
+                    if sampled {
+                        tel.trace(span(SpanKind::Write, op.entity, 0));
+                    }
                     progressed = true;
                 }
             }
@@ -591,11 +734,19 @@ impl Engine {
             if progressed {
                 continue;
             }
-            // Every ready op is a queued lock: park until any grant.
+            // Every ready op is a queued lock: park until any grant. The
+            // lock-wait histogram sample for this acquisition is recorded
+            // store-side at promotion (the measured queue wait); here we
+            // only time the park for the sampled trace.
+            let t_park = if sampled { Some(Instant::now()) } else { None };
             let entity = grant_rx
                 .recv()
                 .expect("grant channel lives as long as this attempt");
             let n = t.lock_node_of(entity).expect("granted entity is accessed");
+            if sampled {
+                let dur = t_park.map(|t0| t0.elapsed().as_nanos() as u64).unwrap_or(0);
+                tel.trace(span(SpanKind::LockAcquire, entity, dur));
+            }
             reads += u64::from(tmpl.program.reads_entity(entity));
             self.simulate_work();
             shared.record(me, attempt, n);
@@ -626,13 +777,25 @@ impl Engine {
         t: &Transaction,
         ctx: &WriteCtx,
         shared: &SharedHistory,
+        sampled: bool,
     ) -> AttemptResult {
+        let tel = &self.cfg.telemetry;
         let me = ctx.instance;
         let attempt = ctx.attempt;
         let tmpl = self.registry.template(inst.template);
         let (grant_tx, _grant_rx) = unbounded::<EntityId>();
         let mut executed = Prefix::empty(t);
         let (mut reads, mut writes, mut writes_skipped) = (0u64, 0u64, 0u64);
+        let span = |kind: SpanKind, entity: EntityId, dur_ns: u64| SpanEvent {
+            ts_ns: tel.now_ns(),
+            gid: u64::from(ctx.gid),
+            template: inst.template.0,
+            attempt,
+            kind,
+            entity: entity.0,
+            dur_ns,
+            n: 0,
+        };
 
         while !executed.is_complete(t) {
             let ready = executed.ready_nodes(t);
@@ -646,9 +809,20 @@ impl Engine {
             let op = t.op(next);
             let shard = self.store.shard_of(op.entity);
             if op.is_lock() {
+                // Lock-wait clock for this acquisition: covers every
+                // poll round until the grant. A withdraw-race promotion
+                // is recorded store-side instead (it measured the queue
+                // wait), keeping one sample per acquisition.
+                let t_lock = tel.timer();
                 loop {
                     match shard.request(me, op.entity, &grant_tx) {
                         LockOutcome::Granted => {
+                            tel.record_since(Phase::LockWait, t_lock);
+                            if sampled {
+                                let dur =
+                                    t_lock.map(|t0| t0.elapsed().as_nanos() as u64).unwrap_or(0);
+                                tel.trace(span(SpanKind::LockAcquire, op.entity, dur));
+                            }
                             reads += u64::from(tmpl.program.reads_entity(op.entity));
                             self.simulate_work();
                             shared.record(me, attempt, next);
@@ -660,7 +834,15 @@ impl Engine {
                             // withdraw, then either poll-wait (older) or
                             // die (younger).
                             if shard.withdraw(me, op.entity) {
-                                // Promoted in the race: the lock is ours.
+                                // Promoted in the race: the lock is ours
+                                // (and the store already recorded the
+                                // measured queue wait).
+                                if sampled {
+                                    let dur = t_lock
+                                        .map(|t0| t0.elapsed().as_nanos() as u64)
+                                        .unwrap_or(0);
+                                    tel.trace(span(SpanKind::LockAcquire, op.entity, dur));
+                                }
                                 reads += u64::from(tmpl.program.reads_entity(op.entity));
                                 self.simulate_work();
                                 shared.record(me, attempt, next);
@@ -688,6 +870,9 @@ impl Engine {
                     &mut writes,
                     &mut writes_skipped,
                 );
+                if sampled {
+                    tel.trace(span(SpanKind::Write, op.entity, 0));
+                }
             }
         }
         AttemptResult::Committed {
@@ -717,6 +902,9 @@ impl Engine {
         tmpl: &Template,
         executed: &Prefix,
     ) -> (u32, u32) {
+        // One undo sample per dying attempt: lock release plus every
+        // exposed-write rollback.
+        let t_undo = self.cfg.telemetry.timer();
         for e in executed.held_entities(t) {
             self.store.shard_of(e).release(ctx.instance, e);
         }
@@ -737,6 +925,7 @@ impl Engine {
                 _ => {}
             }
         }
+        self.cfg.telemetry.record_since(Phase::Undo, t_undo);
         (rolled_back, unrecovered)
     }
 
@@ -846,6 +1035,9 @@ impl Engine {
             serializable,
             history_len: history.len(),
             latency,
+            // Filled with this run's per-phase delta by `run_instances`
+            // (the empty-run report keeps the empty default).
+            phases: ddlf_telemetry::PhaseSnapshot::default(),
             per_template,
         }
     }

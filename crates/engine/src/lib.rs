@@ -48,8 +48,17 @@
 //!                             │         batch audit is the oracle)
 //!                          Report: certified k vs achieved peak,
 //!                          aborts (rolled back vs dirty), latency,
-//!                          per template
+//!                          per-phase histograms, per template
 //! ```
+//!
+//! Every stage above also emits into a shared [`Telemetry`] handle
+//! carried by [`EngineConfig::telemetry`] (re-exported from
+//! `ddlf-telemetry`): phase-latency histograms (gate wait, lock wait,
+//! execute, undo, WAL append, fsync, commit), per-template outcome
+//! counters, gauges, and a sampled instance-lifecycle trace ring. The
+//! default handle is disabled and near-free; see the "Telemetry
+//! dataflow" section of `ARCHITECTURE.md` for where each timer starts
+//! and stops.
 //!
 //! * [`store`] — entities carry versioned `u64`/bytes payloads, sharded
 //!   by [`ddlf_model::SiteId`]; each shard owns its values *and* its
@@ -129,3 +138,11 @@ pub use template::{
     Slots, Template, TemplateRegistry, WriteOp,
 };
 pub use wal::{recover, Recovered, Wal, WalError, WalOptions, WalRecord};
+
+// The observability layer the engine emits into, re-exported so callers
+// configuring [`EngineConfig::telemetry`] need not depend on the
+// `ddlf-telemetry` crate directly.
+pub use ddlf_telemetry::{
+    Phase, PhaseSnapshot, SpanEvent, SpanKind, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    TemplateSnapshot,
+};

@@ -3,6 +3,7 @@
 //! but measured in wall-clock time on real threads.
 
 use crate::template::{AdmissionVerdict, Slots};
+use ddlf_telemetry::PhaseSnapshot;
 use std::time::Duration;
 
 /// Latency distribution over committed instances, in microseconds.
@@ -120,6 +121,12 @@ pub struct Report {
     pub history_len: usize,
     /// Commit-latency distribution.
     pub latency: LatencyStats,
+    /// Phase-latency histograms for this run (gate wait, lock wait,
+    /// execute, undo, WAL append, fsync, commit), recorded when the
+    /// run's [`EngineConfig`](crate::EngineConfig) carried an enabled
+    /// telemetry handle; all-zero otherwise. Unlike [`LatencyStats`],
+    /// these merge *exactly* under [`Report::absorb`].
+    pub phases: PhaseSnapshot,
     /// Per-template certified-vs-achieved multiprogramming and outcome
     /// counts, template order.
     pub per_template: Vec<TemplateReport>,
@@ -194,6 +201,7 @@ impl Report {
         };
         self.latency
             .absorb(&run.latency, self.committed, run.committed);
+        self.phases.merge(&run.phases);
         self.instances += run.instances;
         self.committed += run.committed;
         self.aborted_attempts += run.aborted_attempts;
@@ -260,6 +268,7 @@ mod tests {
             serializable,
             history_len: 0,
             latency: LatencyStats::default(),
+            phases: PhaseSnapshot::default(),
             per_template: vec![],
         }
     }
@@ -308,6 +317,7 @@ mod tests {
             serializable: Some(true),
             history_len: 0,
             latency: LatencyStats::default(),
+            phases: PhaseSnapshot::default(),
             per_template: vec![TemplateReport {
                 name: "T".into(),
                 certified_slots: Slots::Bounded(4),

@@ -20,10 +20,12 @@ use crate::wal::{ShardSink, Wal, WalRecord};
 use crossbeam::channel::Sender;
 use ddlf_model::{Database, EntityId, SiteId, TxnId};
 use ddlf_sim::{Acquire, LockTable};
+use ddlf_telemetry::{Phase, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The payload an entity carries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,8 +195,11 @@ struct UndoEntry {
 pub(crate) struct ShardState {
     pub values: HashMap<EntityId, VersionedValue>,
     pub locks: LockTable,
-    /// `(instance, entity)` → where to deliver the eventual grant.
-    pub waiters: HashMap<(TxnId, EntityId), Sender<EntityId>>,
+    /// `(instance, entity)` → where to deliver the eventual grant, and
+    /// when the requester queued (measures the true queue wait for the
+    /// lock-wait histogram; stamping it is one clock read on the
+    /// already-contended path).
+    pub waiters: HashMap<(TxnId, EntityId), (Sender<EntityId>, Instant)>,
     /// Before-images of writes applied by in-flight attempts, cleared at
     /// commit, replayed (in reverse) at abort.
     undo: HashMap<TxnId, Vec<UndoEntry>>,
@@ -209,6 +214,10 @@ pub(crate) struct ShardState {
     /// Optional file sink: `shard-<k>.wal`, written under this mutex so
     /// file order is apply order.
     sink: Option<(ShardSink, Arc<Wal>)>,
+    /// Observability handle: promotion records the measured queue wait
+    /// into the lock-wait histogram (immediate grants are recorded
+    /// executor-side, so each acquisition yields exactly one sample).
+    telemetry: Telemetry,
 }
 
 /// One shard: the entities of one [`SiteId`] behind a mutex.
@@ -236,7 +245,8 @@ impl Shard {
         match st.locks.acquire(instance, entity) {
             Acquire::Granted => LockOutcome::Granted,
             Acquire::Queued { holder } => {
-                st.waiters.insert((instance, entity), grant_tx.clone());
+                st.waiters
+                    .insert((instance, entity), (grant_tx.clone(), Instant::now()));
                 LockOutcome::Queued { holder }
             }
         }
@@ -491,8 +501,12 @@ impl ShardState {
     fn release_and_promote(&mut self, instance: TxnId, entity: EntityId) {
         let mut releasing = instance;
         while let Some(next) = self.locks.release(releasing, entity) {
-            if let Some(tx) = self.waiters.remove(&(next, entity)) {
+            if let Some((tx, since)) = self.waiters.remove(&(next, entity)) {
                 if tx.send(entity).is_ok() {
+                    // The promoted waiter's queue wait, measured from the
+                    // moment it queued to the hand-over — the parked
+                    // (certified) path's lock-wait sample.
+                    self.telemetry.record(Phase::LockWait, since.elapsed());
                     return; // handed over
                 }
             }
@@ -534,6 +548,7 @@ impl Store {
                     absolute_writes: HashMap::new(),
                     write_seq: 0,
                     sink: None,
+                    telemetry: Telemetry::disabled(),
                 }),
                 site: SiteId::from_index(s),
             })
@@ -585,6 +600,15 @@ impl Store {
             shard.state.get_mut().sink = Some((wal.open_shard_log(k)?, Arc::clone(wal)));
         }
         Ok(())
+    }
+
+    /// Hands every shard the engine's telemetry handle so lock
+    /// promotions can record measured queue waits. Called once at
+    /// engine construction, before any worker can touch a shard.
+    pub(crate) fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        for shard in &mut self.shards {
+            shard.state.get_mut().telemetry = telemetry.clone();
+        }
     }
 
     /// The shard owning `entity`.

@@ -80,6 +80,7 @@ use ddlf_model::incremental::StreamingAuditor;
 use ddlf_model::{EntityId, NodeId, SystemSpec, TransactionSystem, TxnId};
 use ddlf_sim::msg::{codec, frame};
 use ddlf_sim::HistoryEvent;
+use ddlf_telemetry::{Phase, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -345,7 +346,7 @@ impl WalRecord {
 }
 
 /// WAL tuning.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct WalOptions {
     /// Power-loss durability: on every commit, `fsync` the shard value
     /// logs and the history log, *then* append and `fsync` the commit
@@ -354,6 +355,10 @@ pub struct WalOptions {
     /// survives process death, and the crash model the tests exercise
     /// is `SIGKILL`, not power loss.
     pub sync: bool,
+    /// Observability handle: appends record into the `wal_append`
+    /// histogram and the WAL byte gauge, fsyncs into `fsync`. The
+    /// default disabled handle costs one branch per append.
+    pub telemetry: Telemetry,
 }
 
 /// The metadata file a WAL directory starts with: enough to rebuild the
@@ -389,6 +394,7 @@ pub struct Wal {
     next_base: AtomicU32,
     sync: bool,
     failed: AtomicBool,
+    telemetry: Telemetry,
 }
 
 /// A shard's handle on its value log: the append-mode file plus the
@@ -466,6 +472,7 @@ impl Wal {
             next_base: AtomicU32::new(0),
             sync: opts.sync,
             failed: AtomicBool::new(false),
+            telemetry: opts.telemetry,
             dir,
         }))
     }
@@ -491,6 +498,7 @@ impl Wal {
             next_base: AtomicU32::new(next_base),
             sync: opts.sync,
             failed: AtomicBool::new(false),
+            telemetry: opts.telemetry,
             dir,
         }))
     }
@@ -565,9 +573,14 @@ impl Wal {
         if self.failed.load(Ordering::Relaxed) {
             return;
         }
-        if let Err(e) = frame::write_frame(file, rec.encode().as_ref()) {
+        let body = rec.encode();
+        let t0 = self.telemetry.timer();
+        if let Err(e) = frame::write_frame(file, body.as_ref()) {
             self.fail("append", &e);
         }
+        self.telemetry.record_since(Phase::WalAppend, t0);
+        // Payload plus the u32 length prefix of the frame.
+        self.telemetry.add_wal_bytes(body.as_ref().len() as u64 + 4);
     }
 
     fn append_shared(&self, file: &Mutex<File>, rec: &WalRecord, sync: bool) {
@@ -577,9 +590,11 @@ impl Wal {
             // A failed decision-record fsync must poison too: otherwise
             // the engine reports a durable commit that power loss can
             // still take back.
+            let t0 = self.telemetry.timer();
             if let Err(e) = f.sync_data() {
                 self.fail("fsync", &e);
             }
+            self.telemetry.record_since(Phase::Fsync, t0);
         }
     }
 
@@ -625,6 +640,9 @@ impl Wal {
         if self.poisoned() {
             return;
         }
+        // One fsync sample per commit-time data flush (dirty shard logs
+        // plus the history log) — the stall a committer actually feels.
+        let t0 = self.telemetry.timer();
         for (file, dirty) in self.shard_sinks.lock().iter() {
             if dirty.swap(false, Ordering::SeqCst) {
                 if let Err(e) = file.sync_data() {
@@ -635,6 +653,7 @@ impl Wal {
         if let Err(e) = self.history.lock().sync_data() {
             self.fail("fsync", &e);
         }
+        self.telemetry.record_since(Phase::Fsync, t0);
     }
 
     pub(crate) fn log_abort(&self, gid: u32, attempt: u32) {
@@ -1055,6 +1074,7 @@ mod tests {
             next_base: AtomicU32::new(base),
             sync: false,
             failed: AtomicBool::new(false),
+            telemetry: Telemetry::disabled(),
             dir,
         })
     }

@@ -615,6 +615,13 @@ impl StreamingAuditor {
         self.topo.arc_count()
     }
 
+    /// Committed-transaction nodes currently in the conflict graph
+    /// (telemetry gauge: grows with every commit until the auditor is
+    /// sealed).
+    pub fn node_count(&self) -> usize {
+        self.topo.len()
+    }
+
     fn fail(&mut self, e: ModelError) {
         if self.error.is_none() {
             self.error = Some(e);

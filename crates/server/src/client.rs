@@ -9,7 +9,9 @@
 //! client's call to make. That failure surfaces as
 //! [`ClientError::ReplyLost`] so callers can decide.
 
-use crate::proto::{ErrorKind, InflateSpec, Registered, Request, Response, RunStats};
+use crate::proto::{
+    ErrorKind, InflateSpec, Registered, Request, Response, RunStats, StatsSnapshot,
+};
 use ddlf_sim::msg::frame;
 use std::fmt;
 use std::io;
@@ -203,6 +205,19 @@ impl Client {
         match self.round_trip(&Request::Report)? {
             Response::Report(stats) => Ok(stats),
             other => Err(Self::expect_error(other, "Report")),
+        }
+    }
+
+    /// Reads the server's live telemetry digest without running (or
+    /// waiting for) anything: the server answers from its lock-free
+    /// telemetry handle even while another connection's `Submit` holds
+    /// the engine for a long run. All zeros (no phases, no templates)
+    /// means the server runs with telemetry disabled or nothing is
+    /// registered yet.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Self::expect_error(other, "Stats")),
         }
     }
 

@@ -19,6 +19,8 @@
 //!      │ RegisterSystem: SystemSpec JSON ──▶ certify (inflation) ──▶ new Engine
 //!      │ Submit:   name ──▶ TxnId mix ──▶ Engine::run_mix (blocking)
 //!      │ Report:   Engine::report_snapshot (cumulative, runs nothing)
+//!      │ Stats:    Telemetry::snapshot digest (lock-free — answers
+//!      │           mid-Submit without touching the engine mutex)
 //!      │ Shutdown: flag + accept-loop wakeup
 //!      ▼
 //!   Response frame (typed; errors carry an ErrorKind, never a dropped
@@ -38,6 +40,7 @@
 //! | `2`    | `Submit`         | count `u32`, template str (`""` = all)    | `Submitted` (`2`)          |
 //! | `3`    | `Report`         | —                                         | `Report` (`3`)             |
 //! | `4`    | `Shutdown`       | —                                         | `ShuttingDown` (`4`)       |
+//! | `5`    | `Stats`          | —                                         | `Stats` (`6`)              |
 //!
 //! | opcode | response        | payload                                                        |
 //! |-------:|-----------------|----------------------------------------------------------------|
@@ -46,6 +49,7 @@
 //! | `3`    | `Report`        | same [`RunStats`] layout, cumulative over every submission     |
 //! | `4`    | `ShuttingDown`  | —                                                              |
 //! | `5`    | `Error`         | kind byte (`1` bad-request ∣ `2` no-system ∣ `3` unknown-template ∣ `4` bad-spec), message str |
+//! | `6`    | `Stats`         | [`StatsSnapshot`]: 7 × `u64` gauges, phases: `u32` count × [`PhaseStat`] (name str, 6 × `u64`), templates: `u32` count × [`TemplateStat`] (name str, 4 × `u64`) |
 //!
 //! Any malformed request frame is answered with `Error(bad-request)`;
 //! any malformed *response* decodes to `None` on the client and
@@ -85,5 +89,8 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use proto::{ErrorKind, InflateSpec, PlanEntry, Registered, Request, Response, RunStats};
+pub use proto::{
+    ErrorKind, InflateSpec, PhaseStat, PlanEntry, Registered, Request, Response, RunStats,
+    StatsSnapshot, TemplateStat,
+};
 pub use server::{ServeConfig, Server};

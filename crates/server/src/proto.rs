@@ -9,7 +9,7 @@
 //! misread message — only a rejected one.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ddlf_engine::{Report, TemplateRegistry};
+use ddlf_engine::{Phase, Report, Telemetry, TelemetrySnapshot, TemplateRegistry};
 // The checked readers/writers (bounds-checked little-endian integers,
 // length-prefixed strings) are shared with the engine's WAL record
 // format — one hardened implementation for every msg-convention codec.
@@ -103,12 +103,20 @@ pub enum Request {
     /// Stop accepting connections and exit the serve loop after
     /// replying.
     Shutdown,
+    /// Read the server's live telemetry snapshot (phase-latency
+    /// histograms, per-template outcome counters, gauges). Answered
+    /// from the engine's lock-free telemetry handle **without taking
+    /// the engine lock**, so it returns promptly even while a long
+    /// `Submit` is running; runs nothing. Before any `RegisterSystem`
+    /// the snapshot is legitimately all zeros (not an error).
+    Stats,
 }
 
 const REQ_REGISTER: u8 = 1;
 const REQ_SUBMIT: u8 = 2;
 const REQ_REPORT: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_STATS: u8 = 5;
 
 impl Request {
     /// Encodes to one protocol unit (to be carried in one frame).
@@ -127,6 +135,7 @@ impl Request {
             }
             Request::Report => b.put_u8(REQ_REPORT),
             Request::Shutdown => b.put_u8(REQ_SHUTDOWN),
+            Request::Stats => b.put_u8(REQ_STATS),
         }
         b.freeze()
     }
@@ -146,6 +155,7 @@ impl Request {
             },
             REQ_REPORT => Request::Report,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_STATS => Request::Stats,
             _ => return None,
         };
         finished(&buf, req)
@@ -348,6 +358,236 @@ impl RunStats {
     }
 }
 
+/// One phase-latency histogram digest in a [`StatsSnapshot`]: the
+/// counters a dashboard wants (count, mean via `sum/count`, tail
+/// percentiles) without shipping all 256 raw buckets over the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseStat {
+    /// Phase name (`ddlf_engine::Phase::name`, e.g. `"lock_wait"`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds (exact; `sum / count` = mean).
+    pub sum_ns: u64,
+    /// Median latency, nanoseconds (bucket upper bound, ≤ 25% error).
+    pub p50_ns: u64,
+    /// 95th-percentile latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest sample, nanoseconds (exact).
+    pub max_ns: u64,
+}
+
+impl PhaseStat {
+    fn encode_into(&self, b: &mut BytesMut) {
+        put_str(b, &self.name);
+        for v in [
+            self.count,
+            self.sum_ns,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.max_ns,
+        ] {
+            b.put_u64_le(v);
+        }
+    }
+
+    fn decode_from(b: &mut Bytes) -> Option<Self> {
+        Some(PhaseStat {
+            name: get_str(b)?,
+            count: get_u64(b)?,
+            sum_ns: get_u64(b)?,
+            p50_ns: get_u64(b)?,
+            p95_ns: get_u64(b)?,
+            p99_ns: get_u64(b)?,
+            max_ns: get_u64(b)?,
+        })
+    }
+}
+
+/// One template's outcome counters in a [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TemplateStat {
+    /// Template name.
+    pub name: String,
+    /// Instances committed.
+    pub committed: u64,
+    /// Attempts aborted (each wait-die retry counts once).
+    pub aborted: u64,
+    /// Wound-wait wounds (sim-only; 0 on the engine path).
+    pub wounds: u64,
+    /// Wait-die deaths.
+    pub dies: u64,
+}
+
+impl TemplateStat {
+    fn encode_into(&self, b: &mut BytesMut) {
+        put_str(b, &self.name);
+        for v in [self.committed, self.aborted, self.wounds, self.dies] {
+            b.put_u64_le(v);
+        }
+    }
+
+    fn decode_from(b: &mut Bytes) -> Option<Self> {
+        Some(TemplateStat {
+            name: get_str(b)?,
+            committed: get_u64(b)?,
+            aborted: get_u64(b)?,
+            wounds: get_u64(b)?,
+            dies: get_u64(b)?,
+        })
+    }
+}
+
+/// The reply to [`Request::Stats`]: the wire projection of
+/// `ddlf_telemetry::TelemetrySnapshot`, with each phase histogram
+/// digested to [`PhaseStat`] percentiles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Microseconds since the server's telemetry handle was created.
+    pub uptime_us: u64,
+    /// Instances currently admitted and executing.
+    pub inflight: i64,
+    /// Committed-transaction nodes in the streaming auditor's graph.
+    pub auditor_nodes: u64,
+    /// Conflict arcs in the streaming auditor's graph.
+    pub auditor_arcs: u64,
+    /// Bytes appended to WAL log files (payload + frame headers).
+    pub wal_bytes: u64,
+    /// Lifecycle events currently held in the trace ring.
+    pub trace_captured: u64,
+    /// Trace events evicted because the ring was full.
+    pub trace_dropped: u64,
+    /// Per-phase latency digests, [`ddlf_engine::Phase::ALL`] order
+    /// (empty when the server runs with telemetry disabled).
+    pub phases: Vec<PhaseStat>,
+    /// Per-template outcome counters, template order (empty before the
+    /// first `RegisterSystem`).
+    pub templates: Vec<TemplateStat>,
+}
+
+impl StatsSnapshot {
+    /// Digests a live telemetry handle for the wire. A disabled handle
+    /// digests to the all-zero default with no phase list, so clients
+    /// can tell "telemetry off" from "telemetry on, nothing yet".
+    pub fn from_telemetry(tel: &Telemetry) -> Self {
+        if !tel.is_enabled() {
+            return StatsSnapshot::default();
+        }
+        Self::from_snapshot(&tel.snapshot())
+    }
+
+    /// Digests an already-taken [`TelemetrySnapshot`]. Always emits all
+    /// seven phase digests, [`Phase::ALL`] order, even at count 0.
+    pub fn from_snapshot(s: &TelemetrySnapshot) -> Self {
+        let phases = Phase::ALL
+            .iter()
+            .map(|&p| {
+                let h = s.phases.get(p);
+                PhaseStat {
+                    name: p.name().to_string(),
+                    count: h.count,
+                    sum_ns: h.sum,
+                    p50_ns: h.p50(),
+                    p95_ns: h.p95(),
+                    p99_ns: h.p99(),
+                    max_ns: h.max,
+                }
+            })
+            .collect();
+        StatsSnapshot {
+            uptime_us: s.uptime_us,
+            inflight: s.inflight,
+            auditor_nodes: s.auditor_nodes,
+            auditor_arcs: s.auditor_arcs,
+            wal_bytes: s.wal_bytes,
+            trace_captured: s.trace_captured,
+            trace_dropped: s.trace_dropped,
+            phases,
+            templates: s
+                .templates
+                .iter()
+                .map(|t| TemplateStat {
+                    name: t.name.clone(),
+                    committed: t.committed,
+                    aborted: t.aborted,
+                    wounds: t.wounds,
+                    dies: t.dies,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total committed instances across all templates.
+    pub fn committed(&self) -> u64 {
+        self.templates.iter().map(|t| t.committed).sum()
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
+        b.put_u64_le(self.uptime_us);
+        b.put_u64_le(self.inflight as u64);
+        for v in [
+            self.auditor_nodes,
+            self.auditor_arcs,
+            self.wal_bytes,
+            self.trace_captured,
+            self.trace_dropped,
+        ] {
+            b.put_u64_le(v);
+        }
+        b.put_u32_le(u32::try_from(self.phases.len()).expect("phase list fits a frame"));
+        for p in &self.phases {
+            p.encode_into(b);
+        }
+        b.put_u32_le(u32::try_from(self.templates.len()).expect("template list fits a frame"));
+        for t in &self.templates {
+            t.encode_into(b);
+        }
+    }
+
+    fn decode_from(b: &mut Bytes) -> Option<Self> {
+        let uptime_us = get_u64(b)?;
+        let inflight = get_u64(b)? as i64;
+        let auditor_nodes = get_u64(b)?;
+        let auditor_arcs = get_u64(b)?;
+        let wal_bytes = get_u64(b)?;
+        let trace_captured = get_u64(b)?;
+        let trace_dropped = get_u64(b)?;
+        let np = get_u32(b)? as usize;
+        // A PhaseStat is ≥ 52 bytes (4-byte name length + six u64s);
+        // bounding up front keeps a hostile count from pre-allocating
+        // unboundedly. Same below for the ≥ 36-byte TemplateStat.
+        if b.remaining() < np.checked_mul(52)? {
+            return None;
+        }
+        let mut phases = Vec::with_capacity(np);
+        for _ in 0..np {
+            phases.push(PhaseStat::decode_from(b)?);
+        }
+        let nt = get_u32(b)? as usize;
+        if b.remaining() < nt.checked_mul(36)? {
+            return None;
+        }
+        let mut templates = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            templates.push(TemplateStat::decode_from(b)?);
+        }
+        Some(StatsSnapshot {
+            uptime_us,
+            inflight,
+            auditor_nodes,
+            auditor_arcs,
+            wal_bytes,
+            trace_captured,
+            trace_dropped,
+            phases,
+            templates,
+        })
+    }
+}
+
 /// Why the server rejected a request (typed, so clients can branch
 /// without string matching).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -410,6 +650,8 @@ pub enum Response {
     Report(RunStats),
     /// `Shutdown` acknowledged; the server exits its accept loop.
     ShuttingDown,
+    /// `Stats`: the live telemetry digest.
+    Stats(StatsSnapshot),
     /// The request was rejected.
     Error {
         /// Typed rejection cause.
@@ -424,6 +666,7 @@ const RESP_SUBMITTED: u8 = 2;
 const RESP_REPORT: u8 = 3;
 const RESP_SHUTTING_DOWN: u8 = 4;
 const RESP_ERROR: u8 = 5;
+const RESP_STATS: u8 = 6;
 
 const SLOTS_UNBOUNDED: u8 = 0;
 const SLOTS_BOUNDED: u8 = 1;
@@ -461,6 +704,10 @@ impl Response {
                 stats.encode_into(&mut b);
             }
             Response::ShuttingDown => b.put_u8(RESP_SHUTTING_DOWN),
+            Response::Stats(stats) => {
+                b.put_u8(RESP_STATS);
+                stats.encode_into(&mut b);
+            }
             Response::Error { kind, message } => {
                 b.put_u8(RESP_ERROR);
                 b.put_u8(kind.to_tag());
@@ -509,6 +756,7 @@ impl Response {
             RESP_SUBMITTED => Response::Submitted(RunStats::decode_from(&mut buf)?),
             RESP_REPORT => Response::Report(RunStats::decode_from(&mut buf)?),
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_STATS => Response::Stats(StatsSnapshot::decode_from(&mut buf)?),
             RESP_ERROR => Response::Error {
                 kind: ErrorKind::from_tag(get_u8(&mut buf)?)?,
                 message: get_str(&mut buf)?,
@@ -525,9 +773,90 @@ mod tests {
 
     #[test]
     fn fixed_requests_roundtrip() {
-        for req in [Request::Report, Request::Shutdown] {
+        for req in [Request::Report, Request::Shutdown, Request::Stats] {
             assert_eq!(Request::decode(req.encode()), Some(req));
         }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let stats = StatsSnapshot {
+            uptime_us: 1_234_567,
+            inflight: -1, // torn gauge read: decrement raced the snapshot
+            auditor_nodes: 42,
+            auditor_arcs: 99,
+            wal_bytes: 1 << 30,
+            trace_captured: 512,
+            trace_dropped: 7,
+            phases: vec![
+                PhaseStat {
+                    name: "lock_wait".into(),
+                    count: 1000,
+                    sum_ns: 5_000_000,
+                    p50_ns: 4_000,
+                    p95_ns: 20_000,
+                    p99_ns: 80_000,
+                    max_ns: 1_000_000,
+                },
+                PhaseStat::default(),
+            ],
+            templates: vec![TemplateStat {
+                name: "transfer".into(),
+                committed: 20_000,
+                aborted: 3,
+                wounds: 0,
+                dies: 3,
+            }],
+        };
+        let resp = Response::Stats(stats);
+        assert_eq!(Response::decode(resp.encode()), Some(resp));
+    }
+
+    #[test]
+    fn empty_stats_roundtrip() {
+        // The telemetry-disabled / pre-register shape.
+        let resp = Response::Stats(StatsSnapshot::default());
+        assert_eq!(Response::decode(resp.encode()), Some(resp));
+    }
+
+    #[test]
+    fn stats_from_disabled_telemetry_is_default() {
+        let got = StatsSnapshot::from_telemetry(&Telemetry::disabled());
+        assert_eq!(got, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn stats_from_enabled_telemetry_names_all_phases() {
+        let tel = Telemetry::new(ddlf_engine::TelemetryConfig::default());
+        tel.record(Phase::Commit, std::time::Duration::from_micros(5));
+        let got = StatsSnapshot::from_telemetry(&tel);
+        assert_eq!(got.phases.len(), Phase::ALL.len());
+        let commit = got.phases.iter().find(|p| p.name == "commit").unwrap();
+        assert_eq!(commit.count, 1);
+        assert!(commit.p99_ns >= 5_000);
+        assert_eq!(commit.max_ns, 5_000);
+    }
+
+    #[test]
+    fn hostile_stats_counts_rejected() {
+        // A Stats reply claiming 4 billion phases on a short buffer.
+        let mut b = BytesMut::new();
+        b.put_u8(RESP_STATS);
+        for _ in 0..7 {
+            b.put_u64_le(0);
+        }
+        b.put_u32_le(u32::MAX);
+        assert_eq!(Response::decode(b.freeze()), None);
+
+        // Zero phases but a hostile template count.
+        let mut b = BytesMut::new();
+        b.put_u8(RESP_STATS);
+        for _ in 0..7 {
+            b.put_u64_le(0);
+        }
+        b.put_u32_le(0);
+        b.put_u32_le(u32::MAX);
+        assert_eq!(Response::decode(b.freeze()), None);
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! run's wait-die timestamps are per-run instance ids, so two
 //! interleaved runs could not share the store safely.
 
-use crate::proto::{ErrorKind, InflateSpec, Registered, Request, Response, RunStats};
-use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation};
+use crate::proto::{
+    ErrorKind, InflateSpec, Registered, Request, Response, RunStats, StatsSnapshot,
+};
+use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation, Telemetry};
 use ddlf_model::{SystemSpec, TxnId};
 use ddlf_sim::msg::frame;
 use parking_lot::Mutex;
@@ -70,6 +72,13 @@ fn admission_of(inflate: InflateSpec, threads: usize) -> AdmissionOptions {
 
 struct Shared {
     engine: Mutex<Option<Engine>>,
+    /// The telemetry handle every registered engine records into
+    /// (registration clones `cfg.engine`, so the handle is shared, not
+    /// replaced). Held here so [`Request::Stats`] can digest it without
+    /// touching the engine mutex — `submit` holds that mutex for an
+    /// entire run, and a stats probe must answer *during* the run, not
+    /// after it.
+    telemetry: Telemetry,
     cfg: ServeConfig,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -95,6 +104,10 @@ impl Shared {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Response::ShuttingDown
             }
+            // Deliberately lock-free: reads the shared telemetry handle,
+            // never the engine mutex, so it answers mid-`Submit`. Before
+            // any registration the digest is legitimately all zeros.
+            Request::Stats => Response::Stats(StatsSnapshot::from_telemetry(&self.telemetry)),
         }
     }
 
@@ -239,6 +252,7 @@ impl Server {
             listener,
             shared: Arc::new(Shared {
                 engine: Mutex::new(engine),
+                telemetry: cfg.engine.telemetry.clone(),
                 cfg,
                 shutdown: AtomicBool::new(false),
                 addr,

@@ -4,7 +4,10 @@
 //! headers/buffers are rejected without panicking.
 
 use bytes::Bytes;
-use ddlf_server::{ErrorKind, InflateSpec, PlanEntry, Registered, Request, Response, RunStats};
+use ddlf_server::{
+    ErrorKind, InflateSpec, PhaseStat, PlanEntry, Registered, Request, Response, RunStats,
+    StatsSnapshot, TemplateStat,
+};
 use proptest::prelude::*;
 
 /// Draws a printable-ASCII string from raw bytes (the vendored proptest
@@ -26,7 +29,8 @@ fn request_of(variant: usize, s: String, count: u32, inflate_kind: usize, k: u32
         },
         1 => Request::Submit { template: s, count },
         2 => Request::Report,
-        _ => Request::Shutdown,
+        3 => Request::Shutdown,
+        _ => Request::Stats,
     }
 }
 
@@ -43,6 +47,40 @@ fn stats_of(fields: Vec<u64>, serializable: usize) -> RunStats {
         peak_inflight: fields[8],
         history_len: fields[9],
         serializable: [None, Some(false), Some(true)][serializable % 3],
+    }
+}
+
+fn stats_snapshot_of(fields: &[u64], rows: &[(Vec<u8>, u64, bool)]) -> StatsSnapshot {
+    StatsSnapshot {
+        uptime_us: fields[0],
+        inflight: fields[1] as i64,
+        auditor_nodes: fields[2],
+        auditor_arcs: fields[3],
+        wal_bytes: fields[4],
+        trace_captured: fields[5],
+        trace_dropped: fields[6],
+        phases: rows
+            .iter()
+            .map(|(name, v, _)| PhaseStat {
+                name: ascii(name.clone()),
+                count: *v,
+                sum_ns: v.wrapping_mul(3),
+                p50_ns: *v,
+                p95_ns: *v,
+                p99_ns: *v,
+                max_ns: *v,
+            })
+            .collect(),
+        templates: rows
+            .iter()
+            .map(|(name, v, committed)| TemplateStat {
+                name: ascii(name.clone()),
+                committed: u64::from(*committed),
+                aborted: *v,
+                wounds: 0,
+                dies: *v,
+            })
+            .collect(),
     }
 }
 
@@ -73,6 +111,7 @@ fn response_of(
         1 => Response::Submitted(stats_of(stats_fields, serializable)),
         2 => Response::Report(stats_of(stats_fields, serializable)),
         3 => Response::ShuttingDown,
+        4 => Response::Stats(stats_snapshot_of(&stats_fields, &plan_raw)),
         _ => Response::Error {
             kind: [
                 ErrorKind::BadRequest,
@@ -91,7 +130,7 @@ proptest! {
     /// encode→decode identity for every request variant.
     #[test]
     fn request_roundtrip(
-        variant in 0usize..4,
+        variant in 0usize..5,
         raw in prop::collection::vec(any::<u8>(), 0..120),
         count in 0u32..=u32::MAX,
         inflate_kind in 0usize..3,
@@ -104,7 +143,7 @@ proptest! {
     /// encode→decode identity for every response variant.
     #[test]
     fn response_roundtrip(
-        variant in 0usize..5,
+        variant in 0usize..6,
         raw in prop::collection::vec(any::<u8>(), 0..120),
         plan_raw in prop::collection::vec(
             (prop::collection::vec(any::<u8>(), 0..24), any::<u64>(), any::<bool>()),
@@ -123,7 +162,7 @@ proptest! {
     /// else. Every proper prefix of a valid encoding is rejected.
     #[test]
     fn truncated_frames_rejected(
-        variant in 0usize..4,
+        variant in 0usize..5,
         raw in prop::collection::vec(any::<u8>(), 0..60),
         count in 0u32..=u32::MAX,
         inflate_kind in 0usize..3,
@@ -167,10 +206,10 @@ proptest! {
         if let Some(resp) = Response::decode(Bytes::from(bytes.clone())) {
             prop_assert_eq!(resp.encode().as_ref(), &bytes[..]);
         }
-        if !bytes.is_empty() && !(1..=4).contains(&bytes[0]) {
+        if !bytes.is_empty() && !(1..=5).contains(&bytes[0]) {
             prop_assert_eq!(Request::decode(Bytes::from(bytes.clone())), None);
         }
-        if !bytes.is_empty() && !(1..=5).contains(&bytes[0]) {
+        if !bytes.is_empty() && !(1..=6).contains(&bytes[0]) {
             prop_assert_eq!(Response::decode(Bytes::from(bytes)), None);
         }
     }
@@ -179,7 +218,7 @@ proptest! {
     /// full-consumption decoding).
     #[test]
     fn trailing_bytes_rejected(
-        variant in 0usize..4,
+        variant in 0usize..5,
         raw in prop::collection::vec(any::<u8>(), 0..40),
         count in 0u32..=u32::MAX,
         extra in any::<u8>(),

@@ -16,6 +16,14 @@
 //! banking workload with no WAL (the default hot path, which must not
 //! regress) against the same run logging every write, commit decision,
 //! and history event to per-shard log files (snapshot: BENCH_wal.json).
+//!
+//! E15 (`engine_group_commit`): the amortization matrix — the
+//! WAL-logging pipelined banking run (Theorem 5 certifies unbounded
+//! copies, so k = 32 gives the leader a real cohort) with per-commit
+//! decisions vs leader-flushed group commit (batched admission riding
+//! along), in buffered mode and in fsync-per-decision sync mode. The
+//! sync column is the headline: one fsync per *group* instead of per
+//! commit (snapshot: BENCH_group.json).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation, TemplateRegistry};
@@ -182,11 +190,60 @@ fn bench_wal(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(std::env::temp_dir().join("ddlf-bench-wal"));
 }
 
+fn bench_group_commit(c: &mut Criterion) {
+    // The single-template pipelined transfer certifies unbounded copies
+    // (Theorem 5), so a high certified k gives the group committer real
+    // company: with per-commit fsync every committer serializes on the
+    // shared history/decision files, while the leader amortizes one
+    // data-sync + one decision fsync over the whole parked cohort. The
+    // worker count deliberately exceeds the cores — commits here are
+    // fsync-latency-bound, not CPU-bound.
+    let (_, sys) = bank_uniform_transfer();
+    let mut g = c.benchmark_group("engine_group_commit");
+    g.sample_size(10);
+    let n = 256usize;
+    let dir = std::env::temp_dir().join("ddlf-bench-group");
+    // (label, fsync every decision?, group commit + batched admission?)
+    let variants = [
+        ("nosync_per_commit", false, false),
+        ("nosync_group", false, true),
+        ("sync_per_commit", true, false),
+        ("sync_group", true, true),
+    ];
+    for (label, sync, group) in variants {
+        g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+            b.iter(|| {
+                Engine::with_admission(
+                    sys.clone(),
+                    AdmissionOptions {
+                        inflate: Inflation::Uniform(32),
+                        ..Default::default()
+                    },
+                    EngineConfig {
+                        threads: 32,
+                        instances: n,
+                        wal_dir: Some(dir.clone()),
+                        wal_sync: sync,
+                        group_commit: group.then_some(64),
+                        admission_batch: if group { 4 } else { 1 },
+                        ..Default::default()
+                    },
+                )
+                .run()
+                .committed
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 criterion_group!(
     benches,
     bench_banking,
     bench_warehouse,
     bench_inflation,
-    bench_wal
+    bench_wal,
+    bench_group_commit
 );
 criterion_main!(benches);

@@ -8,11 +8,12 @@
 //! ddlf-audit deadlock system.json          # exhaustive deadlock search (small systems)
 //! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
 //! ddlf-audit run      system.json [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]
-//!                     [--wal DIR] [--wal-sync] [--json] [--no-telemetry] [--trace-sample N]
-//!                     [--trace-out FILE]
+//!                     [--wal DIR] [--wal-sync] [--group-commit[=MAX]] [--admission-batch N]
+//!                     [--json] [--no-telemetry] [--trace-sample N] [--trace-out FILE]
 //! ddlf-audit recover  <wal-dir> [--expect-total N] [--json]   # replay + re-audit a WAL
 //! ddlf-audit dot      system.json          # Graphviz rendering
-//! ddlf-audit serve    <addr> [--threads K] [--inflate k|auto] [--wal DIR] [--no-telemetry]
+//! ddlf-audit serve    <addr> [--threads K] [--inflate k|auto] [--wal DIR] [--wal-sync]
+//!                     [--group-commit[=MAX]] [--admission-batch N] [--no-telemetry]
 //! ddlf-audit submit   <addr> system.json [--txns N] [--template NAME] [--inflate k|auto]
 //!                     [--expect-zero-aborts] [--shutdown]
 //! ddlf-audit stats    <addr> [--json|--prom]   # live telemetry digest, no pause
@@ -117,6 +118,15 @@ pub enum Command {
         /// Fsync WAL data logs + commit record on every commit (durable
         /// against power loss; the `fsync` phase histogram measures it).
         wal_sync: bool,
+        /// Group commit: commit decisions are queued and flushed by a
+        /// leader in batches of up to this size — one buffered write and
+        /// (under `--wal-sync`) one fsync per *group* instead of per
+        /// commit. `None` keeps the per-commit path.
+        group_commit: Option<usize>,
+        /// Admit and timestamp instances in chunks of this size: one
+        /// `SlotGate` acquisition per template per chunk and one shared
+        /// critical section per chunk (1 = per-instance admission).
+        admission_batch: usize,
         /// Emit the full report as one JSON object on stdout instead of
         /// the human rendering.
         json: bool,
@@ -156,6 +166,17 @@ pub enum Command {
         /// Write-ahead log directory; if it already holds a WAL, the
         /// server recovers it and starts with the replayed engine.
         wal: Option<String>,
+        /// Fsync WAL data logs + commit record before acknowledging a
+        /// commit (durable against power loss).
+        wal_sync: bool,
+        /// Group commit for registered engines: leader-flushed commit
+        /// batches of up to this size (see `run`'s flag of the same
+        /// name).
+        group_commit: Option<usize>,
+        /// Admission/timestamp chunk size for submissions (the server
+        /// defaults to 16 to amortize the wire path's per-instance
+        /// overhead; 1 = per-instance admission).
+        admission_batch: usize,
         /// Serve with telemetry disabled (histograms are on by default,
         /// feeding the `stats` verb's live digest).
         no_telemetry: bool,
@@ -205,6 +226,23 @@ fn parse_inflate(v: &str) -> Result<InflateArg, String> {
     Ok(InflateArg::Uniform(k))
 }
 
+/// Parses `--group-commit[=MAX]`: the bare flag picks the engine's
+/// default maximum group size, `=MAX` overrides it (`MAX ≥ 1`).
+fn parse_group_commit(arg: &str) -> Result<usize, String> {
+    match arg.strip_prefix("--group-commit=") {
+        None => Ok(ddlf_engine::DEFAULT_MAX_GROUP),
+        Some(v) => {
+            let max: usize = v
+                .parse()
+                .map_err(|e| format!("bad --group-commit: {e} (want a max group size ≥ 1)"))?;
+            if max == 0 {
+                return Err("bad --group-commit: max group size must be ≥ 1".to_string());
+            }
+            Ok(max)
+        }
+    }
+}
+
 /// Parses CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
@@ -242,6 +280,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut work_us = 0u64;
             let mut wal = None;
             let mut wal_sync = false;
+            let mut group_commit = None;
+            let mut admission_batch = 1usize;
             let mut json = false;
             let mut no_telemetry = false;
             let mut trace_sample = 0u32;
@@ -270,6 +310,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         wal_sync = true;
                         i += 1;
                     }
+                    s if s == "--group-commit" || s.starts_with("--group-commit=") => {
+                        group_commit = Some(parse_group_commit(s)?);
+                        i += 1;
+                    }
+                    "--admission-batch" => {
+                        admission_batch = parse_value(&rest, &mut i, "--admission-batch")?;
+                        if admission_batch == 0 {
+                            return Err("bad --admission-batch: must be ≥ 1".to_string());
+                        }
+                    }
                     "--json" => {
                         json = true;
                         i += 1;
@@ -296,6 +346,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 work_us,
                 wal,
                 wal_sync,
+                group_commit,
+                admission_batch,
                 json,
                 no_telemetry,
                 trace_sample,
@@ -331,6 +383,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut threads = 4usize;
             let mut inflate = None;
             let mut wal = None;
+            let mut wal_sync = false;
+            let mut group_commit = None;
+            // The server's batched-admission default: submissions arrive
+            // over the wire one RPC at a time, so the per-instance
+            // admission overhead is pure tax there.
+            let mut admission_batch = 16usize;
             let mut no_telemetry = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
@@ -341,6 +399,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         inflate = Some(parse_inflate(take_value(&rest, &mut i, "--inflate")?)?);
                     }
                     "--wal" => wal = Some(take_value(&rest, &mut i, "--wal")?.to_string()),
+                    "--wal-sync" => {
+                        wal_sync = true;
+                        i += 1;
+                    }
+                    s if s == "--group-commit" || s.starts_with("--group-commit=") => {
+                        group_commit = Some(parse_group_commit(s)?);
+                        i += 1;
+                    }
+                    "--admission-batch" => {
+                        admission_batch = parse_value(&rest, &mut i, "--admission-batch")?;
+                        if admission_batch == 0 {
+                            return Err("bad --admission-batch: must be ≥ 1".to_string());
+                        }
+                    }
                     "--no-telemetry" => {
                         no_telemetry = true;
                         i += 1;
@@ -353,6 +425,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 threads,
                 inflate,
                 wal,
+                wal_sync,
+                group_commit,
+                admission_batch,
                 no_telemetry,
             })
         }
@@ -457,10 +532,11 @@ fn usage() -> String {
     "usage: ddlf-audit <certify|deadlock|simulate|run|dot> <system.json> \
      [--policy nothing|detect|wound-wait|wait-die] [--seeds N] \
      [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--work USEC] [--wal DIR] \
-     [--wal-sync] [--json] [--no-telemetry] [--trace-sample N] [--trace-out FILE]\n\
+     [--wal-sync] [--group-commit[=MAX]] [--admission-batch N] [--json] [--no-telemetry] \
+     [--trace-sample N] [--trace-out FILE]\n\
      \x20      ddlf-audit recover <wal-dir> [--expect-total N] [--json]\n\
      \x20      ddlf-audit serve <addr> [--threads K] [--inflate k|auto] [--wal DIR] \
-     [--no-telemetry]\n\
+     [--wal-sync] [--group-commit[=MAX]] [--admission-batch N] [--no-telemetry]\n\
      \x20      ddlf-audit submit <addr> <system.json> [--txns N] [--template NAME] \
      [--inflate k|auto] [--expect-zero-aborts] [--shutdown]\n\
      \x20      ddlf-audit stats <addr> [--json|--prom]"
@@ -587,6 +663,29 @@ pub fn report_json(report: &Report) -> serde_json::Value {
         ),
         ("history_len", ju(report.history_len as u64)),
         ("peak_inflight", ju(report.peak_inflight() as u64)),
+        ("group_flushes", ju(report.group_flushes)),
+        ("group_commits", ju(report.group_commits)),
+        (
+            // Commit decisions per leader flush — 1.0 means group commit
+            // is off (or never found a companion); higher is amortization.
+            "mean_group_size",
+            Value::F64(if report.group_flushes == 0 {
+                0.0
+            } else {
+                report.group_commits as f64 / report.group_flushes as f64
+            }),
+        ),
+        (
+            // The durability cost per commit: fsync calls over committed
+            // instances. Per-commit sync pays ≥ 1.0; group commit
+            // amortizes it below 1.0. 0.0 when fsync never ran.
+            "fsyncs_per_commit",
+            Value::F64(if report.committed == 0 {
+                0.0
+            } else {
+                report.phases.get(Phase::Fsync).count as f64 / report.committed as f64
+            }),
+        ),
         (
             "latency_us",
             jobj(vec![
@@ -618,6 +717,22 @@ pub fn report_json(report: &Report) -> serde_json::Value {
     ])
 }
 
+/// Fsync calls per committed instance from a server digest — the
+/// amortization the `stats` verb surfaces so group commit's effect is
+/// observable, not inferred. `None` when nothing committed yet.
+fn fsyncs_per_commit(s: &StatsSnapshot) -> Option<f64> {
+    let committed = s.committed();
+    if committed == 0 {
+        return None;
+    }
+    let fsyncs = s
+        .phases
+        .iter()
+        .find(|p| p.name == "fsync")
+        .map_or(0, |p| p.count);
+    Some(fsyncs as f64 / committed as f64)
+}
+
 /// The `stats --json` rendering of a server digest.
 fn stats_json(s: &StatsSnapshot) -> serde_json::Value {
     use serde_json::Value;
@@ -629,6 +744,20 @@ fn stats_json(s: &StatsSnapshot) -> serde_json::Value {
         ("wal_bytes", ju(s.wal_bytes)),
         ("trace_captured", ju(s.trace_captured)),
         ("trace_dropped", ju(s.trace_dropped)),
+        ("group_flushes", ju(s.group_flushes)),
+        ("group_commits", ju(s.group_commits)),
+        (
+            "mean_group_size",
+            Value::F64(if s.group_flushes == 0 {
+                0.0
+            } else {
+                s.group_commits as f64 / s.group_flushes as f64
+            }),
+        ),
+        (
+            "fsyncs_per_commit",
+            Value::F64(fsyncs_per_commit(s).unwrap_or(0.0)),
+        ),
         ("committed", ju(s.committed())),
         (
             "phases",
@@ -697,6 +826,22 @@ fn stats_prom(s: &StatsSnapshot) -> String {
     let _ = writeln!(out, "ddlf_trace_captured {}", s.trace_captured);
     let _ = writeln!(out, "# TYPE ddlf_trace_dropped_total counter");
     let _ = writeln!(out, "ddlf_trace_dropped_total {}", s.trace_dropped);
+    let _ = writeln!(out, "# TYPE ddlf_group_flushes_total counter");
+    let _ = writeln!(out, "ddlf_group_flushes_total {}", s.group_flushes);
+    let _ = writeln!(out, "# TYPE ddlf_group_commits_total counter");
+    let _ = writeln!(out, "ddlf_group_commits_total {}", s.group_commits);
+    if s.group_flushes > 0 {
+        let _ = writeln!(out, "# TYPE ddlf_mean_group_size gauge");
+        let _ = writeln!(
+            out,
+            "ddlf_mean_group_size {}",
+            s.group_commits as f64 / s.group_flushes as f64
+        );
+    }
+    if let Some(fpc) = fsyncs_per_commit(s) {
+        let _ = writeln!(out, "# TYPE ddlf_fsyncs_per_commit gauge");
+        let _ = writeln!(out, "ddlf_fsyncs_per_commit {fpc}");
+    }
     if !s.phases.is_empty() {
         let _ = writeln!(out, "# TYPE ddlf_phase_latency_seconds summary");
         for p in &s.phases {
@@ -757,6 +902,18 @@ fn stats_human(s: &StatsSnapshot) -> String {
         s.trace_captured,
         s.trace_dropped,
     );
+    if s.group_flushes > 0 {
+        let _ = writeln!(
+            out,
+            "group commit: {} decisions in {} flushes (mean group {:.1}{})",
+            s.group_commits,
+            s.group_flushes,
+            s.group_commits as f64 / s.group_flushes as f64,
+            fsyncs_per_commit(s)
+                .map(|f| format!(", {f:.2} fsyncs/commit"))
+                .unwrap_or_default(),
+        );
+    }
     if s.phases.is_empty() {
         let _ = writeln!(
             out,
@@ -821,11 +978,15 @@ pub fn run_stats(addr: &str, json: bool, prom: bool) -> (String, i32) {
 /// ephemeral port). With `--wal DIR`, registered engines log there; if
 /// the directory already holds a WAL (a previous server died), it is
 /// replayed first and the server starts with the recovered engine.
+#[allow(clippy::too_many_arguments)] // mirrors the flat `serve` flag surface
 pub fn run_serve(
     addr: &str,
     threads: usize,
     inflate: Option<InflateArg>,
     wal: Option<&str>,
+    wal_sync: bool,
+    group_commit: Option<usize>,
+    admission_batch: usize,
     no_telemetry: bool,
 ) -> Result<(), String> {
     // One handle for the server's lifetime: every registered engine
@@ -837,6 +998,9 @@ pub fn run_serve(
         wal_dir: wal.map(std::path::PathBuf::from),
         engine: ddlf_engine::EngineConfig {
             telemetry: telemetry.clone(),
+            wal_sync,
+            group_commit,
+            admission_batch: admission_batch.max(1),
             ..Default::default()
         },
     };
@@ -861,6 +1025,9 @@ pub fn run_serve(
                 ddlf_engine::EngineConfig {
                     threads: threads.max(1),
                     telemetry: telemetry.clone(),
+                    wal_sync,
+                    group_commit,
+                    admission_batch: admission_batch.max(1),
                     ..Default::default()
                 },
                 dir,
@@ -1125,6 +1292,8 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
             work_us,
             wal,
             wal_sync,
+            group_commit,
+            admission_batch,
             json,
             no_telemetry,
             trace_sample,
@@ -1152,6 +1321,8 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                     work: Duration::from_micros(*work_us),
                     wal_dir: wal.as_ref().map(std::path::PathBuf::from),
                     wal_sync: *wal_sync,
+                    group_commit: *group_commit,
+                    admission_batch: (*admission_batch).max(1),
                     telemetry: telemetry.clone(),
                     ..Default::default()
                 },
@@ -1363,6 +1534,8 @@ mod tests {
                 work_us: 0,
                 wal: None,
                 wal_sync: false,
+                group_commit: None,
+                admission_batch: 1,
                 json: false,
                 no_telemetry: false,
                 trace_sample: 0,
@@ -1470,6 +1643,8 @@ mod tests {
             work_us: 0,
             wal: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             json: false,
             no_telemetry: false,
             trace_sample: 0,
@@ -1495,6 +1670,8 @@ mod tests {
             work_us: 0,
             wal: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             json: false,
             no_telemetry: false,
             trace_sample: 0,
@@ -1517,6 +1694,8 @@ mod tests {
             work_us: 0,
             wal: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             json: false,
             no_telemetry: false,
             trace_sample: 0,
@@ -1540,6 +1719,8 @@ mod tests {
             work_us: 0,
             wal: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             json: false,
             no_telemetry: false,
             trace_sample: 0,
@@ -1577,6 +1758,8 @@ mod tests {
             work_us: 0,
             wal: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             json: true,
             no_telemetry: false,
             trace_sample: 0,
@@ -1614,6 +1797,8 @@ mod tests {
             work_us: 0,
             wal: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             json: true,
             no_telemetry: true,
             trace_sample: 0,
@@ -1647,6 +1832,8 @@ mod tests {
             work_us: 0,
             wal: Some(dir.to_string_lossy().into_owned()),
             wal_sync: true,
+            group_commit: None,
+            admission_batch: 1,
             json: true,
             no_telemetry: false,
             trace_sample: 0,
@@ -1682,6 +1869,120 @@ mod tests {
         assert!(wal_sync);
     }
 
+    #[test]
+    fn parse_group_commit_and_admission_batch() {
+        // The bare flag picks the engine's default maximum group size.
+        let c = parse_args(&["run".into(), "f".into(), "--group-commit".into()]).unwrap();
+        let Command::Run {
+            group_commit,
+            admission_batch,
+            ..
+        } = c
+        else {
+            panic!("run command");
+        };
+        assert_eq!(group_commit, Some(ddlf_engine::DEFAULT_MAX_GROUP));
+        assert_eq!(admission_batch, 1);
+
+        let c = parse_args(&[
+            "run".into(),
+            "f".into(),
+            "--group-commit=8".into(),
+            "--admission-batch".into(),
+            "32".into(),
+        ])
+        .unwrap();
+        let Command::Run {
+            group_commit,
+            admission_batch,
+            ..
+        } = c
+        else {
+            panic!("run command");
+        };
+        assert_eq!(group_commit, Some(8));
+        assert_eq!(admission_batch, 32);
+
+        assert!(parse_args(&["run".into(), "f".into(), "--group-commit=0".into()]).is_err());
+        assert!(parse_args(&["run".into(), "f".into(), "--group-commit=x".into()]).is_err());
+        assert!(parse_args(&[
+            "run".into(),
+            "f".into(),
+            "--admission-batch".into(),
+            "0".into()
+        ])
+        .is_err());
+        assert!(parse_args(&["run".into(), "f".into(), "--admission-batch".into()]).is_err());
+
+        // `serve` grows the same knobs plus `--wal-sync`.
+        let c = parse_args(&[
+            "serve".into(),
+            "a".into(),
+            "--wal-sync".into(),
+            "--group-commit=4".into(),
+            "--admission-batch".into(),
+            "8".into(),
+        ])
+        .unwrap();
+        let Command::Serve {
+            wal_sync,
+            group_commit,
+            admission_batch,
+            ..
+        } = c
+        else {
+            panic!("serve command");
+        };
+        assert!(wal_sync);
+        assert_eq!(group_commit, Some(4));
+        assert_eq!(admission_batch, 8);
+    }
+
+    /// `--group-commit --admission-batch` with a synced WAL: every
+    /// decision rides the group path, the report's amortization metrics
+    /// are present, and the run still audits clean.
+    #[test]
+    fn run_group_commit_json_exposes_amortization() {
+        let dir = std::env::temp_dir().join(format!("ddlf-group-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 16,
+            threads: 4,
+            inflate: None,
+            force_fallback: false,
+            work_us: 0,
+            wal: Some(dir.to_string_lossy().into_owned()),
+            wal_sync: true,
+            group_commit: Some(8),
+            admission_batch: 4,
+            json: true,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        use serde_json::Value;
+        let v = serde_json::parse_value(out.trim()).unwrap();
+        assert_eq!(jget(&v, "committed"), &Value::U64(16));
+        assert_eq!(jget(&v, "group_commits"), &Value::U64(16));
+        assert!(
+            matches!(jget(&v, "group_flushes"), Value::U64(n) if (1..=16).contains(n)),
+            "{out}"
+        );
+        assert!(
+            matches!(jget(&v, "mean_group_size"), Value::F64(m) if *m >= 1.0),
+            "{out}"
+        );
+        assert!(
+            matches!(jget(&v, "fsyncs_per_commit"), Value::F64(f) if *f > 0.0),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// `--trace-sample 1 --trace-out` writes lifecycle JSON lines for
     /// every instance.
     #[test]
@@ -1699,6 +2000,8 @@ mod tests {
             work_us: 0,
             wal: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             json: true,
             no_telemetry: false,
             trace_sample: 1,
@@ -1814,6 +2117,9 @@ mod tests {
                 threads: 8,
                 inflate: Some(InflateArg::Auto),
                 wal: None,
+                wal_sync: false,
+                group_commit: None,
+                admission_batch: 16,
                 no_telemetry: false,
             }
         );

@@ -17,8 +17,20 @@ fn main() {
             threads,
             inflate,
             wal,
+            wal_sync,
+            group_commit,
+            admission_batch,
             no_telemetry,
-        } => match ddlf_cli::run_serve(addr, *threads, *inflate, wal.as_deref(), *no_telemetry) {
+        } => match ddlf_cli::run_serve(
+            addr,
+            *threads,
+            *inflate,
+            wal.as_deref(),
+            *wal_sync,
+            *group_commit,
+            *admission_batch,
+            *no_telemetry,
+        ) {
             Ok(()) => std::process::exit(0),
             Err(e) => {
                 eprintln!("{e}");

@@ -79,6 +79,20 @@ pub struct EngineConfig {
     /// `fsync` the commit decision log on every commit (see
     /// [`WalOptions::sync`]).
     pub wal_sync: bool,
+    /// Group commit: `Some(max_group)` lets committing workers share one
+    /// decision frame, one data-log flush, and (under `wal_sync`) one
+    /// fsync per group of up to `max_group` commits (see
+    /// [`WalOptions::group_commit`]). `None` = one decision record (and
+    /// fsync) per commit. Ignored without `wal_dir`.
+    pub group_commit: Option<usize>,
+    /// Admission batch size: workers claim instances from the run queue
+    /// in chunks of up to this many, admitting each chunk under one
+    /// gate acquisition per template and one decision-log lock for its
+    /// `Begin` records — amortizing the per-instance admission critical
+    /// sections. `1` (the default) admits exactly like the unbatched
+    /// engine. Chunk instances execute sequentially on their worker, so
+    /// certified slot accounting is unchanged.
+    pub admission_batch: usize,
     /// Observability handle shared by the executor, the store's shards,
     /// and the WAL: phase-latency histograms, per-template counters,
     /// gauges, and the sampled lifecycle trace ring. The default
@@ -102,6 +116,8 @@ impl Default for EngineConfig {
             force_fallback: false,
             wal_dir: None,
             wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -210,7 +226,9 @@ impl Engine {
                     cfg.initial_value,
                     WalOptions {
                         sync: cfg.wal_sync,
+                        group_commit: cfg.group_commit,
                         telemetry: cfg.telemetry.clone(),
+                        ..WalOptions::default()
                     },
                 )?;
                 let store = Store::with_wal(registry.system().db(), cfg.initial_value, &wal)?;
@@ -246,7 +264,9 @@ impl Engine {
             rec.next_base,
             WalOptions {
                 sync: cfg.wal_sync,
+                group_commit: cfg.group_commit,
                 telemetry: cfg.telemetry.clone(),
+                ..WalOptions::default()
             },
         )?;
         let mut store = rec.store;
@@ -402,9 +422,13 @@ impl Engine {
             Box::new(move |ev: &ddlf_sim::HistoryEvent| w.log_event(ev, base)) as _
         });
         let shared = SharedHistory::with_streaming_audit(Arc::clone(&auditor), base, wal_sink);
-        let (work_tx, work_rx) = unbounded::<Instance>();
-        for inst in &instances {
-            work_tx.send(*inst).expect("receiver alive");
+        // Workers claim instances in admission-batch chunks: each chunk
+        // is admitted under one gate acquisition per template and one
+        // decision-log lock for its Begin records (see `execute_chunk`).
+        let batch = self.cfg.admission_batch.max(1);
+        let (work_tx, work_rx) = unbounded::<Vec<Instance>>();
+        for chunk in instances.chunks(batch) {
+            work_tx.send(chunk.to_vec()).expect("receiver alive");
         }
         drop(work_tx);
 
@@ -425,6 +449,10 @@ impl Engine {
         // Workers bump per-template counters through this resolved
         // table: pure atomics, no per-instance locking.
         let ttable = self.cfg.telemetry.template_table();
+        let groups_before = match &self.wal {
+            Some(w) => w.group_counters(),
+            None => (0, 0),
+        };
         let started = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..self.cfg.threads.max(1) {
@@ -438,6 +466,13 @@ impl Engine {
         });
         let wall = started.elapsed();
         drop(done_tx);
+        // Buffered log writers may still hold encoded frames; push them
+        // to the kernel so a post-run crash loses nothing this run
+        // claimed durable (commit decisions were already flushed — and
+        // under `sync`, fsynced — at each group boundary).
+        if let Some(w) = &self.wal {
+            w.flush_all();
+        }
 
         let mut outcomes: Vec<Outcome> = vec![Outcome::default(); instances.len()];
         for (id, out) in done_rx.iter() {
@@ -446,6 +481,12 @@ impl Engine {
         let mut report =
             self.build_report(&sys, &instances, &outcomes, shared, wall, Some(&auditor));
         report.phases = self.cfg.telemetry.phase_snapshot().delta(&phases_before);
+        if let Some(w) = &self.wal {
+            let (flushes, commits) = w.group_counters();
+            let (f0, c0) = groups_before;
+            report.group_flushes = flushes - f0;
+            report.group_commits = commits - c0;
+        }
         let mut cumulative = self.cumulative.lock();
         match cumulative.as_mut() {
             Some(acc) => acc.absorb(&report),
@@ -456,7 +497,7 @@ impl Engine {
 
     fn worker(
         &self,
-        work_rx: Receiver<Instance>,
+        work_rx: Receiver<Vec<Instance>>,
         done_tx: Sender<(u32, Outcome)>,
         shared: &SharedHistory,
         base: u32,
@@ -465,8 +506,59 @@ impl Engine {
     ) {
         // The queue is fully loaded (and its sender dropped) before
         // workers start, so the first failed receive means drained.
-        while let Ok(inst) = work_rx.try_recv() {
-            let out = self.execute_instance(inst, shared, base, auditor, ttable);
+        while let Ok(chunk) = work_rx.try_recv() {
+            self.execute_chunk(&chunk, &done_tx, shared, base, auditor, ttable);
+        }
+    }
+
+    /// Runs one admission-batch chunk: the chunk is admitted as a unit
+    /// (one gate acquisition per distinct template, one decision-log
+    /// lock for every first-attempt `Begin`), then its instances execute
+    /// sequentially on this worker. Sequential execution is what keeps
+    /// batching sound: at most one of the chunk's instances is inside
+    /// any template at a time, so one slot per template bounds the
+    /// concurrent in-flight mix exactly as per-instance admission did.
+    /// Gates are acquired in template-index order, so two workers
+    /// holding chunks over overlapping template sets always contend in
+    /// the same order and cannot deadlock.
+    fn execute_chunk(
+        &self,
+        chunk: &[Instance],
+        done_tx: &Sender<(u32, Outcome)>,
+        shared: &SharedHistory,
+        base: u32,
+        auditor: &Mutex<StreamingAuditor>,
+        ttable: Option<&TemplateTable>,
+    ) {
+        if chunk.len() < 2 {
+            for inst in chunk {
+                let out = self.execute_instance(*inst, shared, base, auditor, ttable, false);
+                let _ = done_tx.send((inst.id, out));
+            }
+            return;
+        }
+        let tel = &self.cfg.telemetry;
+        let mut counts: Vec<(TxnId, usize)> = Vec::new();
+        for inst in chunk {
+            match counts.iter_mut().find(|(t, _)| *t == inst.template) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((inst.template, 1)),
+            }
+        }
+        counts.sort_unstable_by_key(|&(t, _)| t.index());
+        let t_gate = tel.timer();
+        let _slots: Vec<_> = counts
+            .iter()
+            .map(|&(t, n)| self.registry.template(t).gate.acquire_many(n))
+            .collect();
+        tel.record_since(Phase::GateWait, t_gate);
+        if let Some(w) = &self.wal {
+            let begins: Vec<(u32, TxnId)> =
+                chunk.iter().map(|i| (base + i.id, i.template)).collect();
+            w.log_begin_batch(&begins);
+        }
+        for inst in chunk {
+            let out = self.execute_instance(*inst, shared, base, auditor, ttable, true);
             let _ = done_tx.send((inst.id, out));
         }
     }
@@ -478,6 +570,7 @@ impl Engine {
         base: u32,
         auditor: &Mutex<StreamingAuditor>,
         ttable: Option<&TemplateTable>,
+        pre_admitted: bool,
     ) -> Outcome {
         let tel = &self.cfg.telemetry;
         let started = Instant::now();
@@ -488,10 +581,15 @@ impl Engine {
         // Admission gate: occupy one of the template's certified slots
         // (see template.rs) so the in-flight mix stays a subsystem of the
         // certified inflated system. Acquired before any data lock, so
-        // gate waits cannot entangle with lock waits.
-        let t_gate = tel.timer();
-        let _slot = tmpl.gate.acquire();
-        tel.record_since(Phase::GateWait, t_gate);
+        // gate waits cannot entangle with lock waits. A `pre_admitted`
+        // instance rides its chunk's gate acquisition (`execute_chunk`
+        // holds the slot for the chunk's whole lifetime) and its chunk's
+        // batched `Begin`, so both are skipped here.
+        let t_gate = if pre_admitted { None } else { tel.timer() };
+        let _slot = (!pre_admitted).then(|| tmpl.gate.acquire());
+        if !pre_admitted {
+            tel.record_since(Phase::GateWait, t_gate);
+        }
         tel.inflight_inc();
         if sampled {
             tel.trace(SpanEvent {
@@ -523,7 +621,11 @@ impl Engine {
                 track_undo: !certified,
             };
             if let Some(w) = &self.wal {
-                w.log_begin(ctx.gid, inst.template, attempt);
+                // A pre-admitted first attempt was already begun by the
+                // chunk's batched append; retries still log one by one.
+                if attempt > 0 || !pre_admitted {
+                    w.log_begin(ctx.gid, inst.template, attempt);
+                }
             }
             let t_exec = tel.timer();
             let result = if certified {
@@ -671,6 +773,17 @@ impl Engine {
         let (grant_tx, grant_rx) = unbounded::<EntityId>();
         let mut executed = Prefix::empty(t);
         let mut issued = vec![false; t.node_count()];
+        // Lock-grant events are *deferred* into this buffer and flushed
+        // through one `record_batch` critical section at the next unlock
+        // (before the release) or at attempt end. Sound because the
+        // events' relative order against other transactions is pinned by
+        // the locks themselves: no conflicting grant can happen on a
+        // held entity until we release it, and we flush everything
+        // buffered before every release — so per-entity event order in
+        // the history is exactly the effective lock order. (The debug
+        // batch-oracle cross-check in `build_report` re-verifies this on
+        // every run.)
+        let mut pending: Vec<ddlf_model::NodeId> = Vec::new();
         let (mut reads, mut writes, mut writes_skipped) = (0u64, 0u64, 0u64);
         let span = |kind: SpanKind, entity: EntityId, dur_ns: u64| SpanEvent {
             ts_ns: tel.now_ns(),
@@ -704,14 +817,19 @@ impl Engine {
                             }
                             reads += u64::from(tmpl.program.reads_entity(op.entity));
                             self.simulate_work();
-                            shared.record(me, attempt, n);
+                            pending.push(n);
                             executed.push(n);
                             progressed = true;
                         }
                         LockOutcome::Queued { .. } => {} // grant arrives later
                     }
                 } else {
-                    shared.record(me, attempt, n);
+                    // Flush the deferred grants plus this unlock in one
+                    // timestamp critical section, *before* the release
+                    // makes a conflicting grant possible.
+                    pending.push(n);
+                    shared.record_batch(me, attempt, &pending);
+                    pending.clear();
                     executed.push(n);
                     Self::count_write(
                         shard.write_and_release(ctx, op.entity, tmpl.program.write_for(op.entity)),
@@ -725,6 +843,10 @@ impl Engine {
                 }
             }
             if executed.is_complete(t) {
+                // Normally empty here (every lock is followed by an
+                // unlock, which flushes), but flush defensively so no
+                // template shape can lose events.
+                shared.record_batch(me, attempt, &pending);
                 return AttemptResult::Committed {
                     reads,
                     writes,
@@ -749,7 +871,7 @@ impl Engine {
             }
             reads += u64::from(tmpl.program.reads_entity(entity));
             self.simulate_work();
-            shared.record(me, attempt, n);
+            pending.push(n);
             executed.push(n);
         }
     }
@@ -1036,8 +1158,11 @@ impl Engine {
             history_len: history.len(),
             latency,
             // Filled with this run's per-phase delta by `run_instances`
-            // (the empty-run report keeps the empty default).
+            // (the empty-run report keeps the empty default), like the
+            // group-committer counter deltas below it.
             phases: ddlf_telemetry::PhaseSnapshot::default(),
+            group_flushes: 0,
+            group_commits: 0,
             per_template,
         }
     }

@@ -137,7 +137,10 @@ pub use template::{
     AdmissionOptions, AdmissionPlan, AdmissionVerdict, Inflation, Program, SlotGate, SlotGuard,
     Slots, Template, TemplateRegistry, WriteOp,
 };
-pub use wal::{recover, Recovered, Wal, WalError, WalOptions, WalRecord};
+pub use wal::{
+    recover, GroupEntry, Recovered, Wal, WalError, WalOptions, WalRecord, DEFAULT_MAX_GROUP,
+    DEFAULT_WAL_BUFFER,
+};
 
 // The observability layer the engine emits into, re-exported so callers
 // configuring [`EngineConfig::telemetry`] need not depend on the

@@ -127,6 +127,13 @@ pub struct Report {
     /// telemetry handle; all-zero otherwise. Unlike [`LatencyStats`],
     /// these merge *exactly* under [`Report::absorb`].
     pub phases: PhaseSnapshot,
+    /// Decision-log flush groups written by the WAL's group committer
+    /// this run (one data-log flush + at most one fsync each); 0 when
+    /// group commit is off or no WAL is attached.
+    pub group_flushes: u64,
+    /// Commit decisions that went through the group committer this run;
+    /// `group_commits / group_flushes` is the mean achieved group size.
+    pub group_commits: u64,
     /// Per-template certified-vs-achieved multiprogramming and outcome
     /// counts, template order.
     pub per_template: Vec<TemplateReport>,
@@ -213,6 +220,8 @@ impl Report {
         self.writes_skipped += run.writes_skipped;
         self.wall += run.wall;
         self.history_len += run.history_len;
+        self.group_flushes += run.group_flushes;
+        self.group_commits += run.group_commits;
         debug_assert_eq!(self.per_template.len(), run.per_template.len());
         for (acc, t) in self.per_template.iter_mut().zip(&run.per_template) {
             acc.peak_inflight = acc.peak_inflight.max(t.peak_inflight);
@@ -269,6 +278,8 @@ mod tests {
             history_len: 0,
             latency: LatencyStats::default(),
             phases: PhaseSnapshot::default(),
+            group_flushes: 3,
+            group_commits: 4,
             per_template: vec![],
         }
     }
@@ -296,6 +307,7 @@ mod tests {
         acc.absorb(&run_report(Some(true)));
         assert_eq!(acc.serializable, Some(true));
         assert_eq!(acc.instances, 8);
+        assert_eq!((acc.group_flushes, acc.group_commits), (6, 8));
     }
 
     #[test]
@@ -318,6 +330,8 @@ mod tests {
             history_len: 0,
             latency: LatencyStats::default(),
             phases: PhaseSnapshot::default(),
+            group_flushes: 0,
+            group_commits: 0,
             per_template: vec![TemplateReport {
                 name: "T".into(),
                 certified_slots: Slots::Bounded(4),

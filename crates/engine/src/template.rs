@@ -313,15 +313,41 @@ impl SlotGate {
     /// Blocks until a slot is free, then occupies it for the lifetime of
     /// the returned guard.
     pub fn acquire(&self) -> SlotGuard<'_> {
+        self.grab(1)
+    }
+
+    /// The multi-slot acquisition backing batched admission: admits a
+    /// chunk of `n` instances of this template under **one** gate
+    /// operation. On an [`Slots::Unbounded`] gate all `n` slots are
+    /// claimed (pure bookkeeping — the gate never blocks, and `in_use`/
+    /// `peak` keep meaning "admitted instances"). On a [`Slots::Bounded`]
+    /// gate exactly **one** slot is claimed, because a batched chunk
+    /// executes its instances sequentially on one worker: at most one of
+    /// the `n` is ever inside the template at a time, so one slot bounds
+    /// the chunk's concurrent footprint exactly — claiming `n` would
+    /// deadlock whenever `n > k`, and would starve other workers for no
+    /// added safety. Dropping the guard frees everything it claimed.
+    pub fn acquire_many(&self, n: usize) -> SlotGuard<'_> {
+        let want = match self.slots {
+            Slots::Unbounded => n.max(1),
+            Slots::Bounded(_) => 1,
+        };
+        self.grab(want)
+    }
+
+    fn grab(&self, want: usize) -> SlotGuard<'_> {
         let mut st = self.state.lock();
         if let Slots::Bounded(k) = self.slots {
-            while st.in_use >= k {
+            while st.in_use + want > k {
                 self.freed.wait(&mut st);
             }
         }
-        st.in_use += 1;
+        st.in_use += want;
         st.peak = st.peak.max(st.in_use);
-        SlotGuard { gate: self }
+        SlotGuard {
+            gate: self,
+            count: want,
+        }
     }
 
     /// Live holders right now.
@@ -342,15 +368,17 @@ impl SlotGate {
     }
 }
 
-/// Occupation of one admission slot; dropping it frees the slot.
+/// Occupation of one or more admission slots (see
+/// [`SlotGate::acquire_many`]); dropping it frees everything it claimed.
 pub struct SlotGuard<'a> {
     gate: &'a SlotGate,
+    count: usize,
 }
 
 impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
         let mut st = self.gate.state.lock();
-        st.in_use -= 1;
+        st.in_use -= self.count;
         drop(st);
         self.gate.freed.notify_one();
     }
@@ -779,6 +807,30 @@ mod tests {
         });
         assert_eq!(peak.load(Ordering::SeqCst), 1, "gate must serialize");
         assert_eq!(gate.peak(), 1);
+    }
+
+    #[test]
+    fn acquire_many_claims_n_unbounded_but_one_bounded_slot() {
+        let unbounded = SlotGate::new(Slots::Unbounded);
+        let g = unbounded.acquire_many(5);
+        assert_eq!(unbounded.in_use(), 5);
+        assert_eq!(unbounded.peak(), 5);
+        drop(g);
+        assert_eq!(unbounded.in_use(), 0, "the guard frees all its slots");
+
+        // A bounded gate admits a sequential chunk under one slot: a
+        // chunk of 5 must not deadlock on (or monopolize) a k=2 gate.
+        let bounded = SlotGate::new(Slots::Bounded(2));
+        let a = bounded.acquire_many(5);
+        let b = bounded.acquire_many(3);
+        assert_eq!(bounded.in_use(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(bounded.in_use(), 0);
+        // Degenerate chunk sizes still claim one slot.
+        let g = bounded.acquire_many(0);
+        assert_eq!(bounded.in_use(), 1);
+        drop(g);
     }
 
     #[test]

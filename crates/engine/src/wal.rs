@@ -43,17 +43,23 @@
 //! is one binary [`WalRecord`]:
 //!
 //! ```text
-//!   Begin  := 0x01 gid:u32 template:u32 attempt:u32
-//!   Write  := 0x02 gid:u32 attempt:u32 entity:u32 op:WriteOp before:VV after:VV
-//!   Undo   := 0x03 gid:u32 entity:u32 restored:VV
-//!   Commit := 0x04 gid:u32 template:u32 attempt:u32
-//!   Abort  := 0x05 gid:u32 attempt:u32
-//!   Event  := 0x06 time:u64 gid:u32 attempt:u32 node:u32
+//!   Begin       := 0x01 gid:u32 template:u32 attempt:u32
+//!   Write       := 0x02 gid:u32 attempt:u32 entity:u32 op:WriteOp before:VV after:VV
+//!   Undo        := 0x03 gid:u32 entity:u32 restored:VV
+//!   Commit      := 0x04 gid:u32 template:u32 attempt:u32
+//!   Abort       := 0x05 gid:u32 attempt:u32
+//!   Event       := 0x06 time:u64 gid:u32 attempt:u32 node:u32
+//!   CommitGroup := 0x07 count:u32 (gid:u32 template:u32 attempt:u32)*count
 //!
 //!   WriteOp := 0x00 delta:i64(LE)  |  0x01 value:u64  |  0x02 len:u32 bytes
 //!   Datum   := 0x00 value:u64      |  0x01 len:u32 bytes
 //!   VV      := version:u64 Datum                      (all integers LE)
 //! ```
+//!
+//! A `CommitGroup` is the group committer's decision record: the durable
+//! commit of every entry in one frame. Because it is *one* frame, a torn
+//! tail can only drop the group whole — recovery never replays a partial
+//! group.
 //!
 //! `gid` is a **globally unique instance id** within the WAL directory:
 //! each engine run reserves `base..base + instances` above every id seen
@@ -62,15 +68,28 @@
 //!
 //! ## Durability model
 //!
-//! Records are written with one unbuffered `write(2)` per frame, in
-//! program order: a `Commit` record can only be durable after every
-//! `Write` and `Event` record of its instance. That makes replay correct
-//! against process death (`SIGKILL` — the page cache survives), which is
-//! what the CI crash-recovery smoke exercises. Surviving *power loss*
-//! additionally needs [`WalOptions::sync`], which on every commit fsyncs
-//! the shard value logs and the history log **before** appending and
-//! fsyncing the commit record — so a durable `Commit` implies its
-//! `Write`/`Event` records are durable too, never the reverse.
+//! Records are framed into per-log user-space buffers (`LogWriter`,
+//! one buffered write replacing one `write(2)` per record) under an
+//! explicit **flush-before-decision contract**: before a `Commit` or
+//! `CommitGroup` frame reaches the kernel, every shard value buffer and
+//! the history buffer are flushed first. A commit record visible in the
+//! page cache therefore still implies its `Write`/`Event` records are
+//! visible too, so replay stays correct against process death
+//! (`SIGKILL` — the page cache survives), which is what the CI
+//! crash-recovery smoke exercises. Surviving *power loss* additionally
+//! needs [`WalOptions::sync`], which fsyncs the shard value logs and the
+//! history log **before** appending and fsyncing the commit record — so
+//! a durable `Commit` implies its `Write`/`Event` records are durable
+//! too, never the reverse.
+//!
+//! Under [`WalOptions::group_commit`] the per-commit fsync is amortized
+//! by a leader/follower **group committer**: a committing worker
+//! enqueues its decision and parks; the first enqueuer becomes leader,
+//! drains the queue, performs one data-log flush (+fsync under `sync`),
+//! appends the whole batch as one `CommitGroup` frame, issues **one**
+//! decision fsync for the group, then wakes every follower. The
+//! fsync-ordering invariant above is preserved per *group* instead of
+//! per commit.
 
 use crate::store::{Store, WriteError};
 use crate::template::WriteOp;
@@ -81,13 +100,13 @@ use ddlf_model::{EntityId, NodeId, SystemSpec, TransactionSystem, TxnId};
 use ddlf_sim::msg::{codec, frame};
 use ddlf_sim::HistoryEvent;
 use ddlf_telemetry::{Phase, Telemetry};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One log record. See the module docs for the binary layout.
@@ -156,6 +175,25 @@ pub enum WalRecord {
         /// Operation node within the template.
         node: NodeId,
     },
+    /// The durable commit decision for a whole commit group, written as
+    /// one frame by the group-commit leader. Equivalent to one
+    /// [`WalRecord::Commit`] per entry; being a single frame, a torn
+    /// tail drops the group whole — never a partial group.
+    CommitGroup {
+        /// The committed instances, queue order.
+        entries: Vec<GroupEntry>,
+    },
+}
+
+/// One committed instance inside a [`WalRecord::CommitGroup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// Global instance id.
+    pub gid: u32,
+    /// Template index within the registered system.
+    pub template: u32,
+    /// The committing attempt.
+    pub attempt: u32,
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -164,6 +202,7 @@ const TAG_UNDO: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_ABORT: u8 = 5;
 const TAG_EVENT: u8 = 6;
+const TAG_COMMIT_GROUP: u8 = 7;
 
 const OP_ADD: u8 = 0;
 const OP_PUT: u8 = 1;
@@ -299,6 +338,15 @@ impl WalRecord {
                 b.put_u32_le(*attempt);
                 b.put_u32_le(node.0);
             }
+            WalRecord::CommitGroup { entries } => {
+                b.put_u8(TAG_COMMIT_GROUP);
+                b.put_u32_le(u32::try_from(entries.len()).expect("group fits a frame"));
+                for e in entries {
+                    b.put_u32_le(e.gid);
+                    b.put_u32_le(e.template);
+                    b.put_u32_le(e.attempt);
+                }
+            }
         }
         b.freeze()
     }
@@ -339,6 +387,23 @@ impl WalRecord {
                 attempt: codec::get_u32(&mut buf)?,
                 node: NodeId(codec::get_u32(&mut buf)?),
             },
+            TAG_COMMIT_GROUP => {
+                let n = codec::get_u32(&mut buf)? as usize;
+                // Each entry is exactly 12 bytes; bounding up front keeps
+                // a hostile count from pre-allocating unboundedly.
+                if buf.len() < n.checked_mul(12)? {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(GroupEntry {
+                        gid: codec::get_u32(&mut buf)?,
+                        template: codec::get_u32(&mut buf)?,
+                        attempt: codec::get_u32(&mut buf)?,
+                    });
+                }
+                WalRecord::CommitGroup { entries }
+            }
             _ => return None,
         };
         codec::finished(&buf, rec)
@@ -346,19 +411,50 @@ impl WalRecord {
 }
 
 /// WAL tuning.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WalOptions {
     /// Power-loss durability: on every commit, `fsync` the shard value
     /// logs and the history log, *then* append and `fsync` the commit
     /// record — the decision only becomes durable after the writes it
-    /// decides over. Off by default: the per-record `write(2)` already
-    /// survives process death, and the crash model the tests exercise
-    /// is `SIGKILL`, not power loss.
+    /// decides over. Off by default: the flush-before-decision contract
+    /// already survives process death, and the crash model the tests
+    /// exercise is `SIGKILL`, not power loss.
     pub sync: bool,
+    /// Group commit: `Some(max_group)` parks committing workers on a
+    /// shared queue and lets a leader append up to `max_group` decisions
+    /// as one [`WalRecord::CommitGroup`] frame with a single data-log
+    /// flush and a single decision fsync for the whole group. `None`
+    /// (the default) keeps one decision record and fsync per commit.
+    pub group_commit: Option<usize>,
+    /// User-space buffer capacity per log file, in bytes. Frames
+    /// accumulate in the buffer and reach the kernel in one `write(2)`
+    /// when it fills, when a commit flushes (decisions always flush data
+    /// buffers first), or at the end-of-run `Wal::flush_all`. `0` =
+    /// write-through,
+    /// one `write(2)` per record (the pre-buffering behavior).
+    pub buffer: usize,
     /// Observability handle: appends record into the `wal_append`
-    /// histogram and the WAL byte gauge, fsyncs into `fsync`. The
-    /// default disabled handle costs one branch per append.
+    /// histogram and the WAL byte gauge, fsyncs into `fsync`, group
+    /// flushes into the group-size histogram. The default disabled
+    /// handle costs one branch per append.
     pub telemetry: Telemetry,
+}
+
+/// Default buffer capacity per log file (64 KiB).
+pub const DEFAULT_WAL_BUFFER: usize = 64 << 10;
+
+/// Default `max_group` when group commit is requested without a size.
+pub const DEFAULT_MAX_GROUP: usize = 64;
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            sync: false,
+            group_commit: None,
+            buffer: DEFAULT_WAL_BUFFER,
+            telemetry: Telemetry::default(),
+        }
+    }
 }
 
 /// The metadata file a WAL directory starts with: enough to rebuild the
@@ -377,32 +473,129 @@ fn shard_file(k: usize) -> String {
     format!("shard-{k}.wal")
 }
 
+/// A buffered framed appender over one log file: frames accumulate in a
+/// user-space `Vec` and reach the kernel in one `write(2)` when the
+/// buffer crosses `cap` or on an explicit [`LogWriter::flush`]. With
+/// `cap == 0` every frame is written through immediately (the
+/// pre-buffering behavior, kept as the equivalence baseline).
+///
+/// The flush contract callers must uphold: a decision record (`Commit` /
+/// `CommitGroup`) may only be *flushed* after every data buffer (shard
+/// value logs, history log) it decides over has been flushed — the
+/// page-cache ordering replay correctness depends on.
+pub(crate) struct LogWriter {
+    file: File,
+    buf: Vec<u8>,
+    cap: usize,
+}
+
+impl LogWriter {
+    fn new(file: File, cap: usize) -> Self {
+        LogWriter {
+            file,
+            buf: Vec::with_capacity(cap.min(1 << 20)),
+            cap,
+        }
+    }
+
+    /// Appends one frame (buffered, or straight through when `cap == 0`).
+    fn append_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.cap == 0 {
+            return frame::write_frame(&mut self.file, payload);
+        }
+        // Framing into a Vec cannot fail and its `flush` is a no-op; the
+        // kernel write happens below, at most once per cap's worth.
+        frame::write_frame(&mut self.buf, payload)?;
+        if self.buf.len() >= self.cap {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes any buffered frames to the kernel.
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes, then fsyncs the file.
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.file.sync_data()
+    }
+}
+
+/// The group committer: a shared commit queue plus the leader/follower
+/// handoff state. Protocol (see module docs): an enqueuer takes a
+/// ticket; the first unserved enqueuer becomes leader, drains up to
+/// `max_group` tickets FIFO, writes the group durable, then advances
+/// `flushed_seq` past the drained tickets, steps down, and wakes
+/// **every** waiter — unconditionally, so neither a full queue left
+/// behind nor a failed fsync can strand a parked follower.
+struct GroupCommitter {
+    max_group: usize,
+    state: Mutex<GroupState>,
+    wakeup: Condvar,
+}
+
+#[derive(Default)]
+struct GroupState {
+    /// Pending decisions, ticket order; entry `i` holds ticket
+    /// `flushed_seq + i`.
+    queue: Vec<GroupEntry>,
+    /// The next ticket to hand out.
+    next_seq: u64,
+    /// Tickets `< flushed_seq` have been written (or abandoned to a
+    /// poisoned WAL — either way their committer must not wait).
+    flushed_seq: u64,
+    /// Whether a leader is currently writing a group.
+    leader_active: bool,
+}
+
+/// A registered per-shard value-log writer plus its dirty flag (set on
+/// append, cleared by a commit-time sync that covered it) — the `Wal`'s
+/// view of a [`ShardSink`].
+type ShardSinkEntry = (Arc<Mutex<LogWriter>>, Arc<AtomicBool>);
+
 /// The file-backed sink of one engine: the shared decision and history
 /// logs, plus the per-shard value logs the [`Store`] opens through
 /// `Wal::open_shard_log`. Append failures poison the WAL (reported
 /// once on stderr, then dropped) rather than panicking the hot path.
 pub struct Wal {
     dir: PathBuf,
-    commit: Mutex<File>,
-    history: Mutex<File>,
-    /// Clones of the per-shard value-log handles with their dirty flags,
-    /// registered by [`Wal::open_shard_log`]. Kept only under
-    /// [`WalOptions::sync`], where every commit must fsync the data logs
-    /// before the decision record; the flags let a commit skip shard
-    /// logs with nothing new to flush.
-    shard_sinks: Mutex<Vec<(File, Arc<AtomicBool>)>>,
+    commit: Mutex<LogWriter>,
+    history: Mutex<LogWriter>,
+    /// The per-shard value-log writers with their dirty flags,
+    /// registered by [`Wal::open_shard_log`]. Every commit flushes these
+    /// buffers before its decision record reaches the kernel; under
+    /// [`WalOptions::sync`] the dirty flags additionally let the
+    /// commit-time fsync skip shard logs with nothing new since the
+    /// last sync.
+    shard_sinks: Mutex<Vec<ShardSinkEntry>>,
     next_base: AtomicU32,
     sync: bool,
+    buffer: usize,
+    group: Option<GroupCommitter>,
+    /// Group flushes performed (decision frames written by a leader).
+    group_flushes: AtomicU64,
+    /// Commit decisions written through the group path.
+    group_records: AtomicU64,
+    /// Test hook: fails the next decision fsync (see
+    /// [`Wal::inject_fsync_failure`]).
+    inject_fsync_fail: AtomicBool,
     failed: AtomicBool,
     telemetry: Telemetry,
 }
 
-/// A shard's handle on its value log: the append-mode file plus the
-/// dirty flag [`Wal::sync_data_logs`] consults. The flag is set *after*
-/// each append, so whichever committer clears it first is guaranteed to
-/// have started its fsync after the append reached the kernel.
+/// A shard's handle on its value log: the shared buffered writer plus
+/// the dirty flag [`Wal::sync_data_logs`] consults. The flag is set
+/// *after* each append, so whichever committer clears it first is
+/// guaranteed to have started its flush+fsync after the append.
 pub(crate) struct ShardSink {
-    file: File,
+    writer: Arc<Mutex<LogWriter>>,
     dirty: Arc<AtomicBool>,
 }
 
@@ -418,6 +611,45 @@ impl std::fmt::Debug for Wal {
 
 fn append_mode(path: &Path) -> io::Result<File> {
     OpenOptions::new().create(true).append(true).open(path)
+}
+
+/// Builds the shared `Wal` state over an existing directory.
+fn build_wal(dir: PathBuf, next_base: u32, opts: WalOptions) -> io::Result<Arc<Wal>> {
+    // Without a group committer the decision log writes through: a
+    // cap-triggered flush of a buffered Commit could otherwise beat its
+    // (still-buffered) data records to the kernel, breaking the
+    // flush-before-decision contract. The group leader flushes data
+    // explicitly before every decision frame, so group mode may buffer.
+    let commit_cap = if opts.group_commit.is_some() {
+        opts.buffer
+    } else {
+        0
+    };
+    Ok(Arc::new(Wal {
+        commit: Mutex::new(LogWriter::new(
+            append_mode(&dir.join(COMMIT_FILE))?,
+            commit_cap,
+        )),
+        history: Mutex::new(LogWriter::new(
+            append_mode(&dir.join(HISTORY_FILE))?,
+            opts.buffer,
+        )),
+        shard_sinks: Mutex::new(Vec::new()),
+        next_base: AtomicU32::new(next_base),
+        sync: opts.sync,
+        buffer: opts.buffer,
+        group: opts.group_commit.map(|max_group| GroupCommitter {
+            max_group: max_group.max(1),
+            state: Mutex::new(GroupState::default()),
+            wakeup: Condvar::new(),
+        }),
+        group_flushes: AtomicU64::new(0),
+        group_records: AtomicU64::new(0),
+        inject_fsync_fail: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+        telemetry: opts.telemetry,
+        dir,
+    }))
 }
 
 impl Wal {
@@ -465,16 +697,7 @@ impl Wal {
         let json = serde_json::to_string_pretty(&meta)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("meta: {e}")))?;
         std::fs::write(dir.join(META_FILE), json)?;
-        Ok(Arc::new(Wal {
-            commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE))?),
-            history: Mutex::new(append_mode(&dir.join(HISTORY_FILE))?),
-            shard_sinks: Mutex::new(Vec::new()),
-            next_base: AtomicU32::new(0),
-            sync: opts.sync,
-            failed: AtomicBool::new(false),
-            telemetry: opts.telemetry,
-            dir,
-        }))
+        build_wal(dir, 0, opts)
     }
 
     /// Re-opens an existing WAL directory in append mode after a
@@ -491,16 +714,7 @@ impl Wal {
                 format!("{} has no {META_FILE}", dir.display()),
             ));
         }
-        Ok(Arc::new(Wal {
-            commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE))?),
-            history: Mutex::new(append_mode(&dir.join(HISTORY_FILE))?),
-            shard_sinks: Mutex::new(Vec::new()),
-            next_base: AtomicU32::new(next_base),
-            sync: opts.sync,
-            failed: AtomicBool::new(false),
-            telemetry: opts.telemetry,
-            dir,
-        }))
+        build_wal(dir, next_base, opts)
     }
 
     /// The directory this WAL writes to.
@@ -513,25 +727,26 @@ impl Wal {
         self.failed.load(Ordering::Relaxed)
     }
 
-    /// Opens the value log of shard `k` in append mode. Under
-    /// [`WalOptions::sync`] a clone of the handle (with the sink's dirty
-    /// flag) is also registered so [`Wal::log_commit`] can fsync the
-    /// data logs before the decision record.
+    /// Opens the value log of shard `k` in append mode. The buffered
+    /// writer (with the sink's dirty flag) is also registered so
+    /// [`Wal::log_commit`] can flush — and under [`WalOptions::sync`]
+    /// fsync — the data logs before the decision record.
     pub(crate) fn open_shard_log(&self, k: usize) -> io::Result<ShardSink> {
-        let file = append_mode(&self.dir.join(shard_file(k)))?;
+        let writer = Arc::new(Mutex::new(LogWriter::new(
+            append_mode(&self.dir.join(shard_file(k)))?,
+            self.buffer,
+        )));
         let dirty = Arc::new(AtomicBool::new(false));
-        if self.sync {
-            self.shard_sinks
-                .lock()
-                .push((file.try_clone()?, Arc::clone(&dirty)));
-        }
-        Ok(ShardSink { file, dirty })
+        self.shard_sinks
+            .lock()
+            .push((Arc::clone(&writer), Arc::clone(&dirty)));
+        Ok(ShardSink { writer, dirty })
     }
 
     /// Appends one record to a shard's value log, marking the sink dirty
     /// (append first, flag second — see [`ShardSink`]).
     pub(crate) fn append_shard(&self, sink: &mut ShardSink, rec: &WalRecord) {
-        self.append_record(&mut sink.file, rec);
+        self.append_record(&mut sink.writer.lock(), rec);
         if self.sync {
             sink.dirty.store(true, Ordering::SeqCst);
         }
@@ -568,14 +783,15 @@ impl Wal {
         }
     }
 
-    /// Appends one frame to `file`, poisoning the WAL on I/O failure.
-    pub(crate) fn append_record(&self, file: &mut File, rec: &WalRecord) {
+    /// Appends one frame to `w` (buffered), poisoning the WAL on I/O
+    /// failure.
+    pub(crate) fn append_record(&self, w: &mut LogWriter, rec: &WalRecord) {
         if self.failed.load(Ordering::Relaxed) {
             return;
         }
         let body = rec.encode();
         let t0 = self.telemetry.timer();
-        if let Err(e) = frame::write_frame(file, body.as_ref()) {
+        if let Err(e) = w.append_frame(body.as_ref()) {
             self.fail("append", &e);
         }
         self.telemetry.record_since(Phase::WalAppend, t0);
@@ -583,7 +799,24 @@ impl Wal {
         self.telemetry.add_wal_bytes(body.as_ref().len() as u64 + 4);
     }
 
-    fn append_shared(&self, file: &Mutex<File>, rec: &WalRecord, sync: bool) {
+    /// Fsyncs `w` (flushing its buffer first), honoring the injected-
+    /// failure test hook.
+    fn sync_writer(&self, w: &mut LogWriter) -> io::Result<()> {
+        if self.inject_fsync_fail.swap(false, Ordering::SeqCst) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        w.sync_data()
+    }
+
+    /// Test hook: the next decision-record fsync fails with an injected
+    /// error, poisoning the WAL — used to exercise the group committer's
+    /// failure branch (every parked follower must still wake).
+    #[doc(hidden)]
+    pub fn inject_fsync_failure(&self) {
+        self.inject_fsync_fail.store(true, Ordering::SeqCst);
+    }
+
+    fn append_shared(&self, file: &Mutex<LogWriter>, rec: &WalRecord, sync: bool) {
         let mut f = file.lock();
         self.append_record(&mut f, rec);
         if sync && !self.poisoned() {
@@ -591,7 +824,7 @@ impl Wal {
             // the engine reports a durable commit that power loss can
             // still take back.
             let t0 = self.telemetry.timer();
-            if let Err(e) = f.sync_data() {
+            if let Err(e) = self.sync_writer(&mut f) {
                 self.fail("fsync", &e);
             }
             self.telemetry.record_since(Phase::Fsync, t0);
@@ -610,12 +843,40 @@ impl Wal {
         );
     }
 
+    /// Appends the attempt-0 `Begin` records of one admission batch
+    /// under a single decision-log lock acquisition (batched admission's
+    /// amortized counterpart of per-instance [`Wal::log_begin`]).
+    pub(crate) fn log_begin_batch(&self, begins: &[(u32, TxnId)]) {
+        let mut f = self.commit.lock();
+        for &(gid, template) in begins {
+            self.append_record(
+                &mut f,
+                &WalRecord::Begin {
+                    gid,
+                    template: template.0,
+                    attempt: 0,
+                },
+            );
+        }
+    }
+
     pub(crate) fn log_commit(&self, gid: u32, template: TxnId, attempt: u32) {
+        let entry = GroupEntry {
+            gid,
+            template: template.0,
+            attempt,
+        };
+        if let Some(g) = &self.group {
+            return self.group_commit(g, entry);
+        }
         // Durability order: data logs first, the decision record last —
-        // after a power loss a durable Commit must imply that every
-        // Write/Event record it decides over is durable too.
+        // a Commit visible in the page cache (or, under `sync`, durable
+        // after power loss) must imply that every Write/Event record it
+        // decides over is visible (durable) too.
         if self.sync {
             self.sync_data_logs();
+        } else {
+            self.flush_data_logs();
         }
         self.append_shared(
             &self.commit,
@@ -628,14 +889,126 @@ impl Wal {
         );
     }
 
-    /// Fsyncs the *dirty* shard value logs and the history log. The
-    /// committing thread appended its own Write/Event records (and set
-    /// their dirty flags) before calling this, so either this call
-    /// flushes them or a concurrent committer that cleared the flag
-    /// after the append did. Shard logs with nothing new since the last
-    /// flush are skipped — a commit pays per written shard, not per
-    /// shard in the store. Fsync failure poisons the WAL like an append
-    /// failure.
+    /// The group-commit enqueue/park path of [`Wal::log_commit`]: push
+    /// the decision, take a ticket, and either become the leader (first
+    /// unserved enqueuer) or wait for a leader to write it. Returns once
+    /// the decision is durable — or once the WAL is poisoned, in which
+    /// case *every* parked follower is woken with the failure (the
+    /// leader advances `flushed_seq` past its batch and `notify_all`s
+    /// unconditionally, so no wakeup is lost on the error branch).
+    fn group_commit(&self, g: &GroupCommitter, entry: GroupEntry) {
+        let mut st = g.state.lock();
+        let my_seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push(entry);
+        loop {
+            if st.flushed_seq > my_seq || self.poisoned() {
+                return;
+            }
+            if st.leader_active {
+                g.wakeup.wait(&mut st);
+                continue;
+            }
+            // Leader handoff: drain up to max_group tickets FIFO and
+            // write them outside the queue lock, so followers can keep
+            // enqueueing into the next group meanwhile.
+            st.leader_active = true;
+            let take = st.queue.len().min(g.max_group);
+            let batch: Vec<GroupEntry> = st.queue.drain(..take).collect();
+            let first = st.flushed_seq;
+            drop(st);
+            self.flush_group(&batch);
+            st = g.state.lock();
+            st.flushed_seq = first + batch.len() as u64;
+            st.leader_active = false;
+            // notify_all, never notify_one: the batch served many
+            // followers at once, and on a poisoned WAL every waiter —
+            // served or not — must wake to observe the failure.
+            g.wakeup.notify_all();
+        }
+    }
+
+    /// Writes one drained group durable: one data-log flush (+fsync
+    /// under `sync`), one decision frame, one decision fsync. A
+    /// singleton group degenerates to a plain `Commit` record, so
+    /// unbatched and trivially-batched logs stay byte-identical.
+    fn flush_group(&self, batch: &[GroupEntry]) {
+        if batch.is_empty() || self.poisoned() {
+            return;
+        }
+        if self.sync {
+            self.sync_data_logs();
+        } else {
+            self.flush_data_logs();
+        }
+        let rec = match batch {
+            [e] => WalRecord::Commit {
+                gid: e.gid,
+                template: e.template,
+                attempt: e.attempt,
+            },
+            _ => WalRecord::CommitGroup {
+                entries: batch.to_vec(),
+            },
+        };
+        {
+            let mut f = self.commit.lock();
+            self.append_record(&mut f, &rec);
+            if !self.poisoned() {
+                if let Err(e) = f.flush() {
+                    self.fail("append", &e);
+                }
+            }
+            if self.sync && !self.poisoned() {
+                let t0 = self.telemetry.timer();
+                if let Err(e) = self.sync_writer(&mut f) {
+                    self.fail("fsync", &e);
+                }
+                self.telemetry.record_since(Phase::Fsync, t0);
+            }
+        }
+        self.group_flushes.fetch_add(1, Ordering::Relaxed);
+        self.group_records
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.telemetry.record_group_size(batch.len() as u64);
+    }
+
+    /// `(group flushes, decisions written through the group path)` so
+    /// far — mean group size is `records / flushes`. Counted on the
+    /// `Wal` itself (not the telemetry handle) so reports can measure
+    /// amortization with telemetry disabled.
+    pub(crate) fn group_counters(&self) -> (u64, u64) {
+        (
+            self.group_flushes.load(Ordering::Relaxed),
+            self.group_records.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Flushes every data-log buffer (shard value logs, history log) to
+    /// the kernel — the first half of the flush-before-decision
+    /// contract. No fsync.
+    fn flush_data_logs(&self) {
+        if self.poisoned() {
+            return;
+        }
+        for (writer, _) in self.shard_sinks.lock().iter() {
+            if let Err(e) = writer.lock().flush() {
+                self.fail("append", &e);
+            }
+        }
+        if let Err(e) = self.history.lock().flush() {
+            self.fail("append", &e);
+        }
+    }
+
+    /// Flushes **and fsyncs** the *dirty* shard value logs and the
+    /// history log. The committing thread appended its own Write/Event
+    /// records (and set their dirty flags) before calling this, so
+    /// either this call flushes them or a concurrent committer that
+    /// cleared the flag after the append did. Shard logs with nothing
+    /// new since the last sync are skipped — a commit pays per written
+    /// shard, not per shard in the store. Fsync failure poisons the WAL
+    /// like an append failure.
     fn sync_data_logs(&self) {
         if self.poisoned() {
             return;
@@ -643,9 +1016,9 @@ impl Wal {
         // One fsync sample per commit-time data flush (dirty shard logs
         // plus the history log) — the stall a committer actually feels.
         let t0 = self.telemetry.timer();
-        for (file, dirty) in self.shard_sinks.lock().iter() {
+        for (writer, dirty) in self.shard_sinks.lock().iter() {
             if dirty.swap(false, Ordering::SeqCst) {
-                if let Err(e) = file.sync_data() {
+                if let Err(e) = writer.lock().sync_data() {
                     self.fail("fsync", &e);
                 }
             }
@@ -654,6 +1027,21 @@ impl Wal {
             self.fail("fsync", &e);
         }
         self.telemetry.record_since(Phase::Fsync, t0);
+    }
+
+    /// Flushes every buffer to the kernel, data logs first, the decision
+    /// log last — so the on-disk state an immediate crash would leave
+    /// still satisfies the flush-before-decision contract. Called at the
+    /// end of every engine run (and on drop), so a clean shutdown leaves
+    /// nothing in user space.
+    pub(crate) fn flush_all(&self) {
+        self.flush_data_logs();
+        if self.poisoned() {
+            return;
+        }
+        if let Err(e) = self.commit.lock().flush() {
+            self.fail("append", &e);
+        }
     }
 
     pub(crate) fn log_abort(&self, gid: u32, attempt: u32) {
@@ -674,6 +1062,14 @@ impl Wal {
             },
             false,
         );
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best-effort: a cleanly dropped engine leaves no frame stranded
+        // in user space (runs also flush explicitly at their end).
+        self.flush_all();
     }
 }
 
@@ -859,6 +1255,23 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
             WalRecord::Abort { gid, .. } => {
                 aborted += 1;
                 next_base = next_base.max(gid.saturating_add(1));
+            }
+            // A group is one frame, so it is either replayed whole here
+            // or was dropped whole as a torn tail — `read_log` can never
+            // surface a partial group.
+            WalRecord::CommitGroup { entries } => {
+                for e in entries {
+                    if e.template as usize >= system.len() {
+                        return Err(WalError::Record(format!(
+                            "group commit of instance {} names template {}, system has {}",
+                            e.gid,
+                            e.template,
+                            system.len()
+                        )));
+                    }
+                    committed.insert(e.gid, (TxnId(e.template), e.attempt));
+                    next_base = next_base.max(e.gid.saturating_add(1));
+                }
             }
             other => {
                 return Err(WalError::Record(format!(
@@ -1065,18 +1478,19 @@ mod tests {
         dir
     }
 
+    fn bare_wal_with(tag: &str, base: u32, opts: WalOptions) -> Arc<Wal> {
+        build_wal(unit_dir(tag), base, opts).unwrap()
+    }
+
     fn bare_wal(tag: &str, base: u32) -> Arc<Wal> {
-        let dir = unit_dir(tag);
-        Arc::new(Wal {
-            commit: Mutex::new(append_mode(&dir.join(COMMIT_FILE)).unwrap()),
-            history: Mutex::new(append_mode(&dir.join(HISTORY_FILE)).unwrap()),
-            shard_sinks: Mutex::new(Vec::new()),
-            next_base: AtomicU32::new(base),
-            sync: false,
-            failed: AtomicBool::new(false),
-            telemetry: Telemetry::disabled(),
-            dir,
-        })
+        bare_wal_with(
+            tag,
+            base,
+            WalOptions {
+                buffer: 0,
+                ..WalOptions::default()
+            },
+        )
     }
 
     #[test]
@@ -1138,6 +1552,157 @@ mod tests {
         let recs = read_log(&path, &mut torn).unwrap();
         assert_eq!(recs.len(), 1, "the complete record survives");
         assert_eq!(torn, 1);
+    }
+
+    #[test]
+    fn commit_group_roundtrips() {
+        roundtrip(WalRecord::CommitGroup {
+            entries: vec![
+                GroupEntry {
+                    gid: 0,
+                    template: 1,
+                    attempt: 0,
+                },
+                GroupEntry {
+                    gid: u32::MAX,
+                    template: 0,
+                    attempt: 7,
+                },
+            ],
+        });
+        roundtrip(WalRecord::CommitGroup { entries: vec![] });
+        // A hostile entry count on a short buffer must reject, not
+        // pre-allocate.
+        let mut b = BytesMut::new();
+        b.put_u8(TAG_COMMIT_GROUP);
+        b.put_u32_le(u32::MAX);
+        assert_eq!(WalRecord::decode(b.freeze()), None);
+    }
+
+    fn decisions_of(wal_dir: &Path) -> Vec<WalRecord> {
+        let mut torn = 0;
+        let recs = read_log(&wal_dir.join(COMMIT_FILE), &mut torn).unwrap();
+        assert_eq!(torn, 0);
+        recs
+    }
+
+    #[test]
+    fn group_commit_writes_every_decision_and_amortizes_flushes() {
+        let w = bare_wal_with(
+            "group-basic",
+            0,
+            WalOptions {
+                group_commit: Some(8),
+                ..WalOptions::default()
+            },
+        );
+        let n = 32u32;
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let w = Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..n / 4 {
+                        w.log_commit(t * (n / 4) + i, TxnId(0), 0);
+                    }
+                });
+            }
+        });
+        assert!(!w.poisoned());
+        w.flush_all();
+        let mut committed = std::collections::HashSet::new();
+        for rec in decisions_of(w.dir()) {
+            match rec {
+                WalRecord::Commit { gid, .. } => {
+                    committed.insert(gid);
+                }
+                WalRecord::CommitGroup { entries } => {
+                    assert!(entries.len() >= 2, "multi-entry frames only");
+                    assert!(entries.len() <= 8, "max_group respected");
+                    committed.extend(entries.iter().map(|e| e.gid));
+                }
+                other => panic!("unexpected decision record {other:?}"),
+            }
+        }
+        assert_eq!(committed.len(), n as usize, "every decision durable");
+        let (flushes, records) = w.group_counters();
+        assert_eq!(records, n as u64);
+        assert!(flushes <= records, "flushes never exceed decisions");
+    }
+
+    #[test]
+    fn singleton_group_degenerates_to_a_plain_commit_record() {
+        let w = bare_wal_with(
+            "group-single",
+            0,
+            WalOptions {
+                group_commit: Some(DEFAULT_MAX_GROUP),
+                ..WalOptions::default()
+            },
+        );
+        w.log_commit(3, TxnId(1), 2);
+        w.flush_all();
+        assert_eq!(
+            decisions_of(w.dir()),
+            vec![WalRecord::Commit {
+                gid: 3,
+                template: 1,
+                attempt: 2,
+            }]
+        );
+        assert_eq!(w.group_counters(), (1, 1));
+    }
+
+    #[test]
+    fn injected_fsync_failure_wakes_every_parked_follower() {
+        let w = bare_wal_with(
+            "group-poison",
+            0,
+            WalOptions {
+                sync: true,
+                group_commit: Some(64),
+                ..WalOptions::default()
+            },
+        );
+        w.inject_fsync_failure();
+        // Every committer must return — the failure branch advances the
+        // queue and wakes all followers; a lost wakeup here hangs the
+        // test (caught by the harness timeout).
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let w = Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..4 {
+                        w.log_commit(t * 4 + i, TxnId(0), 0);
+                    }
+                });
+            }
+        });
+        assert!(w.poisoned(), "a failed group fsync must poison the WAL");
+    }
+
+    #[test]
+    fn buffered_writer_flushes_on_cap_and_on_demand() {
+        let dir = unit_dir("bufcap");
+        let path = dir.join("log.wal");
+        let mut w = LogWriter::new(append_mode(&path).unwrap(), 32);
+        let rec = WalRecord::Abort { gid: 9, attempt: 1 }.encode();
+        w.append_frame(rec.as_ref()).unwrap();
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            0,
+            "small frame stays buffered"
+        );
+        for _ in 0..4 {
+            w.append_frame(rec.as_ref()).unwrap();
+        }
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 0,
+            "crossing cap flushes"
+        );
+        w.flush().unwrap();
+        let mut torn = 0;
+        assert_eq!(read_log(&path, &mut torn).unwrap().len(), 5);
+        assert_eq!(torn, 0);
     }
 
     #[test]

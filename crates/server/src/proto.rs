@@ -460,6 +460,12 @@ pub struct StatsSnapshot {
     pub trace_captured: u64,
     /// Trace events evicted because the ring was full.
     pub trace_dropped: u64,
+    /// Decision-log flush groups written by the WAL's group committer
+    /// (each is one data-log flush and at most one fsync).
+    pub group_flushes: u64,
+    /// Commit decisions written through the group committer;
+    /// `group_commits / group_flushes` is the mean group size.
+    pub group_commits: u64,
     /// Per-phase latency digests, [`ddlf_engine::Phase::ALL`] order
     /// (empty when the server runs with telemetry disabled).
     pub phases: Vec<PhaseStat>,
@@ -505,6 +511,8 @@ impl StatsSnapshot {
             wal_bytes: s.wal_bytes,
             trace_captured: s.trace_captured,
             trace_dropped: s.trace_dropped,
+            group_flushes: s.group_size.count,
+            group_commits: s.group_size.sum,
             phases,
             templates: s
                 .templates
@@ -534,6 +542,8 @@ impl StatsSnapshot {
             self.wal_bytes,
             self.trace_captured,
             self.trace_dropped,
+            self.group_flushes,
+            self.group_commits,
         ] {
             b.put_u64_le(v);
         }
@@ -555,6 +565,8 @@ impl StatsSnapshot {
         let wal_bytes = get_u64(b)?;
         let trace_captured = get_u64(b)?;
         let trace_dropped = get_u64(b)?;
+        let group_flushes = get_u64(b)?;
+        let group_commits = get_u64(b)?;
         let np = get_u32(b)? as usize;
         // A PhaseStat is ≥ 52 bytes (4-byte name length + six u64s);
         // bounding up front keeps a hostile count from pre-allocating
@@ -582,6 +594,8 @@ impl StatsSnapshot {
             wal_bytes,
             trace_captured,
             trace_dropped,
+            group_flushes,
+            group_commits,
             phases,
             templates,
         })
@@ -788,6 +802,8 @@ mod tests {
             wal_bytes: 1 << 30,
             trace_captured: 512,
             trace_dropped: 7,
+            group_flushes: 125,
+            group_commits: 4_000,
             phases: vec![
                 PhaseStat {
                     name: "lock_wait".into(),
@@ -842,7 +858,7 @@ mod tests {
         // A Stats reply claiming 4 billion phases on a short buffer.
         let mut b = BytesMut::new();
         b.put_u8(RESP_STATS);
-        for _ in 0..7 {
+        for _ in 0..9 {
             b.put_u64_le(0);
         }
         b.put_u32_le(u32::MAX);
@@ -851,7 +867,7 @@ mod tests {
         // Zero phases but a hostile template count.
         let mut b = BytesMut::new();
         b.put_u8(RESP_STATS);
-        for _ in 0..7 {
+        for _ in 0..9 {
             b.put_u64_le(0);
         }
         b.put_u32_le(0);

@@ -51,7 +51,17 @@ impl Default for ServeConfig {
         Self {
             threads: 4,
             default_inflate: InflateSpec::None,
-            engine: EngineConfig::default(),
+            // Wire submissions default to batched admission: a Submit's
+            // instances arrive as one pre-declared block, so chunked
+            // admission (one gate acquisition + one Begin append per
+            // chunk) cuts the per-instance critical sections that made
+            // submit-over-TCP measurably slower than a direct
+            // `Engine::run` of the same workload. `ddlf-audit run` keeps
+            // batch = 1 unless asked (`--admission-batch`).
+            engine: EngineConfig {
+                admission_batch: 16,
+                ..EngineConfig::default()
+            },
             wal_dir: None,
         }
     }

@@ -59,6 +59,8 @@ fn stats_snapshot_of(fields: &[u64], rows: &[(Vec<u8>, u64, bool)]) -> StatsSnap
         wal_bytes: fields[4],
         trace_captured: fields[5],
         trace_dropped: fields[6],
+        group_flushes: fields[7],
+        group_commits: fields[8],
         phases: rows
             .iter()
             .map(|(name, v, _)| PhaseStat {

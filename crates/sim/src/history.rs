@@ -203,6 +203,34 @@ impl SharedHistory {
         history.record(ev);
     }
 
+    /// Appends a batch of events for one `(txn, attempt)` under a
+    /// *single* timestamp critical section, stamping them with
+    /// consecutive logical times (and feeding each to the sink, in
+    /// order, from inside the lock). Equivalent to calling
+    /// [`record`](Self::record) once per node back to back with no
+    /// interleaving — callers batch events whose relative order against
+    /// other transactions is already fixed (e.g. lock grants the caller
+    /// still holds), amortizing the per-event lock acquisition.
+    pub fn record_batch(&self, txn: TxnId, attempt: u32, nodes: &[NodeId]) {
+        if nodes.is_empty() {
+            return;
+        }
+        let mut history = self.history.lock();
+        for &node in nodes {
+            let t = history.len() as u64;
+            let ev = HistoryEvent {
+                time: SimTime(t),
+                txn,
+                attempt,
+                node,
+            };
+            if let Some(sink) = &self.sink {
+                sink(&ev);
+            }
+            history.record(ev);
+        }
+    }
+
     /// Locks and exposes the history (audits, length checks).
     pub fn lock(&self) -> parking_lot::MutexGuard<'_, History> {
         self.history.lock()
@@ -316,6 +344,36 @@ mod tests {
         let committed = vec![Some(1), Some(0)];
         assert_eq!(streaming, history.audit(&sys, &committed).ok());
         assert_eq!(streaming, Some(true));
+    }
+
+    #[test]
+    fn record_batch_matches_back_to_back_records() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let shared = SharedHistory::with_sink(Box::new(move |ev: &HistoryEvent| {
+            seen2.lock().push(*ev);
+        }));
+        shared.record(TxnId(1), 0, NodeId(7));
+        shared.record_batch(TxnId(0), 2, &[NodeId(0), NodeId(1), NodeId(2)]);
+        shared.record_batch(TxnId(0), 2, &[]);
+        let history = shared.into_inner();
+        assert_eq!(history.len(), 4);
+        let times: Vec<u64> = history.events().iter().map(|e| e.time.0).collect();
+        assert_eq!(times, vec![0, 1, 2, 3]);
+        assert_eq!(
+            history.events()[1..]
+                .iter()
+                .map(|e| (e.txn, e.attempt, e.node))
+                .collect::<Vec<_>>(),
+            vec![
+                (TxnId(0), 2, NodeId(0)),
+                (TxnId(0), 2, NodeId(1)),
+                (TxnId(0), 2, NodeId(2)),
+            ]
+        );
+        // The sink saw every batched event, in timestamp order, from
+        // inside the critical section.
+        assert_eq!(&*seen.lock(), history.events());
     }
 
     #[test]

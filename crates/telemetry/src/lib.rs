@@ -238,6 +238,12 @@ pub struct TelemetrySnapshot {
     pub trace_captured: u64,
     /// Trace events evicted because the ring was full.
     pub trace_dropped: u64,
+    /// Group-commit flush sizes: one sample per decision frame the
+    /// group-commit leader writes, valued at the number of commit
+    /// decisions in the frame. `count` = group flushes, `sum` = commits
+    /// written through the group path, so `sum / count` is the mean
+    /// group size and amortization is observable rather than inferred.
+    pub group_size: HistogramSnapshot,
     /// All seven phase histograms (cumulative since handle creation).
     pub phases: PhaseSnapshot,
     /// Per-template outcome counters.
@@ -271,6 +277,7 @@ struct Inner {
     cfg: TelemetryConfig,
     epoch: Instant,
     phases: [Histogram; 7],
+    group_size: Histogram,
     templates: Mutex<Arc<TemplateTable>>,
     inflight: AtomicI64,
     auditor_nodes: AtomicU64,
@@ -302,6 +309,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
                 phases: std::array::from_fn(|_| Histogram::new()),
+                group_size: Histogram::new(),
                 templates: Mutex::new(Arc::new(TemplateTable::default())),
                 inflight: AtomicI64::new(0),
                 auditor_nodes: AtomicU64::new(0),
@@ -405,6 +413,15 @@ impl Telemetry {
         }
     }
 
+    /// Records one group-commit flush of `n` commit decisions into the
+    /// group-size histogram (see [`TelemetrySnapshot::group_size`]).
+    #[inline]
+    pub fn record_group_size(&self, n: u64) {
+        if let Some(i) = self.hist() {
+            i.group_size.record(n);
+        }
+    }
+
     /// Whether instance `gid` is trace-sampled. False when tracing is
     /// off; rate 1 samples everything. Callers cache this per instance.
     #[inline]
@@ -469,6 +486,7 @@ impl Telemetry {
             wal_bytes: i.wal_bytes.load(Ordering::Relaxed),
             trace_captured: i.trace.len() as u64,
             trace_dropped: i.trace.dropped(),
+            group_size: i.group_size.snapshot(),
             phases: self.phase_snapshot(),
             templates: self.template_table().map(|t| t.rows()).unwrap_or_default(),
         }
@@ -568,6 +586,22 @@ mod tests {
         assert_eq!(s.auditor_nodes, 12);
         assert_eq!(s.auditor_arcs, 34);
         assert_eq!(s.wal_bytes, 128);
+    }
+
+    #[test]
+    fn group_size_histogram_counts_flushes_and_decisions() {
+        let t = Telemetry::enabled();
+        t.record_group_size(1);
+        t.record_group_size(8);
+        t.record_group_size(3);
+        let g = t.snapshot().group_size;
+        assert_eq!(g.count, 3, "one sample per flush");
+        assert_eq!(g.sum, 12, "sum counts decisions");
+        assert_eq!(g.max, 8);
+        // Disabled handle records nothing.
+        let off = Telemetry::disabled();
+        off.record_group_size(5);
+        assert_eq!(off.snapshot().group_size.count, 0);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! ```text
 //! ddlf-audit certify  system.json          # Theorems 3/4: safe + deadlock-free?
 //! ddlf-audit deadlock system.json          # exhaustive deadlock search (small systems)
+//! ddlf-audit explore  system.json [--txns N] [--budget S] [--seed K] [--json]
+//!                     [--expect-counterexample] [--trace-out FILE] [--no-prune] [--no-replay]
 //! ddlf-audit simulate system.json [--policy detect|wound-wait|wait-die|nothing] [--seeds N]
 //! ddlf-audit run      system.json [--txns N] [--threads K] [--inflate k|auto] [--force-fallback]
 //!                     [--wal DIR] [--wal-sync] [--group-commit[=MAX]] [--admission-batch N]
@@ -28,6 +30,17 @@
 //! audit: nonzero unless every instance committed **and** the committed
 //! history audited serializable (`D(S)` said yes, not merely "no abort
 //! was seen").
+//!
+//! `explore` systematically enumerates the interleavings of the spec
+//! (optionally `--txns N` round-robin instances of it) with DFS +
+//! sleep-set pruning, validates every complete schedule with the batch
+//! `D(S)` audit, and replays each counterexample through the engine's
+//! store and wait-die path to confirm it reproduces. Exit codes are the
+//! CI contract: 0 = pruned space exhausted with no counterexample, 1 =
+//! counterexample found (`--trace-out` writes it as JSON lines and the
+//! path is printed), 2 = budget ran out or the replay disagreed.
+//! `--expect-counterexample` flips 0/1 — the anomaly-fixture mode, where
+//! *failing to find* the anomaly is the regression.
 //!
 //! `run --wal DIR` writes every store write, commit decision, and
 //! history event to a write-ahead log; `recover` replays such a
@@ -87,6 +100,34 @@ pub enum Command {
     Deadlock {
         /// Path to the spec JSON.
         spec: String,
+    },
+    /// `explore <spec> [--txns N] [--budget S] [--seed K] [--json]
+    /// [--expect-counterexample] [--trace-out FILE] [--no-prune] [--no-replay]`
+    Explore {
+        /// Path to the spec JSON.
+        spec: String,
+        /// Explore this many instances (round-robin copies of the spec's
+        /// transactions, renamed `name#i`). Default: the system exactly
+        /// as written.
+        txns: Option<usize>,
+        /// Step budget for the search; exceeding it exits 2
+        /// (inconclusive), never 0.
+        budget: u64,
+        /// Permutes the order sibling steps are tried (0 = canonical).
+        /// The explored space is identical for every seed.
+        seed: u64,
+        /// Emit the outcome as one JSON object on stdout.
+        json: bool,
+        /// Invert the exit-code contract: succeed (0) iff a
+        /// counterexample is found — the anomaly fixtures' CI mode.
+        expect_counterexample: bool,
+        /// Append each counterexample as one JSON line to this file
+        /// (parent directories are created).
+        trace_out: Option<String>,
+        /// Disable sleep-set pruning: enumerate every interleaving.
+        no_prune: bool,
+        /// Skip replaying counterexamples through the engine store.
+        no_replay: bool,
     },
     /// `simulate <spec> [--policy P] [--seeds N]`
     Simulate {
@@ -254,6 +295,62 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "certify" => Ok(Command::Certify { spec }),
         "deadlock" => Ok(Command::Deadlock { spec }),
         "dot" => Ok(Command::Dot { spec }),
+        "explore" => {
+            let mut txns = None;
+            let mut budget = 1_000_000u64;
+            let mut seed = 0u64;
+            let mut json = false;
+            let mut expect_counterexample = false;
+            let mut trace_out = None;
+            let mut no_prune = false;
+            let mut no_replay = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--txns" => {
+                        let n: usize = parse_value(&rest, &mut i, "--txns")?;
+                        if n == 0 {
+                            return Err("bad --txns: must be ≥ 1".to_string());
+                        }
+                        txns = Some(n);
+                    }
+                    "--budget" => budget = parse_value(&rest, &mut i, "--budget")?,
+                    "--seed" => seed = parse_value(&rest, &mut i, "--seed")?,
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--expect-counterexample" => {
+                        expect_counterexample = true;
+                        i += 1;
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(take_value(&rest, &mut i, "--trace-out")?.to_string());
+                    }
+                    "--no-prune" => {
+                        no_prune = true;
+                        i += 1;
+                    }
+                    "--no-replay" => {
+                        no_replay = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Explore {
+                spec,
+                txns,
+                budget,
+                seed,
+                json,
+                expect_counterexample,
+                trace_out,
+                no_prune,
+                no_replay,
+            })
+        }
         "simulate" => {
             let mut policy = "detect".to_string();
             let mut seeds = 10u64;
@@ -534,6 +631,8 @@ fn usage() -> String {
      [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--work USEC] [--wal DIR] \
      [--wal-sync] [--group-commit[=MAX]] [--admission-batch N] [--json] [--no-telemetry] \
      [--trace-sample N] [--trace-out FILE]\n\
+     \x20      ddlf-audit explore <system.json> [--txns N] [--budget S] [--seed K] [--json] \
+     [--expect-counterexample] [--trace-out FILE] [--no-prune] [--no-replay]\n\
      \x20      ddlf-audit recover <wal-dir> [--expect-total N] [--json]\n\
      \x20      ddlf-audit serve <addr> [--threads K] [--inflate k|auto] [--wal DIR] \
      [--wal-sync] [--group-commit[=MAX]] [--admission-batch N] [--no-telemetry]\n\
@@ -591,6 +690,86 @@ fn jobj(pairs: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
 
 fn ju(n: u64) -> serde_json::Value {
     serde_json::Value::U64(n)
+}
+
+/// One explorer counterexample as a self-contained JSON object — the
+/// line format of `explore --trace-out` (names resolved against the
+/// explored system, so a trace is readable without the spec).
+fn counterexample_json(
+    sys: &TransactionSystem,
+    ce: &ddlf_model::Counterexample,
+    rep: Option<&ddlf_engine::ReplayReport>,
+) -> serde_json::Value {
+    use serde_json::Value;
+    let tname = |t: ddlf_model::TxnId| Value::Str(sys.txn(t).name().to_string());
+    let ename = |e: ddlf_model::EntityId| Value::Str(sys.db().name_of(e).to_string());
+    jobj(vec![
+        ("kind", Value::Str(ce.kind.name().to_string())),
+        (
+            "cycle",
+            Value::Arr(ce.cycle.iter().map(|&t| tname(t)).collect()),
+        ),
+        (
+            "cycle_entities",
+            Value::Arr(ce.cycle_entities.iter().map(|&e| ename(e)).collect()),
+        ),
+        (
+            "stuck",
+            Value::Arr(ce.stuck.iter().map(|&t| tname(t)).collect()),
+        ),
+        (
+            "waits_for",
+            Value::Arr(
+                ce.waits_for
+                    .iter()
+                    .map(|w| {
+                        jobj(vec![
+                            ("waiter", tname(w.waiter)),
+                            ("entity", ename(w.entity)),
+                            ("holder", tname(w.holder)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "steps",
+            Value::Arr(
+                ce.steps
+                    .iter()
+                    .map(|g| {
+                        let t = sys.txn(g.txn);
+                        let op = t.op(g.node);
+                        jobj(vec![
+                            ("txn", ju(u64::from(g.txn.0))),
+                            ("name", Value::Str(t.name().to_string())),
+                            (
+                                "op",
+                                Value::Str(if op.is_lock() { "L" } else { "U" }.to_string()),
+                            ),
+                            ("entity", ename(op.entity)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "replay",
+            match rep {
+                None => Value::Null,
+                Some(r) => jobj(vec![
+                    ("committed", ju(r.committed as u64)),
+                    ("instances", ju(r.instances as u64)),
+                    ("aborts", ju(u64::from(r.aborts))),
+                    ("rolled_back", ju(u64::from(r.rolled_back))),
+                    (
+                        "serializable",
+                        r.serializable.map_or(Value::Null, Value::Bool),
+                    ),
+                ]),
+            },
+        ),
+    ])
 }
 
 /// Renders a run's per-phase histograms as a JSON object keyed by phase
@@ -1251,6 +1430,250 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                 ),
             }
         }
+        Command::Explore {
+            txns,
+            budget,
+            seed,
+            json,
+            expect_counterexample,
+            trace_out,
+            no_prune,
+            no_replay,
+            ..
+        } => {
+            let instanced;
+            let sys = match txns {
+                Some(n) => match ddlf_model::instances_of(sys, *n) {
+                    Ok(s) => {
+                        instanced = s;
+                        &instanced
+                    }
+                    Err(e) => return (format!("bad --txns: {e}\n"), 2),
+                },
+                None => sys,
+            };
+            let cfg = ddlf_model::ExploreConfig {
+                max_steps: *budget,
+                seed: *seed,
+                sleep_sets: !*no_prune,
+                ..Default::default()
+            };
+            let found = ddlf_model::explore(sys, &cfg);
+
+            // Replay each counterexample through the real store +
+            // streaming audit before reporting it: a cycle witness must
+            // reproduce the non-serializable verdict end to end, and a
+            // deadlock witness must be unjammed by wait-die (aborts ≥ 1,
+            // everyone commits, history serializable). The engine
+            // disagreeing with the model is the worst possible outcome —
+            // exit 2, never a clean pass.
+            let mut replays: Vec<Option<ddlf_engine::ReplayReport>> = Vec::new();
+            for ce in &found.counterexamples {
+                if *no_replay {
+                    replays.push(None);
+                    continue;
+                }
+                match ddlf_engine::replay_schedule(sys, &ce.steps) {
+                    Ok(rep) => {
+                        let reproduced = match ce.kind {
+                            ddlf_model::AnomalyKind::Deadlock => {
+                                rep.aborts >= 1
+                                    && rep.committed == rep.instances
+                                    && rep.serializable == Some(true)
+                            }
+                            _ => rep.serializable == Some(false),
+                        };
+                        if !reproduced {
+                            return (
+                                format!(
+                                    "replay mismatch: {} witness did not reproduce in the \
+                                     engine (committed {}/{}, aborts {}, serializable {:?})\n",
+                                    ce.kind,
+                                    rep.committed,
+                                    rep.instances,
+                                    rep.aborts,
+                                    rep.serializable
+                                ),
+                                2,
+                            );
+                        }
+                        replays.push(Some(rep));
+                    }
+                    Err(e) => return (format!("replay failed: {e}\n"), 2),
+                }
+            }
+
+            // JSONL witness file: one self-contained line per
+            // counterexample, replayable via `ddlf_engine::replay_schedule`.
+            let mut trace_note = None;
+            if let Some(path) = trace_out {
+                if !found.counterexamples.is_empty() {
+                    let lines: String = found
+                        .counterexamples
+                        .iter()
+                        .zip(&replays)
+                        .map(|(ce, rep)| {
+                            let obj = counterexample_json(sys, ce, rep.as_ref());
+                            format!("{}\n", serde_json::to_string(&obj).unwrap())
+                        })
+                        .collect();
+                    if let Some(parent) = std::path::Path::new(path).parent() {
+                        if !parent.as_os_str().is_empty() {
+                            let _ = std::fs::create_dir_all(parent);
+                        }
+                    }
+                    if let Err(e) = std::fs::write(path, lines) {
+                        return (format!("cannot write trace to {path}: {e}\n"), 2);
+                    }
+                    trace_note = Some(path.clone());
+                }
+            }
+
+            let has_ce = !found.counterexamples.is_empty();
+            let code = if *expect_counterexample {
+                // Anomaly-fixture mode: the counterexample is the point.
+                if has_ce {
+                    0
+                } else if found.exhausted {
+                    1
+                } else {
+                    2
+                }
+            } else if has_ce {
+                1
+            } else if found.exhausted {
+                0
+            } else {
+                2
+            };
+
+            if *json {
+                use serde_json::Value;
+                let obj = jobj(vec![
+                    ("transactions", ju(sys.len() as u64)),
+                    ("entities", ju(sys.db().entity_count() as u64)),
+                    ("pruning", Value::Bool(cfg.sleep_sets)),
+                    ("budget", ju(*budget)),
+                    ("seed", ju(*seed)),
+                    ("steps", ju(found.stats.steps)),
+                    ("complete_schedules", ju(found.stats.complete_schedules)),
+                    ("deadlocks", ju(found.stats.deadlocks)),
+                    ("cyclic_schedules", ju(found.stats.cyclic_schedules)),
+                    ("sleep_skips", ju(found.stats.sleep_skips)),
+                    ("exhausted", Value::Bool(found.exhausted)),
+                    (
+                        "counterexamples",
+                        Value::Arr(
+                            found
+                                .counterexamples
+                                .iter()
+                                .zip(&replays)
+                                .map(|(ce, rep)| counterexample_json(sys, ce, rep.as_ref()))
+                                .collect(),
+                        ),
+                    ),
+                    ("trace_path", trace_note.map_or(Value::Null, Value::Str)),
+                    ("expect_counterexample", Value::Bool(*expect_counterexample)),
+                    ("ok", Value::Bool(code == 0)),
+                ]);
+                return (format!("{}\n", serde_json::to_string(&obj).unwrap()), code);
+            }
+
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "explore: {} transactions, {} entities, pruning {}",
+                sys.len(),
+                sys.db().entity_count(),
+                if cfg.sleep_sets { "on" } else { "off" }
+            );
+            let _ = writeln!(
+                out,
+                "explored: {} steps, {} complete schedules, {} deadlock states, \
+                 {} cyclic schedules, {} sleep-set skips",
+                found.stats.steps,
+                found.stats.complete_schedules,
+                found.stats.deadlocks,
+                found.stats.cyclic_schedules,
+                found.stats.sleep_skips
+            );
+            for (i, (ce, rep)) in found.counterexamples.iter().zip(&replays).enumerate() {
+                let _ = writeln!(out, "counterexample {i}: {}", ce.kind);
+                let _ = write!(out, "  schedule:");
+                for g in &ce.steps {
+                    let t = sys.txn(g.txn);
+                    let op = t.op(g.node);
+                    let _ = write!(
+                        out,
+                        " {}.{}{}",
+                        t.name(),
+                        if op.is_lock() { "L" } else { "U" },
+                        sys.db().name_of(op.entity)
+                    );
+                }
+                let _ = writeln!(out);
+                if !ce.cycle.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  D(S) cycle: {} via [{}]",
+                        ce.cycle
+                            .iter()
+                            .map(|&t| sys.txn(t).name().to_string())
+                            .collect::<Vec<_>>()
+                            .join(" → "),
+                        ce.cycle_entities
+                            .iter()
+                            .map(|&e| sys.db().name_of(e).to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+                for w in &ce.waits_for {
+                    let _ = writeln!(
+                        out,
+                        "  wait: {} waits for {} held by {}",
+                        sys.txn(w.waiter).name(),
+                        sys.db().name_of(w.entity),
+                        sys.txn(w.holder).name()
+                    );
+                }
+                if let Some(r) = rep {
+                    let _ = writeln!(
+                        out,
+                        "  replay: committed {}/{}, aborts {}, rolled back {}, \
+                         serializable {:?} — reproduced",
+                        r.committed, r.instances, r.aborts, r.rolled_back, r.serializable
+                    );
+                }
+            }
+            if let Some(p) = &trace_note {
+                let _ = writeln!(
+                    out,
+                    "trace: {} witness(es) written to {p}",
+                    found.counterexamples.len()
+                );
+            }
+            let verdict = match (code, *expect_counterexample) {
+                (0, false) => {
+                    "CLEAN: pruned schedule space exhausted, no D(S) cycle or deadlock".to_string()
+                }
+                (0, true) => format!(
+                    "ANOMALY CONFIRMED: {} counterexample(s), as expected",
+                    found.counterexamples.len()
+                ),
+                (1, false) => format!(
+                    "COUNTEREXAMPLE: {} witness(es) found",
+                    found.counterexamples.len()
+                ),
+                (1, true) => {
+                    "UNEXPECTEDLY CLEAN: space exhausted without the expected counterexample"
+                        .to_string()
+                }
+                _ => format!("INCONCLUSIVE: step budget ({budget}) exhausted"),
+            };
+            let _ = writeln!(out, "{verdict}");
+            (out, code)
+        }
         Command::Simulate { policy, seeds, .. } => {
             let p = match policy.as_str() {
                 "nothing" => DeadlockPolicy::Nothing,
@@ -1443,6 +1866,167 @@ mod tests {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&["bogus".into(), "f".into()]).is_err());
         assert!(parse_args(&["simulate".into(), "f".into(), "--what".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_explore() {
+        let c = parse_args(&[
+            "explore".into(),
+            "f.json".into(),
+            "--txns".into(),
+            "4".into(),
+            "--budget".into(),
+            "5000".into(),
+            "--seed".into(),
+            "7".into(),
+            "--expect-counterexample".into(),
+            "--trace-out".into(),
+            "t.jsonl".into(),
+            "--no-prune".into(),
+            "--no-replay".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Explore {
+                spec: "f.json".into(),
+                txns: Some(4),
+                budget: 5000,
+                seed: 7,
+                json: true,
+                expect_counterexample: true,
+                trace_out: Some("t.jsonl".into()),
+                no_prune: true,
+                no_replay: true,
+            }
+        );
+        assert!(parse_args(&["explore".into(), "f".into(), "--txns".into(), "0".into()]).is_err());
+        assert!(parse_args(&["explore".into(), "f".into(), "--bogus".into()]).is_err());
+    }
+
+    fn explore_cmd() -> Command {
+        Command::Explore {
+            spec: String::new(),
+            txns: None,
+            budget: 1_000_000,
+            seed: 0,
+            json: false,
+            expect_counterexample: false,
+            trace_out: None,
+            no_prune: false,
+            no_replay: false,
+        }
+    }
+
+    #[test]
+    fn explore_certified_is_clean() {
+        let sys = load_system(SPEC).unwrap();
+        let (out, code) = execute(&explore_cmd(), &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("CLEAN"), "{out}");
+    }
+
+    #[test]
+    fn explore_deadlocky_finds_and_replays_witnesses() {
+        let sys = load_system(DEADLOCKY).unwrap();
+        let dir = std::env::temp_dir().join(format!("ddlf-explore-{}", std::process::id()));
+        let path = dir.join("trace.jsonl").to_string_lossy().into_owned();
+        let cmd = match explore_cmd() {
+            Command::Explore {
+                spec,
+                txns,
+                budget,
+                seed,
+                json,
+                no_prune,
+                no_replay,
+                ..
+            } => Command::Explore {
+                spec,
+                txns,
+                budget,
+                seed,
+                json,
+                no_prune,
+                no_replay,
+                expect_counterexample: true,
+                trace_out: Some(path.clone()),
+            },
+            _ => unreachable!(),
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ANOMALY CONFIRMED"), "{out}");
+        assert!(out.contains("reproduced"), "{out}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.lines().count() >= 1);
+        assert!(trace.contains("\"kind\""), "{trace}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explore_clean_system_fails_expectation_with_exit_1() {
+        let sys = load_system(SPEC).unwrap();
+        let cmd = match explore_cmd() {
+            Command::Explore {
+                spec,
+                txns,
+                budget,
+                seed,
+                json,
+                trace_out,
+                no_prune,
+                no_replay,
+                ..
+            } => Command::Explore {
+                spec,
+                txns,
+                budget,
+                seed,
+                json,
+                trace_out,
+                no_prune,
+                no_replay,
+                expect_counterexample: true,
+            },
+            _ => unreachable!(),
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("UNEXPECTEDLY CLEAN"), "{out}");
+    }
+
+    #[test]
+    fn explore_budget_truncation_is_inconclusive() {
+        let sys = load_system(SPEC).unwrap();
+        let cmd = match explore_cmd() {
+            Command::Explore {
+                spec,
+                txns,
+                seed,
+                json,
+                expect_counterexample,
+                trace_out,
+                no_prune,
+                no_replay,
+                ..
+            } => Command::Explore {
+                spec,
+                txns,
+                seed,
+                json,
+                expect_counterexample,
+                trace_out,
+                no_prune,
+                no_replay,
+                budget: 2,
+            },
+            _ => unreachable!(),
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("INCONCLUSIVE"), "{out}");
     }
 
     #[test]

@@ -54,6 +54,7 @@ fn main() {
         ddlf_cli::Command::Submit { spec, .. } => spec.clone(),
         ddlf_cli::Command::Certify { spec }
         | ddlf_cli::Command::Deadlock { spec }
+        | ddlf_cli::Command::Explore { spec, .. }
         | ddlf_cli::Command::Simulate { spec, .. }
         | ddlf_cli::Command::Run { spec, .. }
         | ddlf_cli::Command::Dot { spec } => spec.clone(),

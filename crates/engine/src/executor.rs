@@ -45,6 +45,20 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Largest instance count the debug-build batch-oracle cross-check will
+/// rebuild a per-instance audit system for. The oracle re-audits the
+/// whole history from scratch, so beyond this many instances a debug
+/// test would stall for minutes; larger runs keep the streaming verdict
+/// alone. Overridable via `DDLF_BATCH_ORACLE_CAP` (0 disables the
+/// cross-check entirely).
+#[cfg(debug_assertions)]
+fn batch_oracle_cap() -> usize {
+    std::env::var("DDLF_BATCH_ORACLE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -1086,9 +1100,13 @@ impl Engine {
             // Debug builds cross-check the streaming verdict against the
             // batch oracle over the very same history — the whole
             // existing engine test suite doubles as an equivalence
-            // proptest.
+            // proptest. The oracle rebuilds a per-instance system and
+            // audits it from scratch (quadratic-ish in instances), so it
+            // is capped: big debug runs keep the streaming verdict
+            // instead of hanging for minutes. Override the cap with
+            // `DDLF_BATCH_ORACLE_CAP` (0 disables the cross-check).
             #[cfg(debug_assertions)]
-            {
+            if instances.len() <= batch_oracle_cap() {
                 let committed_attempt: Vec<Option<u32>> =
                     outcomes.iter().map(|o| o.committed_attempt).collect();
                 let txns: Vec<Transaction> = instances

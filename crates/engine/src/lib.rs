@@ -125,12 +125,14 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod replay;
 pub mod report;
 pub mod store;
 pub mod template;
 pub mod wal;
 
 pub use executor::{run_system, Engine, EngineConfig};
+pub use replay::{replay_schedule, ReplayError, ReplayReport};
 pub use report::{LatencyStats, Report, TemplateReport};
 pub use store::{Datum, Shard, Store, VersionedValue, WriteError};
 pub use template::{

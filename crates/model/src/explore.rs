@@ -1,0 +1,801 @@
+//! Systematic schedule exploration: enumerate the interleavings of a
+//! [`TransactionSystem`] with DFS + sleep-set (DPOR-style) pruning and
+//! validate every maximal schedule against the batch `D(S)` oracle.
+//!
+//! The explorer is a deterministic scheduler-in-a-loop: it drives the
+//! system's transactions through an in-memory lock model one step at a
+//! time. A *step* executes one ready node of one transaction — a `Lock e`
+//! step is enabled only while no other transaction holds `e`, an
+//! `Unlock e` step is always enabled (its own `Lock e` preceded it).
+//! Every maximal path of the resulting tree is either
+//!
+//! * a **complete schedule** — validated with [`Schedule::validate`] and
+//!   checked for a `D(S)` cycle via [`Schedule::conflict_digraph`] (the
+//!   existing batch oracle, not a re-implementation), or
+//! * a **deadlock** — an incomplete state with no enabled step, whose
+//!   wait-for edges are reported as the witness.
+//!
+//! ## Pruning
+//!
+//! Two steps are *independent* iff they belong to different transactions
+//! **and** touch different entities. Independent adjacent steps commute:
+//! swapping them changes neither the reached state nor any per-entity
+//! lock order, and `D(S)` is a function of the per-entity lock orders
+//! alone — so the verdict is invariant across a Mazurkiewicz trace.
+//! Sleep sets exploit exactly this: after a subtree for step `m` has
+//! been explored, `m` is put to sleep for the sibling subtrees of every
+//! step independent of it, which eliminates re-exploring permutations of
+//! commuting steps. Sleep sets never drop a reachable deadlock state or
+//! a trace class of maximal schedules (Godefroid), so the pruned space
+//! carries the same set of `D(S)` verdicts and anomalies as full
+//! enumeration — `tests/explore_dpor.rs` checks that equivalence
+//! property against unpruned enumeration on small random systems.
+//!
+//! ## Anomaly classification
+//!
+//! A `D(S)` cycle of length two is classified by the shape of the two
+//! transactions' lock sequences in the witness schedule, restricted to
+//! their common entities:
+//!
+//! * identical sequences ⇒ [`AnomalyKind::LostUpdate`] — homogeneous
+//!   read-modify-write copies raced on the same items in the same order;
+//!   the later writer's update was computed from a stale read (in the
+//!   lock model the "read" is the earlier critical section, e.g. a
+//!   snapshot entity, and the "write" the later one).
+//! * same set, different order ⇒ [`AnomalyKind::WriteSkew`] — each
+//!   transaction updated an item the other had already read.
+//!
+//! Everything else is a generic [`AnomalyKind::ConflictCycle`]; a stuck
+//! state is [`AnomalyKind::Deadlock`]. The classification is a report
+//! label — the *finding* is always the cycle or stuck state itself.
+
+use crate::ids::{EntityId, GlobalNode, NodeId, TxnId};
+use crate::prefix::SystemPrefix;
+use crate::schedule::Schedule;
+use crate::system::TransactionSystem;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Exploration knobs.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Budget on applied steps (moves) across the whole search. When it
+    /// runs out the search stops and [`ExploreOutcome::exhausted`] is
+    /// `false`.
+    pub max_steps: u64,
+    /// Stop after this many counterexamples (1 = first hit).
+    pub max_counterexamples: usize,
+    /// Sleep-set pruning on (the default). Off = full enumeration of
+    /// every interleaving, for cross-checking the pruning.
+    pub sleep_sets: bool,
+    /// Permutes the order sibling steps are tried (0 = canonical
+    /// transaction/node order). The explored *space* is the same for
+    /// every seed; only which counterexample is found first varies.
+    pub seed: u64,
+    /// Record the canonical footprint sets ([`ExploreSets`]) — the
+    /// equivalence-test hook; costs memory proportional to the number of
+    /// distinct traces, so it is off by default.
+    pub collect_sets: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            max_steps: 1_000_000,
+            max_counterexamples: 16,
+            sleep_sets: true,
+            seed: 0,
+            collect_sets: false,
+        }
+    }
+}
+
+/// What kind of counterexample a witness is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnomalyKind {
+    /// A reachable stuck state: some transaction's next lock waits on a
+    /// holder, circularly.
+    Deadlock,
+    /// A 2-cycle between transactions with identical lock sequences on
+    /// their common entities — concurrent read-modify-writes where the
+    /// later update was based on a stale read.
+    LostUpdate,
+    /// A 2-cycle between transactions with crossing lock sequences —
+    /// each updated an entity the other had already read.
+    WriteSkew,
+    /// Any other `D(S)` cycle.
+    ConflictCycle,
+}
+
+impl AnomalyKind {
+    /// Stable lowercase name (JSONL `kind` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyKind::Deadlock => "deadlock",
+            AnomalyKind::LostUpdate => "lost_update",
+            AnomalyKind::WriteSkew => "write_skew",
+            AnomalyKind::ConflictCycle => "conflict_cycle",
+        }
+    }
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One wait-for edge of a deadlock witness: `waiter`'s next lock on
+/// `entity` is blocked by `holder`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The blocked transaction.
+    pub waiter: TxnId,
+    /// The entity it needs next.
+    pub entity: EntityId,
+    /// The transaction holding that entity.
+    pub holder: TxnId,
+}
+
+/// A concrete counterexample: the schedule that exhibits it, replayable
+/// step by step (e.g. through the engine's wait-die path).
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The classification (a label; the witness below is the finding).
+    pub kind: AnomalyKind,
+    /// The executed steps, in order. For a deadlock this is the stuck
+    /// partial schedule; otherwise a complete schedule.
+    pub steps: Vec<GlobalNode>,
+    /// The `D(S)` cycle (empty for a deadlock witness).
+    pub cycle: Vec<TxnId>,
+    /// Entities labelling consecutive cycle arcs (parallel to `cycle`;
+    /// one representative label per arc).
+    pub cycle_entities: Vec<EntityId>,
+    /// Transactions with pending operations at the stuck state (empty
+    /// unless this is a deadlock witness).
+    pub stuck: Vec<TxnId>,
+    /// The wait-for edges at the stuck state (empty unless deadlock).
+    pub waits_for: Vec<WaitEdge>,
+}
+
+/// Search counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Steps applied (each node execution counts once).
+    pub steps: u64,
+    /// Maximal complete schedules reached and validated.
+    pub complete_schedules: u64,
+    /// Stuck states reached.
+    pub deadlocks: u64,
+    /// Complete schedules whose `D(S)` was cyclic.
+    pub cyclic_schedules: u64,
+    /// Enabled steps skipped because they were asleep.
+    pub sleep_skips: u64,
+}
+
+/// Canonical result sets, recorded when [`ExploreConfig::collect_sets`]
+/// is on. Two explorations are equivalent iff these sets are equal —
+/// the property the DPOR proptest asserts for pruned vs unpruned runs.
+///
+/// A complete schedule's *footprint* is its per-entity lock order
+/// (`entity index → lockers in order`), which fully determines its
+/// Mazurkiewicz trace class and hence its `D(S)`. A deadlock state is
+/// encoded as the per-transaction sets of executed nodes (the reached
+/// state up to commuting independent steps).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreSets {
+    /// Footprints of all complete schedules.
+    pub complete: BTreeSet<Vec<(u32, Vec<u32>)>>,
+    /// Footprints of the complete schedules whose `D(S)` was cyclic.
+    pub cyclic: BTreeSet<Vec<(u32, Vec<u32>)>>,
+    /// Reached deadlock states (executed node ids per transaction).
+    pub deadlocks: BTreeSet<Vec<Vec<u32>>>,
+    /// Distinct anomaly kinds found.
+    pub kinds: BTreeSet<AnomalyKind>,
+}
+
+/// The result of one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Counterexamples found, in discovery order (capped by
+    /// [`ExploreConfig::max_counterexamples`]).
+    pub counterexamples: Vec<Counterexample>,
+    /// Search counters.
+    pub stats: ExploreStats,
+    /// `true` iff the full (pruned) space was covered: the budget did
+    /// not run out and the counterexample cap did not stop the search.
+    pub exhausted: bool,
+    /// Canonical result sets (empty unless
+    /// [`ExploreConfig::collect_sets`]).
+    pub sets: ExploreSets,
+}
+
+/// Builds the system explored for "run `n` instances of this workload":
+/// instance `i` is a copy of template `i mod templates`, renamed
+/// `name#i`. With `n` = the template count this is the system itself
+/// (modulo names).
+pub fn instances_of(
+    sys: &TransactionSystem,
+    n: usize,
+) -> Result<TransactionSystem, crate::error::ModelError> {
+    let txns = (0..n)
+        .map(|i| {
+            let t = sys.txn(TxnId((i % sys.len()) as u32));
+            t.clone().with_name(format!("{}#{}", t.name(), i))
+        })
+        .collect();
+    TransactionSystem::new(sys.db().clone(), txns)
+}
+
+/// Explores the schedule space of `sys` under `cfg`. See the module
+/// docs for the step model, pruning, and oracle.
+pub fn explore(sys: &TransactionSystem, cfg: &ExploreConfig) -> ExploreOutcome {
+    let mut dfs = Dfs {
+        sys,
+        cfg,
+        prefix: SystemPrefix::empty(sys.txns()),
+        holders: HashMap::new(),
+        trace: Vec::with_capacity(sys.total_nodes()),
+        counterexamples: Vec::new(),
+        stats: ExploreStats::default(),
+        sets: ExploreSets::default(),
+        truncated: false,
+        stop: false,
+        rng: cfg.seed,
+    };
+    dfs.visit(&[]);
+    let exhausted = !dfs.truncated && !dfs.stop;
+    ExploreOutcome {
+        counterexamples: dfs.counterexamples,
+        stats: dfs.stats,
+        exhausted,
+        sets: dfs.sets,
+    }
+}
+
+/// One enabled step: a ready node of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Move {
+    txn: TxnId,
+    node: NodeId,
+    entity: EntityId,
+    is_lock: bool,
+}
+
+/// Steps commute iff they belong to different transactions and touch
+/// different entities (same-transaction steps are program-ordered;
+/// same-entity steps race for the lock or order its holders).
+fn independent(a: &Move, b: &Move) -> bool {
+    a.txn != b.txn && a.entity != b.entity
+}
+
+struct Dfs<'a> {
+    sys: &'a TransactionSystem,
+    cfg: &'a ExploreConfig,
+    prefix: SystemPrefix,
+    holders: HashMap<EntityId, TxnId>,
+    trace: Vec<GlobalNode>,
+    counterexamples: Vec<Counterexample>,
+    stats: ExploreStats,
+    sets: ExploreSets,
+    truncated: bool,
+    stop: bool,
+    rng: u64,
+}
+
+impl Dfs<'_> {
+    /// Enabled steps at the current state, in canonical (txn, node)
+    /// order.
+    fn enabled(&self) -> Vec<Move> {
+        let mut out = Vec::new();
+        for (t, txn) in self.sys.iter() {
+            for n in self.prefix.of(t).ready_nodes(txn) {
+                let op = txn.op(n);
+                let free = !self.holders.contains_key(&op.entity);
+                if op.is_lock() && !free {
+                    continue; // blocked behind the holder
+                }
+                out.push(Move {
+                    txn: t,
+                    node: n,
+                    entity: op.entity,
+                    is_lock: op.is_lock(),
+                });
+            }
+        }
+        out
+    }
+
+    fn apply(&mut self, m: &Move) {
+        if m.is_lock {
+            self.holders.insert(m.entity, m.txn);
+        } else {
+            self.holders.remove(&m.entity);
+        }
+        self.prefix.of_mut(m.txn).push(m.node);
+        self.trace.push(GlobalNode::new(m.txn, m.node));
+        self.stats.steps += 1;
+    }
+
+    fn undo(&mut self, m: &Move) {
+        if m.is_lock {
+            self.holders.remove(&m.entity);
+        } else {
+            self.holders.insert(m.entity, m.txn);
+        }
+        self.prefix.of_mut(m.txn).unpush(m.node);
+        self.trace.pop();
+    }
+
+    fn visit(&mut self, sleep: &[Move]) {
+        if self.stop || self.truncated {
+            return;
+        }
+        let enabled = self.enabled();
+        if enabled.is_empty() {
+            self.leaf();
+            return;
+        }
+        let mut explorable: Vec<Move> = if self.cfg.sleep_sets {
+            let awake: Vec<Move> = enabled
+                .iter()
+                .filter(|m| !sleep.iter().any(|s| s.txn == m.txn && s.node == m.node))
+                .copied()
+                .collect();
+            self.stats.sleep_skips += (enabled.len() - awake.len()) as u64;
+            awake
+        } else {
+            enabled
+        };
+        self.shuffle(&mut explorable);
+        let mut done: Vec<Move> = Vec::new();
+        for m in explorable {
+            if self.stop || self.truncated {
+                return;
+            }
+            if self.stats.steps >= self.cfg.max_steps {
+                self.truncated = true;
+                return;
+            }
+            // The child's sleep set: everything asleep here that stays
+            // independent of `m`, plus the already-explored siblings
+            // independent of `m` (their subtrees cover every schedule in
+            // which they precede `m` up to commutation).
+            let child_sleep: Vec<Move> = sleep
+                .iter()
+                .chain(done.iter())
+                .filter(|s| independent(s, &m))
+                .copied()
+                .collect();
+            self.apply(&m);
+            self.visit(&child_sleep);
+            self.undo(&m);
+            done.push(m);
+        }
+    }
+
+    /// A maximal path: a complete schedule (run the oracle) or a stuck
+    /// state (a deadlock witness).
+    fn leaf(&mut self) {
+        if self.prefix.is_complete(self.sys.txns()) {
+            self.stats.complete_schedules += 1;
+            self.complete_leaf();
+        } else {
+            self.stats.deadlocks += 1;
+            self.deadlock_leaf();
+        }
+    }
+
+    fn complete_leaf(&mut self) {
+        let sched = Schedule::from_steps(self.trace.clone());
+        // The explorer only ever takes legal steps, so validation cannot
+        // fail; going through it keeps the batch oracle — not the
+        // explorer's own bookkeeping — the arbiter of the verdict.
+        let valid = sched
+            .validate(self.sys)
+            .expect("explorer produced an illegal schedule");
+        let graph = sched.conflict_digraph(self.sys, &valid);
+        let footprint = self.cfg.collect_sets.then(|| {
+            let map: BTreeMap<u32, Vec<u32>> = valid
+                .lock_order
+                .iter()
+                .map(|(e, order)| (e.0, order.iter().map(|t| t.0).collect()))
+                .collect();
+            map.into_iter().collect::<Vec<_>>()
+        });
+        let cycle = graph.cycle();
+        if let Some(fp) = &footprint {
+            self.sets.complete.insert(fp.clone());
+            if cycle.is_some() {
+                self.sets.cyclic.insert(fp.clone());
+            }
+        }
+        let Some(cycle) = cycle else { return };
+        self.stats.cyclic_schedules += 1;
+        let kind = self.classify(&cycle);
+        if self.cfg.collect_sets {
+            self.sets.kinds.insert(kind);
+        }
+        let cycle_entities = self.cycle_labels(&cycle);
+        self.record(Counterexample {
+            kind,
+            steps: self.trace.clone(),
+            cycle,
+            cycle_entities,
+            stuck: Vec::new(),
+            waits_for: Vec::new(),
+        });
+    }
+
+    fn deadlock_leaf(&mut self) {
+        if self.cfg.collect_sets {
+            let state: Vec<Vec<u32>> = self
+                .prefix
+                .iter()
+                .map(|(_, p)| p.iter().map(|n| n.0).collect())
+                .collect();
+            self.sets.deadlocks.insert(state);
+            self.sets.kinds.insert(AnomalyKind::Deadlock);
+        }
+        let mut stuck = Vec::new();
+        let mut waits_for = Vec::new();
+        for (t, txn) in self.sys.iter() {
+            if self.prefix.of(t).is_complete(txn) {
+                continue;
+            }
+            stuck.push(t);
+            for n in self.prefix.of(t).ready_nodes(txn) {
+                let op = txn.op(n);
+                if let Some(&holder) = self.holders.get(&op.entity) {
+                    if op.is_lock() {
+                        waits_for.push(WaitEdge {
+                            waiter: t,
+                            entity: op.entity,
+                            holder,
+                        });
+                    }
+                }
+            }
+        }
+        self.record(Counterexample {
+            kind: AnomalyKind::Deadlock,
+            steps: self.trace.clone(),
+            cycle: Vec::new(),
+            cycle_entities: Vec::new(),
+            stuck,
+            waits_for,
+        });
+    }
+
+    /// See the module docs: 2-cycles are classified by the two
+    /// transactions' lock sequences (from the witness), restricted to
+    /// their common entities.
+    fn classify(&self, cycle: &[TxnId]) -> AnomalyKind {
+        if cycle.len() != 2 {
+            return AnomalyKind::ConflictCycle;
+        }
+        let (a, b) = (cycle[0], cycle[1]);
+        let seq_a = self.lock_sequence(a);
+        let seq_b = self.lock_sequence(b);
+        let common: BTreeSet<EntityId> = seq_a
+            .iter()
+            .copied()
+            .filter(|e| seq_b.contains(e))
+            .collect();
+        let ca: Vec<EntityId> = seq_a
+            .iter()
+            .copied()
+            .filter(|e| common.contains(e))
+            .collect();
+        let cb: Vec<EntityId> = seq_b
+            .iter()
+            .copied()
+            .filter(|e| common.contains(e))
+            .collect();
+        if ca.is_empty() {
+            AnomalyKind::ConflictCycle
+        } else if ca == cb {
+            AnomalyKind::LostUpdate
+        } else {
+            AnomalyKind::WriteSkew
+        }
+    }
+
+    /// The order `t` locked its entities in the current trace.
+    fn lock_sequence(&self, t: TxnId) -> Vec<EntityId> {
+        let txn = self.sys.txn(t);
+        self.trace
+            .iter()
+            .filter(|g| g.txn == t)
+            .filter_map(|g| {
+                let op = txn.op(g.node);
+                op.is_lock().then_some(op.entity)
+            })
+            .collect()
+    }
+
+    /// One representative entity per consecutive cycle arc: for the arc
+    /// `cycle[i] → cycle[i+1]`, an entity both access where `cycle[i]`
+    /// locked first.
+    fn cycle_labels(&self, cycle: &[TxnId]) -> Vec<EntityId> {
+        // First-lock position of (txn, entity) in the trace.
+        let mut first_lock: HashMap<(TxnId, EntityId), usize> = HashMap::new();
+        for (i, g) in self.trace.iter().enumerate() {
+            let op = self.sys.txn(g.txn).op(g.node);
+            if op.is_lock() {
+                first_lock.entry((g.txn, op.entity)).or_insert(i);
+            }
+        }
+        cycle
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &from)| {
+                let to = cycle[(i + 1) % cycle.len()];
+                self.sys
+                    .txn(from)
+                    .entities()
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        match (first_lock.get(&(from, e)), first_lock.get(&(to, e))) {
+                            (Some(a), Some(b)) => a < b,
+                            // Lemma 1 arc: `to` accesses `e` but never
+                            // locked it in this (partial) schedule.
+                            (Some(_), None) => self.sys.txn(to).accesses(e),
+                            _ => false,
+                        }
+                    })
+                    .min()
+            })
+            .collect()
+    }
+
+    fn record(&mut self, ce: Counterexample) {
+        if self.counterexamples.len() < self.cfg.max_counterexamples {
+            self.counterexamples.push(ce);
+        }
+        if self.counterexamples.len() >= self.cfg.max_counterexamples {
+            self.stop = true;
+        }
+    }
+
+    /// Deterministic Fisher–Yates keyed by the running xorshift state;
+    /// seed 0 keeps the canonical order.
+    fn shuffle(&mut self, moves: &mut [Move]) {
+        if self.cfg.seed == 0 {
+            return;
+        }
+        for i in (1..moves.len()).rev() {
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            let j = (self.rng % (i as u64 + 1)) as usize;
+            moves.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::op::Op;
+    use crate::txn::Transaction;
+
+    fn db2(names: [&str; 2]) -> Database {
+        let mut b = Database::builder();
+        let s0 = b.add_site();
+        let s1 = b.add_site();
+        b.add_entity(names[0], s0);
+        b.add_entity(names[1], s1);
+        b.build()
+    }
+
+    fn total(name: &str, db: &Database, ops: &[Op]) -> Transaction {
+        Transaction::from_total_order(name, ops, db).unwrap()
+    }
+
+    /// Both transactions read `snap` (first critical section) and then
+    /// update `val` (second) — the lost-update shape.
+    fn lost_update_system() -> TransactionSystem {
+        let db = db2(["snap", "val"]);
+        let (snap, val) = (EntityId(0), EntityId(1));
+        let ops = [
+            Op::lock(snap),
+            Op::unlock(snap),
+            Op::lock(val),
+            Op::unlock(val),
+        ];
+        let t1 = total("rmw_1", &db, &ops);
+        let t2 = total("rmw_2", &db, &ops);
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
+    /// T1 reads y then writes x; T2 reads x then writes y — write skew.
+    fn write_skew_system() -> TransactionSystem {
+        let db = db2(["x", "y"]);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let t1 = total(
+            "check_y_write_x",
+            &db,
+            &[Op::lock(y), Op::unlock(y), Op::lock(x), Op::unlock(x)],
+        );
+        let t2 = total(
+            "check_x_write_y",
+            &db,
+            &[Op::lock(x), Op::unlock(x), Op::lock(y), Op::unlock(y)],
+        );
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
+    /// Opposite-order 2PL pair: the classic deadlock.
+    fn deadlock_system() -> TransactionSystem {
+        let db = db2(["x", "y"]);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let t1 = total(
+            "T1",
+            &db,
+            &[Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)],
+        );
+        let t2 = total(
+            "T2",
+            &db,
+            &[Op::lock(y), Op::lock(x), Op::unlock(y), Op::unlock(x)],
+        );
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
+    /// Same-order 2PL pair: certified, no anomaly reachable.
+    fn certified_system() -> TransactionSystem {
+        let db = db2(["x", "y"]);
+        let (x, y) = (EntityId(0), EntityId(1));
+        let ops = [Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)];
+        let t1 = total("T1", &db, &ops);
+        let t2 = total("T2", &db, &ops);
+        TransactionSystem::new(db, vec![t1, t2]).unwrap()
+    }
+
+    fn all(cfg_tweak: impl FnOnce(&mut ExploreConfig)) -> ExploreConfig {
+        let mut cfg = ExploreConfig {
+            max_counterexamples: usize::MAX,
+            collect_sets: true,
+            ..ExploreConfig::default()
+        };
+        cfg_tweak(&mut cfg);
+        cfg
+    }
+
+    #[test]
+    fn certified_pair_exhausts_clean() {
+        let sys = certified_system();
+        let out = explore(&sys, &all(|_| {}));
+        assert!(out.exhausted);
+        assert!(out.counterexamples.is_empty());
+        assert_eq!(out.stats.deadlocks, 0);
+        assert_eq!(out.stats.cyclic_schedules, 0);
+        assert!(out.stats.complete_schedules > 0);
+    }
+
+    #[test]
+    fn lost_update_found_and_classified() {
+        let sys = lost_update_system();
+        let out = explore(&sys, &all(|_| {}));
+        assert!(out.exhausted);
+        assert!(out
+            .counterexamples
+            .iter()
+            .any(|ce| ce.kind == AnomalyKind::LostUpdate));
+        // The shape admits no deadlock (no transaction holds two locks).
+        assert_eq!(out.stats.deadlocks, 0);
+        let ce = out
+            .counterexamples
+            .iter()
+            .find(|ce| ce.kind == AnomalyKind::LostUpdate)
+            .unwrap();
+        assert_eq!(ce.cycle.len(), 2);
+        assert_eq!(ce.steps.len(), sys.total_nodes());
+        // The witness replays to a non-serializable verdict — the oracle
+        // agrees with the explorer's claim.
+        let sched = Schedule::from_steps(ce.steps.clone());
+        assert_eq!(sched.is_serializable(&sys), Ok(false));
+    }
+
+    #[test]
+    fn write_skew_found_and_classified() {
+        let sys = write_skew_system();
+        let out = explore(&sys, &all(|_| {}));
+        assert!(out.exhausted);
+        assert_eq!(out.stats.deadlocks, 0);
+        let ce = out
+            .counterexamples
+            .iter()
+            .find(|ce| ce.kind == AnomalyKind::WriteSkew)
+            .expect("write skew found");
+        assert_eq!(ce.cycle.len(), 2);
+        assert_eq!(ce.cycle_entities.len(), 2);
+    }
+
+    #[test]
+    fn deadlock_found_with_wait_edges() {
+        let sys = deadlock_system();
+        let out = explore(&sys, &all(|_| {}));
+        assert!(out.exhausted);
+        let ce = out
+            .counterexamples
+            .iter()
+            .find(|ce| ce.kind == AnomalyKind::Deadlock)
+            .expect("deadlock found");
+        assert_eq!(ce.stuck.len(), 2);
+        assert_eq!(ce.waits_for.len(), 2, "a 2-cycle of wait-for edges");
+        // Each waiter waits on the entity the other holds.
+        for w in &ce.waits_for {
+            assert_ne!(w.waiter, w.holder);
+        }
+    }
+
+    #[test]
+    fn budget_truncation_reported() {
+        let sys = deadlock_system();
+        let out = explore(
+            &sys,
+            &all(|c| {
+                c.max_steps = 3;
+            }),
+        );
+        assert!(!out.exhausted);
+        assert!(out.stats.steps <= 3);
+    }
+
+    #[test]
+    fn stop_at_first_counterexample() {
+        let sys = lost_update_system();
+        let cfg = ExploreConfig {
+            max_counterexamples: 1,
+            ..ExploreConfig::default()
+        };
+        let out = explore(&sys, &cfg);
+        assert_eq!(out.counterexamples.len(), 1);
+        assert!(!out.exhausted, "stopped early by the cap");
+    }
+
+    #[test]
+    fn sleep_sets_prune_but_preserve_the_findings() {
+        for sys in [
+            certified_system(),
+            lost_update_system(),
+            write_skew_system(),
+            deadlock_system(),
+        ] {
+            let pruned = explore(&sys, &all(|_| {}));
+            let full = explore(&sys, &all(|c| c.sleep_sets = false));
+            assert_eq!(pruned.sets, full.sets, "{}", sys.txn(TxnId(0)).name());
+            assert!(
+                pruned.stats.steps < full.stats.steps,
+                "pruning must actually prune ({} vs {})",
+                pruned.stats.steps,
+                full.stats.steps
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_permute_order_not_space() {
+        let sys = write_skew_system();
+        let base = explore(&sys, &all(|_| {}));
+        for seed in [1, 7, 0xdead_beef] {
+            let out = explore(&sys, &all(|c| c.seed = seed));
+            assert_eq!(out.sets, base.sets, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn instances_of_round_robins_and_renames() {
+        let sys = deadlock_system();
+        let inflated = instances_of(&sys, 4).unwrap();
+        assert_eq!(inflated.len(), 4);
+        assert_eq!(inflated.txn(TxnId(0)).name(), "T1#0");
+        assert_eq!(inflated.txn(TxnId(1)).name(), "T2#1");
+        assert_eq!(inflated.txn(TxnId(2)).name(), "T1#2");
+        assert_eq!(inflated.txn(TxnId(3)).name(), "T2#3");
+    }
+}

@@ -60,6 +60,7 @@ pub mod bitset;
 pub mod database;
 pub mod dot;
 pub mod error;
+pub mod explore;
 pub mod graph;
 pub mod ids;
 pub mod incremental;
@@ -75,6 +76,10 @@ pub mod txn;
 pub use bitset::{BitMatrix, BitSet};
 pub use database::{Database, DatabaseBuilder};
 pub use error::ModelError;
+pub use explore::{
+    explore, instances_of, AnomalyKind, Counterexample, ExploreConfig, ExploreOutcome, ExploreSets,
+    ExploreStats, WaitEdge,
+};
 pub use graph::{DiGraph, UnGraph};
 pub use ids::{EntityId, GlobalNode, NodeId, SiteId, TxnId};
 pub use incremental::{IncrementalTopo, StreamingAuditor};

@@ -87,6 +87,31 @@ fn banking_uniform_fixture_matches_the_workload_and_is_not_two_phase() {
 }
 
 #[test]
+fn lost_update_fixture_is_deadlock_free_but_uncertifiable() {
+    // The CI exploration tier runs this file to first counterexample.
+    // Each transaction reads the snapshot, lets it go, then writes the
+    // value — never holding two locks, so no deadlock is reachable —
+    // yet interleaving the two critical sections yields a D(S) 2-cycle:
+    // the stale read-modify-write shape.
+    let sys = load("anomaly_lost_update.json");
+    assert_eq!(sys.len(), 2);
+    assert!(certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_err());
+    assert!(Explorer::new(&sys, 1_000_000).find_deadlock().0.holds());
+}
+
+#[test]
+fn write_skew_fixture_is_deadlock_free_but_uncertifiable() {
+    // Also exploration-tier fodder: each transaction reads the *other*
+    // constraint column before writing its own, again without ever
+    // holding two locks. Opposite access orders make the 2-cycle's
+    // per-txn lock sequences differ — the write-skew shape.
+    let sys = load("anomaly_write_skew.json");
+    assert_eq!(sys.len(), 2);
+    assert!(certify_safe_and_deadlock_free(&sys, CertifyOptions::default()).is_err());
+    assert!(Explorer::new(&sys, 1_000_000).find_deadlock().0.holds());
+}
+
+#[test]
 fn fixtures_roundtrip_through_spec() {
     for name in [
         "fig2_tirri_counterexample.json",
@@ -94,6 +119,8 @@ fn fixtures_roundtrip_through_spec() {
         "ticketed_pair.json",
         "banking_ordered.json",
         "banking_uniform.json",
+        "anomaly_lost_update.json",
+        "anomaly_write_skew.json",
     ] {
         let sys = load(name);
         let spec = SystemSpec::from_system(&sys);

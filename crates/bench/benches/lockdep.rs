@@ -1,0 +1,71 @@
+//! E16: `lockdep_overhead` — the cost of certifying the engine's own
+//! locking.
+//!
+//! The same certified banking run under the two builds of the vendored
+//! shim: the default build, where every hook is an empty `#[inline]`
+//! no-op (the acceptance bar: within noise of the uninstrumented
+//! BENCH_audit.json numbers), and `--features lockdep`, where each
+//! acquisition walks the held-stack and cross-class edges go through
+//! the incremental topology (the measured tax, BENCH_lockdep.json).
+//! The arm label records which build produced the number, so the two
+//! JSON snapshots stay comparable. The `wal_group` arm adds the
+//! heaviest hook traffic: WAL classes, per-group fsync blocking
+//! regions, and condvar parking in the group queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlf_engine::{Engine, EngineConfig, Telemetry};
+use ddlf_workloads::bank_ordered_pair;
+
+const BUILD: &str = if cfg!(feature = "lockdep") {
+    "instrumented"
+} else {
+    "off"
+};
+
+fn cfg(instances: usize) -> EngineConfig {
+    EngineConfig {
+        threads: 4,
+        instances,
+        telemetry: Telemetry::disabled(),
+        ..Default::default()
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let (_, ordered) = bank_ordered_pair();
+    let mut g = c.benchmark_group("lockdep_overhead");
+    g.sample_size(10);
+    for &n in &[256usize, 2048] {
+        g.bench_with_input(BenchmarkId::new(format!("{BUILD}/run"), n), &n, |b, &n| {
+            b.iter(|| Engine::new(ordered.clone(), cfg(n)).run().committed)
+        });
+        g.bench_with_input(
+            BenchmarkId::new(format!("{BUILD}/wal_group"), n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let dir = std::env::temp_dir()
+                        .join(format!("ddlf-bench-lockdep-{}", std::process::id()));
+                    let committed = Engine::try_with_admission(
+                        ordered.clone(),
+                        Default::default(),
+                        EngineConfig {
+                            wal_dir: Some(dir.clone()),
+                            group_commit: Some(8),
+                            ..cfg(n)
+                        },
+                    )
+                    .unwrap()
+                    .run()
+                    .committed;
+                    let _ = std::fs::remove_dir_all(&dir);
+                    committed
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -241,6 +241,12 @@ pub enum Command {
         /// Send `Shutdown` after reporting, stopping the server.
         shutdown: bool,
     },
+    /// `lockgraph [--dot]`
+    Lockgraph {
+        /// Emit the observed class-order DAG as Graphviz instead of the
+        /// human report.
+        dot: bool,
+    },
     /// `stats <addr> [--json|--prom]`
     Stats {
         /// Address of a running `ddlf-audit serve`.
@@ -288,6 +294,17 @@ fn parse_group_commit(arg: &str) -> Result<usize, String> {
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
+    // `lockgraph` takes no spec — its workload is built in.
+    if cmd == "lockgraph" {
+        let mut dot = false;
+        for a in it {
+            match a.as_str() {
+                "--dot" => dot = true,
+                other => return Err(format!("unknown lockgraph flag {other}\n{}", usage())),
+            }
+        }
+        return Ok(Command::Lockgraph { dot });
+    }
     // Second positional: a spec path for the analysis commands, the
     // server address for the wire commands.
     let spec = it.next().ok_or_else(usage)?.clone();
@@ -638,7 +655,8 @@ fn usage() -> String {
      [--wal-sync] [--group-commit[=MAX]] [--admission-batch N] [--no-telemetry]\n\
      \x20      ddlf-audit submit <addr> <system.json> [--txns N] [--template NAME] \
      [--inflate k|auto] [--expect-zero-aborts] [--shutdown]\n\
-     \x20      ddlf-audit stats <addr> [--json|--prom]"
+     \x20      ddlf-audit stats <addr> [--json|--prom]\n\
+     \x20      ddlf-audit lockgraph [--dot]   (build with --features lockdep)"
         .to_string()
 }
 
@@ -1150,6 +1168,86 @@ pub fn run_stats(addr: &str, json: bool, prom: bool) -> (String, i32) {
     } else {
         (stats_human(&stats), 0)
     }
+}
+
+/// `lockgraph`: drives a built-in workload across every locking
+/// subsystem — an in-process engine run with WAL, per-group fsync, and
+/// batched admission, then a wire round-trip against an in-process
+/// server — and prints the class-order DAG the `ddlf-lockdep` validator
+/// observed: the executable form of ARCHITECTURE.md's "Lock discipline"
+/// table. `--dot` emits Graphviz. Exits 1 if the validator recorded any
+/// violation, 2 when built without `--features lockdep` (the stub
+/// observes nothing).
+pub fn run_lockgraph(dot: bool) -> (String, i32) {
+    if !ddlf_lockdep::ENABLED {
+        return (format!("{}\n", ddlf_lockdep::report()), 2);
+    }
+    let spec_json = include_str!("../../../fixtures/banking_ordered.json");
+    let sys = match load_system(spec_json) {
+        Ok(s) => s,
+        Err(e) => return (format!("built-in lockgraph spec failed to load: {e}\n"), 2),
+    };
+    // Engine leg: slot_gate, shard.state, history.shared, engine.* and
+    // the wal.* classes (fsync regions via `wal_sync`, the group path
+    // via `group_commit`, the timestamp section via admission batching).
+    let wal_dir = std::env::temp_dir().join(format!("ddlf-lockgraph-{}", std::process::id()));
+    let engine = match ddlf_engine::Engine::try_with_admission(
+        sys.clone(),
+        AdmissionOptions {
+            inflate: Inflation::Auto { cap: 4 },
+            ..Default::default()
+        },
+        ddlf_engine::EngineConfig {
+            threads: 4,
+            instances: 256,
+            wal_dir: Some(wal_dir.clone()),
+            wal_sync: true,
+            group_commit: Some(8),
+            admission_batch: 4,
+            ..Default::default()
+        },
+    ) {
+        Ok(e) => e,
+        Err(e) => return (format!("cannot open scratch WAL: {e}\n"), 2),
+    };
+    let _ = engine.run();
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    // Wire leg: server.engine / server.conns plus the accept-wait
+    // blocking region.
+    let served = (|| -> Result<(), String> {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                threads: 2,
+                default_inflate: InflateSpec::None,
+                wal_dir: None,
+                engine: ddlf_engine::EngineConfig::default(),
+            },
+        )
+        .map_err(|e| format!("bind: {e}"))?;
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let mut client = Client::connect_retry(addr, Duration::from_secs(5))
+            .map_err(|e| format!("connect: {e}"))?;
+        client
+            .register(spec_json, InflateSpec::Auto { cap: 2 })
+            .map_err(|e| format!("register: {e}"))?;
+        client.submit_all(16).map_err(|e| format!("submit: {e}"))?;
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        let _ = handle.join();
+        Ok(())
+    })();
+    if let Err(e) = served {
+        return (format!("lockgraph wire leg failed: {e}\n"), 2);
+    }
+    let violations = ddlf_lockdep::violation_count();
+    let out = if dot {
+        ddlf_lockdep::dot()
+    } else {
+        ddlf_lockdep::report()
+    };
+    (out, i32::from(violations > 0))
 }
 
 /// `serve`: binds the wire server and blocks until a client sends
@@ -1810,6 +1908,7 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
         Command::Serve { .. }
         | Command::Submit { .. }
         | Command::Recover { .. }
+        | Command::Lockgraph { .. }
         | Command::Stats { .. } => (
             "internal error: specless commands are dispatched in main\n".to_string(),
             2,

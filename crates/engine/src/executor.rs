@@ -256,7 +256,7 @@ impl Engine {
             store,
             cfg,
             wal,
-            cumulative: Mutex::new(None),
+            cumulative: Mutex::new_named("engine.cumulative", None),
         })
     }
 
@@ -295,7 +295,7 @@ impl Engine {
             store,
             cfg,
             wal: Some(wal),
-            cumulative: Mutex::new(None),
+            cumulative: Mutex::new_named("engine.cumulative", None),
         })
     }
 
@@ -422,9 +422,10 @@ impl Engine {
         // the history's timestamp critical section, and workers report
         // commit/abort decisions as they happen — by the time the pool
         // drains, the verdict is already computed.
-        let auditor = Arc::new(parking_lot::Mutex::new(StreamingAuditor::new(
-            self.registry.system(),
-        )));
+        let auditor = Arc::new(parking_lot::Mutex::new_named(
+            "engine.auditor",
+            StreamingAuditor::new(self.registry.system()),
+        ));
         {
             let mut a = auditor.lock();
             for inst in &instances {

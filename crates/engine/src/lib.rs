@@ -60,6 +60,17 @@
 //! dataflow" section of `ARCHITECTURE.md` for where each timer starts
 //! and stops.
 //!
+//! The engine's *own* mutexes follow a fixed global hierarchy —
+//! `server.engine` ▷ `template.slot_gate` / `shard.state` /
+//! `history.shared` ▷ the `wal.*` classes — documented in the "Lock
+//! discipline" section of `ARCHITECTURE.md` and registered class by
+//! class at each `Mutex::new_named` site. Building with `--features
+//! lockdep` arms the `ddlf-lockdep` validator inside the vendored
+//! `parking_lot` shim: lock-order cycles, fsyncs under a non-allowlisted
+//! lock, and undisciplined condvar waits are caught on the *first*
+//! instrumented run to reach them (the `lockdep` CI job runs the whole
+//! suite that way with `DDLF_LOCKDEP=fail`).
+//!
 //! * [`store`] — entities carry versioned `u64`/bytes payloads, sharded
 //!   by [`ddlf_model::SiteId`]; each shard owns its values *and* its
 //!   [`ddlf_sim::LockTable`] behind one `parking_lot` mutex, so a grant

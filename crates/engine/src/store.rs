@@ -540,16 +540,19 @@ impl Store {
     fn build(db: &Database, initial: u64) -> Self {
         let mut shards: Vec<Shard> = (0..db.site_count())
             .map(|s| Shard {
-                state: Mutex::new(ShardState {
-                    values: HashMap::new(),
-                    locks: LockTable::new(),
-                    waiters: HashMap::new(),
-                    undo: HashMap::new(),
-                    absolute_writes: HashMap::new(),
-                    write_seq: 0,
-                    sink: None,
-                    telemetry: Telemetry::disabled(),
-                }),
+                state: Mutex::new_named(
+                    "shard.state",
+                    ShardState {
+                        values: HashMap::new(),
+                        locks: LockTable::new(),
+                        waiters: HashMap::new(),
+                        undo: HashMap::new(),
+                        absolute_writes: HashMap::new(),
+                        write_seq: 0,
+                        sink: None,
+                        telemetry: Telemetry::disabled(),
+                    },
+                ),
                 site: SiteId::from_index(s),
             })
             .collect();

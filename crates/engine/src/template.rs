@@ -300,7 +300,7 @@ impl SlotGate {
         }
         Self {
             slots,
-            state: Mutex::new(GateState::default()),
+            state: Mutex::new_named("template.slot_gate", GateState::default()),
             freed: Condvar::new(),
         }
     }

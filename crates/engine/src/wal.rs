@@ -95,6 +95,7 @@ use crate::store::{Store, WriteError};
 use crate::template::WriteOp;
 use crate::{Datum, VersionedValue};
 use bytes::{BufMut, Bytes, BytesMut};
+use ddlf_lockdep::{blocking_region, BlockingKind};
 use ddlf_model::incremental::StreamingAuditor;
 use ddlf_model::{EntityId, NodeId, SystemSpec, TransactionSystem, TxnId};
 use ddlf_sim::msg::{codec, frame};
@@ -501,6 +502,7 @@ impl LogWriter {
     /// Appends one frame (buffered, or straight through when `cap == 0`).
     fn append_frame(&mut self, payload: &[u8]) -> io::Result<()> {
         if self.cap == 0 {
+            let _io = blocking_region(BlockingKind::Write);
             return frame::write_frame(&mut self.file, payload);
         }
         // Framing into a Vec cannot fail and its `flush` is a no-op; the
@@ -515,6 +517,9 @@ impl LogWriter {
     /// Writes any buffered frames to the kernel.
     fn flush(&mut self) -> io::Result<()> {
         if !self.buf.is_empty() {
+            // Only Write-allowlisted lock classes may be held here
+            // (lockdep blocking-section verifier).
+            let _io = blocking_region(BlockingKind::Write);
             self.file.write_all(&self.buf)?;
             self.buf.clear();
         }
@@ -524,6 +529,9 @@ impl LogWriter {
     /// Flushes, then fsyncs the file.
     fn sync_data(&mut self) -> io::Result<()> {
         self.flush()?;
+        // Durability wait: only the wal.* writer classes (and the
+        // serialized server.engine slot) may be held across this.
+        let _io = blocking_region(BlockingKind::Fsync);
         self.file.sync_data()
     }
 }
@@ -626,21 +634,21 @@ fn build_wal(dir: PathBuf, next_base: u32, opts: WalOptions) -> io::Result<Arc<W
         0
     };
     Ok(Arc::new(Wal {
-        commit: Mutex::new(LogWriter::new(
-            append_mode(&dir.join(COMMIT_FILE))?,
-            commit_cap,
-        )),
-        history: Mutex::new(LogWriter::new(
-            append_mode(&dir.join(HISTORY_FILE))?,
-            opts.buffer,
-        )),
-        shard_sinks: Mutex::new(Vec::new()),
+        commit: Mutex::new_named(
+            "wal.commit",
+            LogWriter::new(append_mode(&dir.join(COMMIT_FILE))?, commit_cap),
+        ),
+        history: Mutex::new_named(
+            "wal.history",
+            LogWriter::new(append_mode(&dir.join(HISTORY_FILE))?, opts.buffer),
+        ),
+        shard_sinks: Mutex::new_named("wal.shard_sinks", Vec::new()),
         next_base: AtomicU32::new(next_base),
         sync: opts.sync,
         buffer: opts.buffer,
         group: opts.group_commit.map(|max_group| GroupCommitter {
             max_group: max_group.max(1),
-            state: Mutex::new(GroupState::default()),
+            state: Mutex::new_named("wal.group_state", GroupState::default()),
             wakeup: Condvar::new(),
         }),
         group_flushes: AtomicU64::new(0),
@@ -732,10 +740,10 @@ impl Wal {
     /// [`Wal::log_commit`] can flush — and under [`WalOptions::sync`]
     /// fsync — the data logs before the decision record.
     pub(crate) fn open_shard_log(&self, k: usize) -> io::Result<ShardSink> {
-        let writer = Arc::new(Mutex::new(LogWriter::new(
-            append_mode(&self.dir.join(shard_file(k)))?,
-            self.buffer,
-        )));
+        let writer = Arc::new(Mutex::new_named(
+            "wal.shard_sink",
+            LogWriter::new(append_mode(&self.dir.join(shard_file(k)))?, self.buffer),
+        ));
         let dirty = Arc::new(AtomicBool::new(false));
         self.shard_sinks
             .lock()

@@ -1,0 +1,333 @@
+//! ddlf-lint — source-level lock-discipline rules clippy can't express.
+//!
+//! Scans `crates/*/src` (the vendored shims under `vendor/` are exempt
+//! by construction) and enforces four repo rules:
+//!
+//! * `std-sync` — no `std::sync::Mutex`/`RwLock`/`Condvar` outside the
+//!   vendored `parking_lot` shim, so every lock in the tree goes
+//!   through the instrumented (lockdep-hooked) types. Crates that must
+//!   stay below `parking_lot` in the dependency graph (`ddlf-telemetry`,
+//!   `ddlf-lockdep` itself) opt out per line with
+//!   `// lockdep: allow(std-sync)`.
+//! * `raw-fsync` — no `sync_data`/`sync_all` outside `wal.rs`:
+//!   durability belongs to the WAL layer, where the blocking-section
+//!   verifier brackets it.
+//! * `held-across-blocking` — no `.lock(` call textually inside a
+//!   `blocking_region` scope without
+//!   `// lockdep: allow(held-across-blocking)`; the dynamic checker
+//!   catches the runtime form, this catches it at review time.
+//! * `channel-unwrap` — in `crates/server`, no `.unwrap()` on
+//!   cross-thread channel/socket results (`recv`/`send`/`accept`): a
+//!   disconnected peer must degrade, not panic a server thread.
+//!   (Test modules — everything after a `#[cfg(test)]` line — are
+//!   exempt.)
+//!
+//! Violations print GitHub `::error file=…,line=…::…` annotations and
+//! the process exits non-zero, so the CI `lint-test` job surfaces them
+//! inline on the PR diff.
+
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, PartialEq, Eq)]
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// True when `line` (or the previous line) carries the allow pragma
+/// for `rule`.
+fn allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let needle = format!("lockdep: allow({rule})");
+    lines[idx].contains(&needle) || (idx > 0 && lines[idx - 1].contains(&needle))
+}
+
+/// Strips a trailing `// …` line comment (naive: does not parse string
+/// literals, which is fine for the patterns these rules match).
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// True when `hay` contains `pat` NOT followed by an identifier
+/// character (so `std::sync::Mutex` does not match `MutexGuard`).
+fn contains_word(hay: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(i) = hay[from..].find(pat) {
+        let end = from + i + pat.len();
+        let boundary = hay[end..]
+            .chars()
+            .next()
+            .map(|c| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(true);
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Scans one source file; `file` is the repo-relative label used in
+/// annotations.
+fn scan_source(file: &str, content: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    let is_wal = file.ends_with("wal.rs");
+    let in_server = file.contains("crates/server/");
+
+    // Brace depth per line start, plus open blocking_region scopes as
+    // (start_depth) entries; a scope closes when depth drops below it.
+    let mut depth: i64 = 0;
+    let mut region_scopes: Vec<i64> = Vec::new();
+    let mut in_tests = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = code_of(raw);
+        let n = idx + 1;
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+
+        // ---- rule: std-sync ----
+        let std_sync_hit = contains_word(line, "std::sync::Mutex")
+            || contains_word(line, "std::sync::RwLock")
+            || contains_word(line, "std::sync::Condvar")
+            || (line.contains("use std::sync::")
+                && (contains_word(line, "Mutex")
+                    || contains_word(line, "RwLock")
+                    || contains_word(line, "Condvar")));
+        if std_sync_hit && !allowed(&lines, idx, "std-sync") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: n,
+                rule: "std-sync",
+                message: "std::sync lock primitive outside the vendored parking_lot shim; \
+                          use parking_lot (lockdep-instrumented) or annotate with \
+                          `// lockdep: allow(std-sync)`"
+                    .to_string(),
+            });
+        }
+
+        // ---- rule: raw-fsync ----
+        if !is_wal
+            && (contains_word(line, "sync_data") || contains_word(line, "sync_all"))
+            && !allowed(&lines, idx, "raw-fsync")
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: n,
+                rule: "raw-fsync",
+                message: "raw fsync outside wal.rs; route durability through the WAL \
+                          layer (blocking-section verified) or annotate with \
+                          `// lockdep: allow(raw-fsync)`"
+                    .to_string(),
+            });
+        }
+
+        // ---- rule: held-across-blocking ----
+        if !region_scopes.is_empty()
+            && line.contains(".lock(")
+            && !allowed(&lines, idx, "held-across-blocking")
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: n,
+                rule: "held-across-blocking",
+                message: "lock acquisition textually inside a blocking_region scope; \
+                          hoist it out or annotate with \
+                          `// lockdep: allow(held-across-blocking)`"
+                    .to_string(),
+            });
+        }
+
+        // ---- rule: channel-unwrap ----
+        if in_server
+            && !in_tests
+            && line.contains(".unwrap()")
+            && (line.contains(".recv(")
+                || line.contains(".try_recv(")
+                || line.contains(".send(")
+                || line.contains(".accept("))
+            && !allowed(&lines, idx, "channel-unwrap")
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: n,
+                rule: "channel-unwrap",
+                message: "unwrap() on a cross-thread channel/socket result in the \
+                          server; a disconnected peer must degrade, not panic \
+                          (or annotate with `// lockdep: allow(channel-unwrap)`)"
+                    .to_string(),
+            });
+        }
+
+        // Track blocking_region scopes *after* rule checks so the
+        // guard-creating line itself is not inside its own scope. A
+        // region opened at depth d is alive until the enclosing block
+        // closes (depth drops below d); a net-brace-neutral inner block
+        // on one line leaves it open, which errs conservative.
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if line.contains("blocking_region(") {
+            region_scopes.push(depth);
+        }
+        while region_scopes.last().is_some_and(|&d| depth < d) {
+            region_scopes.pop();
+        }
+    }
+    findings
+}
+
+fn rust_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans every `crates/*/src` tree under `repo_root`.
+fn scan_repo(repo_root: &Path) -> Vec<Finding> {
+    let crates = repo_root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                crate_dirs.push(src);
+            }
+        }
+    }
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in &crate_dirs {
+        rust_files(dir, &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        // The lint's own source is full of deliberately-violating test
+        // fixtures; scanning it would be navel-gazing.
+        if path.ends_with("bin/ddlf_lint.rs") {
+            continue;
+        }
+        let Ok(content) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let label = path
+            .strip_prefix(repo_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_source(&label, &content));
+    }
+    findings
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let findings = scan_repo(&root);
+    for f in &findings {
+        println!(
+            "::error file={},line={}::{}: {}",
+            f.file, f.line, f.rule, f.message
+        );
+        eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if findings.is_empty() {
+        println!("ddlf-lint: clean");
+    } else {
+        eprintln!("ddlf-lint: {} violation(s)", findings.len());
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(file: &str, src: &str) -> Vec<(&'static str, usize)> {
+        scan_source(file, src)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn std_sync_flagged_unless_annotated() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(rules("crates/x/src/lib.rs", src), vec![("std-sync", 1)]);
+        let ok = "// lockdep: allow(std-sync)\nuse std::sync::Mutex;\n";
+        assert!(rules("crates/x/src/lib.rs", ok).is_empty());
+        let inline = "use std::sync::Mutex; // lockdep: allow(std-sync)\n";
+        assert!(rules("crates/x/src/lib.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn std_sync_word_boundary_spares_guards_and_atomics() {
+        let src = "fn f() -> std::sync::MutexGuard<'static, u8> { todo!() }\n\
+                   use std::sync::atomic::AtomicU8;\nuse std::sync::Arc;\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_fsync_allowed_only_in_wal() {
+        let src = "fn f(file: &std::fs::File) { file.sync_data().ok(); }\n";
+        assert_eq!(rules("crates/x/src/store.rs", src), vec![("raw-fsync", 1)]);
+        assert!(rules("crates/engine/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_inside_blocking_region_flagged() {
+        let src = "fn f() {\n    let _r = blocking_region(BlockingKind::Fsync);\n    \
+                   let g = self.state.lock();\n}\nfn g() {\n    let h = self.state.lock();\n}\n";
+        assert_eq!(
+            rules("crates/x/src/lib.rs", src),
+            vec![("held-across-blocking", 3)]
+        );
+        let ok = "fn f() {\n    let _r = blocking_region(BlockingKind::Fsync);\n    \
+                  // lockdep: allow(held-across-blocking)\n    let g = self.state.lock();\n}\n";
+        assert!(rules("crates/x/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn blocking_scope_ends_with_block() {
+        let src = "fn f() {\n    {\n        let _r = blocking_region(K);\n    }\n    \
+                   let g = self.state.lock();\n}\n";
+        assert!(rules("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn server_channel_unwrap_flagged_outside_tests() {
+        let src = "fn f(rx: &Receiver<u8>) { let _ = rx.recv().unwrap(); }\n";
+        assert_eq!(
+            rules("crates/server/src/server.rs", src),
+            vec![("channel-unwrap", 1)]
+        );
+        // Same pattern outside crates/server: out of scope.
+        assert!(rules("crates/engine/src/executor.rs", src).is_empty());
+        // After #[cfg(test)]: exempt.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f(rx: &Receiver<u8>) \
+                        { let _ = rx.recv().unwrap(); }\n}\n";
+        assert!(rules("crates/server/src/server.rs", test_src).is_empty());
+    }
+}

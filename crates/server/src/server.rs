@@ -18,6 +18,7 @@ use crate::proto::{
     ErrorKind, InflateSpec, Registered, Request, Response, RunStats, StatsSnapshot,
 };
 use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation, Telemetry};
+use ddlf_lockdep::{blocking_region, BlockingKind};
 use ddlf_model::{SystemSpec, TxnId};
 use ddlf_sim::msg::frame;
 use parking_lot::Mutex;
@@ -261,12 +262,12 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                engine: Mutex::new(engine),
+                engine: Mutex::new_named("server.engine", engine),
                 telemetry: cfg.engine.telemetry.clone(),
                 cfg,
                 shutdown: AtomicBool::new(false),
                 addr,
-                conns: Mutex::new(HashMap::new()),
+                conns: Mutex::new_named("server.conns", HashMap::new()),
             }),
         })
     }
@@ -285,12 +286,20 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let mut workers = Vec::new();
         let mut next_conn_id = 0u64;
-        for conn in self.listener.incoming() {
+        loop {
+            // The accept wait is a lockdep blocking region: the accept
+            // loop must hold no lock while parked in the kernel (no
+            // class is Accept-allowlisted), or a stalled client could
+            // wedge every worker behind it.
+            let conn = {
+                let _accept = blocking_region(BlockingKind::Accept);
+                self.listener.accept()
+            };
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match conn {
-                Ok(s) => s,
+                Ok((s, _peer)) => s,
                 Err(e) => {
                     eprintln!("ddlf-server: accept error: {e}");
                     continue;
@@ -326,8 +335,13 @@ impl Server {
         }
         // Unblock workers waiting for a next request that will never
         // come; a worker mid-request is left alone — the join below
-        // waits for it to finish executing and reply.
-        for (_, conn) in self.shared.conns.lock().iter() {
+        // waits for it to finish executing and reply. Drain the map
+        // under the lock but issue the socket syscalls *outside* it:
+        // every exiting worker's `Deregister` takes `server.conns` too,
+        // and holding it across kernel calls would stall their teardown
+        // behind the network stack (lockdep shutdown-path audit).
+        let idle: Vec<(u64, TcpStream)> = self.shared.conns.lock().drain().collect();
+        for (_, conn) in &idle {
             let _ = conn.shutdown(std::net::Shutdown::Read);
         }
         for worker in workers {

@@ -131,10 +131,20 @@ impl History {
 /// An optional **sink** observes every event from inside the same
 /// critical section, so a durable copy (the engine's `history.wal`)
 /// sees events in exactly timestamp order.
-#[derive(Default)]
 pub struct SharedHistory {
     history: Mutex<History>,
     sink: Option<EventSink>,
+}
+
+impl Default for SharedHistory {
+    // Manual (not derived) so the mutex lands in the `history.shared`
+    // lock-discipline class on every construction path.
+    fn default() -> Self {
+        Self {
+            history: Mutex::new_named("history.shared", History::new()),
+            sink: None,
+        }
+    }
 }
 
 /// The observer type [`SharedHistory::with_sink`] installs.
@@ -160,7 +170,7 @@ impl SharedHistory {
     /// logging hangs off this).
     pub fn with_sink(sink: EventSink) -> Self {
         Self {
-            history: Mutex::new(History::new()),
+            history: Mutex::new_named("history.shared", History::new()),
             sink: Some(sink),
         }
     }

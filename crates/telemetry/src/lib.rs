@@ -42,6 +42,9 @@ pub use histogram::{
 pub use trace::{SpanEvent, SpanKind, TraceRing};
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+// Telemetry stays dependency-free (no parking_lot, so attaching it can
+// never perturb the lock graph it helps diagnose); its two short
+// critical sections leaf-lock by construction. lockdep: allow(std-sync)
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 

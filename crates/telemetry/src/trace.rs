@@ -13,6 +13,7 @@
 //! Events dump as JSON lines ([`TraceRing::dump_jsonl`]) for
 //! flamegraph-style offline inspection.
 
+// Leaf lock in a dependency-free crate; see lib.rs. lockdep: allow(std-sync)
 use std::sync::Mutex;
 
 /// What happened at one point of an instance's lifecycle.

@@ -5,26 +5,140 @@
 //! `Condvar` with panic-poisoning ignored (parking_lot's signature
 //! difference from std). Swap back to the real crate by flipping one
 //! line in the workspace manifest.
+//!
+//! With the `lockdep` cargo feature, every acquire, release, and condvar
+//! wait additionally reports to the `ddlf_lockdep` validator: guards
+//! carry their lock class and `#[track_caller]` captures each
+//! acquisition site, so one instrumented test run certifies the
+//! class-order graph of everything it executed. Without the feature the
+//! hooks compile to nothing and the guards are plain newtypes.
+//!
+//! One deliberate API divergence from the real crate:
+//! [`Mutex::new_named`]/[`RwLock::new_named`] register the lock under a
+//! lock-discipline *class name* (see ARCHITECTURE.md "Lock discipline");
+//! the name is ignored when `lockdep` is off, and the real parking_lot
+//! would simply not have the constructor.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, TryLockError};
 use std::time::Duration;
 
+#[cfg(feature = "lockdep")]
+use std::panic::Location;
+#[cfg(feature = "lockdep")]
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Lazily-assigned lockdep class of one lock instance.
+#[cfg(feature = "lockdep")]
+#[derive(Debug, Default)]
+struct ClassCell {
+    /// Class name from the construction site; `""` means anonymous
+    /// (a fresh per-instance class, so unrelated locks never alias).
+    name: &'static str,
+    /// 0 = unassigned; otherwise class index + 1.
+    id: AtomicU32,
+}
+
+#[cfg(feature = "lockdep")]
+impl ClassCell {
+    const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            id: AtomicU32::new(0),
+        }
+    }
+
+    fn class(&self) -> ddlf_lockdep::ClassId {
+        let v = self.id.load(Ordering::Relaxed);
+        if v != 0 {
+            return ddlf_lockdep::ClassId::from_raw(v - 1);
+        }
+        let id = if self.name.is_empty() {
+            ddlf_lockdep::anon_class()
+        } else {
+            ddlf_lockdep::register_class(self.name)
+        };
+        match self
+            .id
+            .compare_exchange(0, id.raw() + 1, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => id,
+            // Another thread won the installation race; defer to its
+            // class (identical anyway for named locks).
+            Err(cur) => ddlf_lockdep::ClassId::from_raw(cur - 1),
+        }
+    }
+}
+
 /// A mutual-exclusion primitive; `lock` never returns a poison error.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: ClassCell,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[must_use = "if unused the Mutex will immediately unlock"]
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: ddlf_lockdep::ClassId,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        ddlf_lockdep::on_release(self.class);
+    }
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new mutex (anonymous lock class under lockdep).
     pub const fn new(value: T) -> Self {
-        Self(sync::Mutex::new(value))
+        Self {
+            #[cfg(feature = "lockdep")]
+            class: ClassCell::new(""),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex registered under the lock-discipline class
+    /// `name`. All locks sharing a name share one ordering class; the
+    /// name is ignored without the `lockdep` feature.
+    pub const fn new_named(name: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lockdep"))]
+        let _ = name;
+        Self {
+            #[cfg(feature = "lockdep")]
+            class: ClassCell::new(name),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -33,25 +147,51 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until available. Poison is ignored.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
+        #[cfg(feature = "lockdep")]
+        let class = {
+            let class = self.class.class();
+            // Report before blocking: a potential deadlock is recorded
+            // even if this very acquisition would hang.
+            ddlf_lockdep::on_acquire(class, Location::caller());
+            class
+        };
+        let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        MutexGuard {
+            #[cfg(feature = "lockdep")]
+            class,
+            inner,
         }
     }
 
     /// Attempts to acquire the mutex without blocking.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lockdep")]
+        let class = {
+            let class = self.class.class();
+            ddlf_lockdep::on_acquire(class, Location::caller());
+            class
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "lockdep")]
+            class,
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -60,22 +200,99 @@ impl<T: ?Sized> Mutex<T> {
 
 /// A reader-writer lock; poisoning is ignored.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: ClassCell,
+    inner: sync::RwLock<T>,
+}
 
 /// RAII read guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[must_use = "if unused the RwLock will immediately unlock"]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: ddlf_lockdep::ClassId,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
 /// RAII write guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[must_use = "if unused the RwLock will immediately unlock"]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    class: ddlf_lockdep::ClassId,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        ddlf_lockdep::on_release(self.class);
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        ddlf_lockdep::on_release(self.class);
+    }
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock.
+    /// Creates a new reader-writer lock (anonymous class under lockdep).
     pub const fn new(value: T) -> Self {
-        Self(sync::RwLock::new(value))
+        Self {
+            #[cfg(feature = "lockdep")]
+            class: ClassCell::new(""),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a reader-writer lock registered under the
+    /// lock-discipline class `name`; see [`Mutex::new_named`].
+    pub const fn new_named(name: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lockdep"))]
+        let _ = name;
+        Self {
+            #[cfg(feature = "lockdep")]
+            class: ClassCell::new(name),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -84,18 +301,42 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.0.read() {
+        #[cfg(feature = "lockdep")]
+        let class = {
+            let class = self.class.class();
+            ddlf_lockdep::on_acquire(class, Location::caller());
+            class
+        };
+        let inner = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            #[cfg(feature = "lockdep")]
+            class,
+            inner,
         }
     }
 
     /// Acquires an exclusive write lock.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.0.write() {
+        #[cfg(feature = "lockdep")]
+        let class = {
+            let class = self.class.class();
+            ddlf_lockdep::on_acquire(class, Location::caller());
+            class
+        };
+        let inner = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            #[cfg(feature = "lockdep")]
+            class,
+            inner,
         }
     }
 }
@@ -121,22 +362,33 @@ impl Condvar {
         Self(sync::Condvar::new())
     }
 
-    /// Blocks on the condvar, atomically releasing the guard.
+    /// Blocks on the condvar, atomically releasing the guard. Under
+    /// lockdep the waited mutex leaves the held-stack for the duration
+    /// (the wait releases it), and holding any *other* lock class at
+    /// this point is flagged as a discipline violation.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn wait<'a, T>(&self, guard: &mut MutexGuard<'a, T>) {
-        take_mut_guard(guard, |g| match self.0.wait(g) {
+        #[cfg(feature = "lockdep")]
+        let token = ddlf_lockdep::condvar_wait_begin(guard.class, Location::caller());
+        take_mut_guard(&mut guard.inner, |g| match self.0.wait(g) {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         });
+        #[cfg(feature = "lockdep")]
+        ddlf_lockdep::condvar_wait_end(token);
     }
 
     /// Blocks with a timeout; returns whether the wait timed out.
+    #[cfg_attr(feature = "lockdep", track_caller)]
     pub fn wait_for<'a, T>(
         &self,
         guard: &mut MutexGuard<'a, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(feature = "lockdep")]
+        let token = ddlf_lockdep::condvar_wait_begin(guard.class, Location::caller());
         let mut timed_out = false;
-        take_mut_guard(guard, |g| {
+        take_mut_guard(&mut guard.inner, |g| {
             let (g, r) = match self.0.wait_timeout(g, timeout) {
                 Ok(pair) => pair,
                 Err(p) => p.into_inner(),
@@ -144,6 +396,8 @@ impl Condvar {
             timed_out = r.timed_out();
             g
         });
+        #[cfg(feature = "lockdep")]
+        ddlf_lockdep::condvar_wait_end(token);
         WaitTimeoutResult(timed_out)
     }
 
@@ -162,8 +416,8 @@ impl Condvar {
 // by moving the guard out and back in. The dance is safe because the
 // closure always returns a live guard for the same mutex.
 fn take_mut_guard<'a, T>(
-    slot: &mut MutexGuard<'a, T>,
-    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    slot: &mut sync::MutexGuard<'a, T>,
+    f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
 ) {
     unsafe {
         let guard = std::ptr::read(slot);
@@ -209,5 +463,63 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() += 1;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended_and_free() {
+        let m = Mutex::new(7);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().unwrap(), 7);
+    }
+
+    /// Shim-level detector exercise: a real ABBA inversion through the
+    /// instrumented lock path (not just the raw hooks) is reported with
+    /// the two named classes.
+    #[cfg(feature = "lockdep")]
+    #[test]
+    fn lockdep_sees_abba_through_the_shim() {
+        ddlf_lockdep::set_mode(ddlf_lockdep::Mode::Warn);
+        let a = Mutex::new_named("shimtest.abba.a", ());
+        let b = Mutex::new_named("shimtest.abba.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        let v = ddlf_lockdep::take_violations_with_prefix("shimtest.abba.");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ddlf_lockdep::ViolationKind::OrderInversion);
+        let mut cycle = v[0].classes.clone();
+        cycle.sort();
+        assert_eq!(cycle, vec!["shimtest.abba.a", "shimtest.abba.b"]);
+    }
+
+    /// Waiting while holding only the waited mutex is clean, and the
+    /// held-stack survives the pop/re-push round trip.
+    #[cfg(feature = "lockdep")]
+    #[test]
+    fn lockdep_condvar_wait_is_clean_when_disciplined() {
+        ddlf_lockdep::set_mode(ddlf_lockdep::Mode::Warn);
+        let pair = Arc::new((Mutex::new_named("shimtest.cv.m", false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        drop(done);
+        h.join().unwrap();
+        assert!(ddlf_lockdep::take_violations_with_prefix("shimtest.cv.").is_empty());
     }
 }

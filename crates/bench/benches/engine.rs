@@ -27,7 +27,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation, TemplateRegistry};
-use ddlf_model::TransactionSystem;
+use ddlf_model::{EntityId, TransactionSystem};
 use ddlf_workloads::{bank_greedy_pair, bank_ordered_pair, bank_uniform_transfer, Warehouse};
 use std::time::Duration;
 
@@ -238,12 +238,89 @@ fn bench_group_commit(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+fn bench_ro_snapshot(c: &mut Criterion) {
+    // E16 (`ro_snapshot`): read scalability of the multiversion path —
+    // a fixed budget of whole-database snapshot reads split across R
+    // reader threads against a chain-populated store. The lock-free
+    // rows should show wall time *dropping* as R grows (readers share
+    // nothing but atomics); the locked-oracle rows read the same cut
+    // through the `store.mvcc` mutex, so they serialize and cannot
+    // scale. The database is deliberately wide (256 entities): the
+    // scan itself must be the work, not reader-slot registration, and
+    // the mutex hold time must be long enough that serializing on it
+    // is visible. Snapshot: BENCH_snapshot.json.
+    use ddlf_model::{Database, Op, Transaction};
+    let db = Database::one_entity_per_site(256);
+    let (x, y) = (EntityId(0), EntityId(1));
+    let ops = [Op::lock(x), Op::lock(y), Op::unlock(y), Op::unlock(x)];
+    let txns = vec![
+        Transaction::from_total_order("T1", &ops, &db).unwrap(),
+        Transaction::from_total_order("T2", &ops, &db).unwrap(),
+    ];
+    let sys = TransactionSystem::new(db, txns).unwrap();
+    let engine = Engine::new(sys, quick_cfg(64, false));
+    assert_eq!(engine.run().committed, 64, "populate the version chains");
+    let entities: Vec<EntityId> = engine.store().db().entities().collect();
+
+    const TOTAL_SCANS: usize = 2_048;
+    let mut g = c.benchmark_group("ro_snapshot");
+    g.sample_size(10);
+    for &readers in &[1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("lock_free", readers),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for _ in 0..readers {
+                            s.spawn(|| {
+                                let mut sum = 0u128;
+                                for _ in 0..TOTAL_SCANS / readers {
+                                    sum += engine.run_read_only(&entities).sum_int();
+                                }
+                                sum
+                            });
+                        }
+                    })
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("locked_oracle", readers),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for _ in 0..readers {
+                            s.spawn(|| {
+                                let mut sum = 0u128;
+                                for _ in 0..TOTAL_SCANS / readers {
+                                    sum += engine
+                                        .store()
+                                        .snapshot()
+                                        .iter()
+                                        .filter_map(|(_, v)| v.datum.as_int())
+                                        .map(u128::from)
+                                        .sum::<u128>();
+                                }
+                                sum
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_banking,
     bench_warehouse,
     bench_inflation,
     bench_wal,
-    bench_group_commit
+    bench_group_commit,
+    bench_ro_snapshot
 );
 criterion_main!(benches);

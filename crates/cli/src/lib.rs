@@ -178,6 +178,11 @@ pub enum Command {
         trace_sample: u32,
         /// Write the captured trace as JSON lines to this file.
         trace_out: Option<String>,
+        /// Concurrent read-only scanner threads: each loops full-store
+        /// snapshot reads on the lock-free multiversion path while the
+        /// writers run, asserting the observed timestamps never run
+        /// backwards. Reader throughput is reported alongside the run.
+        readers: usize,
     },
     /// `recover <wal-dir> [--expect-total N] [--json]`
     Recover {
@@ -257,6 +262,25 @@ pub enum Command {
         /// rendering.
         prom: bool,
     },
+    /// `read <addr> <all|e1,e2,...> [--json] [--expect-total N]
+    /// [--conserve-step B:S]`
+    Read {
+        /// Address of a running `ddlf-audit serve`.
+        addr: String,
+        /// Entity names to read (`all` = the whole database in schema
+        /// order).
+        entities: Vec<String>,
+        /// Emit the snapshot as one JSON object on stdout.
+        json: bool,
+        /// Fail unless the snapshot's Σint equals this (conservation
+        /// check for transfer workloads, over the wire).
+        expect_total: Option<u128>,
+        /// Fail unless `(Σint − B) % S == 0`: for workloads whose every
+        /// commit adds a fixed quantum `S` on top of base `B` (e.g. the
+        /// default counter program), *any* committed cut satisfies this
+        /// — the mid-run form of the conservation check.
+        conserve_step: Option<(u128, u128)>,
+    },
 }
 
 /// Parses `--inflate`'s value (`auto` or a `k ≥ 1`).
@@ -271,6 +295,24 @@ fn parse_inflate(v: &str) -> Result<InflateArg, String> {
         return Err("bad --inflate: k must be ≥ 1".to_string());
     }
     Ok(InflateArg::Uniform(k))
+}
+
+/// Parses `--conserve-step`'s `B:S` value: base total and per-commit
+/// step quantum (`S ≥ 1`).
+fn parse_conserve_step(v: &str) -> Result<(u128, u128), String> {
+    let (b, s) = v
+        .split_once(':')
+        .ok_or_else(|| format!("bad --conserve-step {v:?}: want BASE:STEP"))?;
+    let base: u128 = b
+        .parse()
+        .map_err(|e| format!("bad --conserve-step base: {e}"))?;
+    let step: u128 = s
+        .parse()
+        .map_err(|e| format!("bad --conserve-step step: {e}"))?;
+    if step == 0 {
+        return Err("bad --conserve-step: step must be ≥ 1".to_string());
+    }
+    Ok((base, step))
 }
 
 /// Parses `--group-commit[=MAX]`: the bare flag picks the engine's
@@ -400,6 +442,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut no_telemetry = false;
             let mut trace_sample = 0u32;
             let mut trace_out = None;
+            let mut readers = 0usize;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -448,6 +491,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--trace-out" => {
                         trace_out = Some(take_value(&rest, &mut i, "--trace-out")?.to_string());
                     }
+                    "--readers" => readers = parse_value(&rest, &mut i, "--readers")?,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -466,6 +510,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 no_telemetry,
                 trace_sample,
                 trace_out,
+                readers,
             })
         }
         "recover" => {
@@ -566,6 +611,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Stats { addr, json, prom })
         }
+        "read" => {
+            let addr = spec;
+            let mut it2 = it;
+            let which = it2
+                .next()
+                .ok_or_else(|| format!("read needs <addr> <all|e1,e2,...>\n{}", usage()))?;
+            let entities: Vec<String> = if which == "all" {
+                vec![]
+            } else {
+                which.split(',').map(str::to_string).collect()
+            };
+            let mut json = false;
+            let mut expect_total = None;
+            let mut conserve_step = None;
+            let rest: Vec<&String> = it2.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--expect-total" => {
+                        expect_total = Some(parse_value(&rest, &mut i, "--expect-total")?);
+                    }
+                    "--conserve-step" => {
+                        conserve_step = Some(parse_conserve_step(take_value(
+                            &rest,
+                            &mut i,
+                            "--conserve-step",
+                        )?)?);
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Read {
+                addr,
+                entities,
+                json,
+                expect_total,
+                conserve_step,
+            })
+        }
         "submit" => {
             let addr = spec;
             let mut it2 = it;
@@ -647,7 +735,7 @@ fn usage() -> String {
      [--policy nothing|detect|wound-wait|wait-die] [--seeds N] \
      [--txns N] [--threads K] [--inflate k|auto] [--force-fallback] [--work USEC] [--wal DIR] \
      [--wal-sync] [--group-commit[=MAX]] [--admission-batch N] [--json] [--no-telemetry] \
-     [--trace-sample N] [--trace-out FILE]\n\
+     [--trace-sample N] [--trace-out FILE] [--readers R]\n\
      \x20      ddlf-audit explore <system.json> [--txns N] [--budget S] [--seed K] [--json] \
      [--expect-counterexample] [--trace-out FILE] [--no-prune] [--no-replay]\n\
      \x20      ddlf-audit recover <wal-dir> [--expect-total N] [--json]\n\
@@ -656,6 +744,8 @@ fn usage() -> String {
      \x20      ddlf-audit submit <addr> <system.json> [--txns N] [--template NAME] \
      [--inflate k|auto] [--expect-zero-aborts] [--shutdown]\n\
      \x20      ddlf-audit stats <addr> [--json|--prom]\n\
+     \x20      ddlf-audit read <addr> <all|e1,e2,...> [--json] [--expect-total N] \
+     [--conserve-step B:S]\n\
      \x20      ddlf-audit lockgraph [--dot]   (build with --features lockdep)"
         .to_string()
 }
@@ -943,6 +1033,9 @@ fn stats_json(s: &StatsSnapshot) -> serde_json::Value {
         ("trace_dropped", ju(s.trace_dropped)),
         ("group_flushes", ju(s.group_flushes)),
         ("group_commits", ju(s.group_commits)),
+        ("chain_versions", ju(s.chain_versions)),
+        ("chain_max_len", ju(s.chain_max_len)),
+        ("chain_watermark", ju(s.chain_watermark)),
         (
             "mean_group_size",
             Value::F64(if s.group_flushes == 0 {
@@ -1027,6 +1120,12 @@ fn stats_prom(s: &StatsSnapshot) -> String {
     let _ = writeln!(out, "ddlf_group_flushes_total {}", s.group_flushes);
     let _ = writeln!(out, "# TYPE ddlf_group_commits_total counter");
     let _ = writeln!(out, "ddlf_group_commits_total {}", s.group_commits);
+    let _ = writeln!(out, "# TYPE ddlf_chain_versions gauge");
+    let _ = writeln!(out, "ddlf_chain_versions {}", s.chain_versions);
+    let _ = writeln!(out, "# TYPE ddlf_chain_max_len gauge");
+    let _ = writeln!(out, "ddlf_chain_max_len {}", s.chain_max_len);
+    let _ = writeln!(out, "# TYPE ddlf_chain_watermark gauge");
+    let _ = writeln!(out, "ddlf_chain_watermark {}", s.chain_watermark);
     if s.group_flushes > 0 {
         let _ = writeln!(out, "# TYPE ddlf_mean_group_size gauge");
         let _ = writeln!(
@@ -1111,6 +1210,13 @@ fn stats_human(s: &StatsSnapshot) -> String {
                 .unwrap_or_default(),
         );
     }
+    if s.chain_versions > 0 {
+        let _ = writeln!(
+            out,
+            "mvcc: {} retained versions (longest chain {}, GC watermark ts {})",
+            s.chain_versions, s.chain_max_len, s.chain_watermark,
+        );
+    }
     if s.phases.is_empty() {
         let _ = writeln!(
             out,
@@ -1168,6 +1274,116 @@ pub fn run_stats(addr: &str, json: bool, prom: bool) -> (String, i32) {
     } else {
         (stats_human(&stats), 0)
     }
+}
+
+/// `read`: runs one read-only transaction against a running server —
+/// a committed multiversion cut served off the lock-free snapshot path,
+/// so it answers even while another connection's `Submit` holds the
+/// engine. `--expect-total` asserts an exact Σint; `--conserve-step
+/// B:S` asserts the step-quantum identity `(Σint − B) % S == 0`, which
+/// *every* committed cut of a fixed-quantum workload satisfies — the
+/// conservation check that works mid-run. Violations exit 1,
+/// connection failures exit 2.
+pub fn run_read(cmd: &Command) -> (String, i32) {
+    let Command::Read {
+        addr,
+        entities,
+        json,
+        expect_total,
+        conserve_step,
+    } = cmd
+    else {
+        return ("run_read requires a read command\n".to_string(), 2);
+    };
+    let mut client = match Client::connect_retry(addr.clone(), Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(e) => return (format!("cannot connect to {addr}: {e}\n"), 2),
+    };
+    let snap = match client.read(entities) {
+        Ok(s) => s,
+        Err(e) => return (format!("read failed: {e}\n"), 2),
+    };
+    let sum = snap.sum_int();
+    let mut bad = false;
+    let mut verdicts: Vec<String> = Vec::new();
+    if let Some(expected) = expect_total {
+        if sum == *expected {
+            verdicts.push(format!("conservation holds: Σint = {expected}"));
+        } else {
+            verdicts.push(format!(
+                "CONSERVATION VIOLATED: Σint {sum} ≠ expected {expected}"
+            ));
+            bad = true;
+        }
+    }
+    if let Some((base, step)) = conserve_step {
+        if sum >= *base && (sum - base) % step == 0 {
+            verdicts.push(format!(
+                "conservation holds: Σint − {base} is a multiple of {step}"
+            ));
+        } else {
+            verdicts.push(format!(
+                "CONSERVATION VIOLATED: Σint {sum} is not {base} + k·{step} — \
+                 the cut split a commit"
+            ));
+            bad = true;
+        }
+    }
+    if *json {
+        use serde_json::Value;
+        let obj = jobj(vec![
+            ("ts", ju(snap.ts)),
+            ("entities", ju(snap.entries.len() as u64)),
+            // u128 exceeds JSON's interoperable number range; ship it
+            // as a string.
+            ("sum_int", Value::Str(sum.to_string())),
+            (
+                "conservation_ok",
+                if expect_total.is_some() || conserve_step.is_some() {
+                    Value::Bool(!bad)
+                } else {
+                    Value::Null
+                },
+            ),
+            (
+                "entries",
+                Value::Arr(
+                    snap.entries
+                        .iter()
+                        .map(|e| {
+                            jobj(vec![
+                                ("name", Value::Str(e.name.clone())),
+                                ("commit_ts", ju(e.commit_ts)),
+                                ("version", ju(e.version)),
+                                ("value", e.value.map_or(Value::Null, ju)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        return (
+            format!("{}\n", serde_json::to_string(&obj).unwrap()),
+            i32::from(bad),
+        );
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", snap.summary());
+    for e in &snap.entries {
+        let _ = writeln!(
+            out,
+            "  {:<24} ts {:>6} v{:<5} {}",
+            e.name,
+            e.commit_ts,
+            e.version,
+            e.value
+                .map_or_else(|| "<bytes>".to_string(), |v| v.to_string()),
+        );
+    }
+    for v in verdicts {
+        let _ = writeln!(out, "{v}");
+    }
+    (out, i32::from(bad))
 }
 
 /// `lockgraph`: drives a built-in workload across every locking
@@ -1819,6 +2035,7 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
             no_telemetry,
             trace_sample,
             trace_out,
+            readers,
             ..
         } => {
             let admission = AdmissionOptions {
@@ -1859,7 +2076,40 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                 let _ = writeln!(out, "admission: {}", engine.registry().verdict());
                 let _ = write!(out, "{}", engine.registry().plan().render(sys));
             }
-            let report = engine.run();
+            // `--readers R`: R scanner threads loop full-store
+            // read-only transactions on the lock-free snapshot path
+            // while the writers run. Each asserts its observed
+            // timestamps never run backwards; the joined scan count
+            // reports reader throughput next to the write report.
+            let all_entities: Vec<ddlf_model::EntityId> = sys.db().entities().collect();
+            let stop_readers = std::sync::atomic::AtomicBool::new(false);
+            let started = std::time::Instant::now();
+            let (report, ro_scans) = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..*readers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut scans = 0u64;
+                            let mut last_ts = 0u64;
+                            while !stop_readers.load(std::sync::atomic::Ordering::Relaxed) {
+                                let snap = engine.run_read_only(&all_entities);
+                                assert!(
+                                    snap.ts >= last_ts,
+                                    "snapshot ts ran backwards: {} after {last_ts}",
+                                    snap.ts
+                                );
+                                last_ts = snap.ts;
+                                scans += 1;
+                            }
+                            scans
+                        })
+                    })
+                    .collect();
+                let report = engine.run();
+                stop_readers.store(true, std::sync::atomic::Ordering::Relaxed);
+                let scans: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                (report, scans)
+            });
+            let ro_elapsed = started.elapsed();
             if let Some(path) = trace_out {
                 if let Err(e) = std::fs::write(path, telemetry.dump_trace_jsonl()) {
                     return (out + &format!("cannot write trace to {path}: {e}\n"), 2);
@@ -1881,6 +2131,21 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                             ),
                         ]),
                     ));
+                    if *readers > 0 {
+                        entries.push((
+                            "readers".to_string(),
+                            jobj(vec![
+                                ("threads", ju(*readers as u64)),
+                                ("scans", ju(ro_scans)),
+                                (
+                                    "scans_per_sec",
+                                    serde_json::Value::F64(
+                                        ro_scans as f64 / ro_elapsed.as_secs_f64().max(1e-9),
+                                    ),
+                                ),
+                            ]),
+                        ));
+                    }
                 }
                 let _ = writeln!(out, "{}", serde_json::to_string(&obj).unwrap());
             } else {
@@ -1893,6 +2158,15 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
                     engine.store().total_versions(),
                     engine.store().total_int()
                 );
+                if *readers > 0 {
+                    let _ = writeln!(
+                        out,
+                        "readers: {} threads, {} lock-free scans ({:.0} scans/s)",
+                        readers,
+                        ro_scans,
+                        ro_scans as f64 / ro_elapsed.as_secs_f64().max(1e-9),
+                    );
+                }
             }
             let bad = audit_exit_failure(
                 report.instances,
@@ -1909,7 +2183,8 @@ pub fn execute(cmd: &Command, sys: &TransactionSystem) -> (String, i32) {
         | Command::Submit { .. }
         | Command::Recover { .. }
         | Command::Lockgraph { .. }
-        | Command::Stats { .. } => (
+        | Command::Stats { .. }
+        | Command::Read { .. } => (
             "internal error: specless commands are dispatched in main\n".to_string(),
             2,
         ),
@@ -2223,6 +2498,7 @@ mod tests {
                 no_telemetry: false,
                 trace_sample: 0,
                 trace_out: None,
+                readers: 0,
             }
         );
         assert!(parse_args(&["run".into(), "f".into(), "--txns".into()]).is_err());
@@ -2332,6 +2608,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2339,6 +2616,105 @@ mod tests {
         assert!(out.contains("no-detector"), "{out}");
         assert!(out.contains("aborts 0"), "{out}");
         assert!(out.contains("admission plan"), "{out}");
+    }
+
+    #[test]
+    fn run_with_readers_reports_lock_free_scans() {
+        let sys = load_system(SPEC).unwrap();
+        let cmd = Command::Run {
+            spec: String::new(),
+            txns: 32,
+            threads: 2,
+            inflate: None,
+            force_fallback: false,
+            work_us: 0,
+            wal: None,
+            wal_sync: false,
+            group_commit: None,
+            admission_batch: 1,
+            json: false,
+            no_telemetry: false,
+            trace_sample: 0,
+            trace_out: None,
+            readers: 2,
+        };
+        let (out, code) = execute(&cmd, &sys);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("readers: 2 threads"), "{out}");
+        assert!(out.contains("lock-free scans"), "{out}");
+    }
+
+    #[test]
+    fn read_command_parses() {
+        let c = parse_args(&["read".into(), "127.0.0.1:7471".into(), "all".into()]).unwrap();
+        assert_eq!(
+            c,
+            Command::Read {
+                addr: "127.0.0.1:7471".into(),
+                entities: vec![],
+                json: false,
+                expect_total: None,
+                conserve_step: None,
+            }
+        );
+        let c = parse_args(&[
+            "read".into(),
+            "addr".into(),
+            "x,y".into(),
+            "--json".into(),
+            "--expect-total".into(),
+            "3000".into(),
+            "--conserve-step".into(),
+            "600:4".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Read {
+                addr: "addr".into(),
+                entities: vec!["x".into(), "y".into()],
+                json: true,
+                expect_total: Some(3000),
+                conserve_step: Some((600, 4)),
+            }
+        );
+        // Missing entity list, malformed step specs, unknown flags.
+        assert!(parse_args(&["read".into(), "addr".into()]).is_err());
+        assert!(parse_args(&[
+            "read".into(),
+            "addr".into(),
+            "all".into(),
+            "--conserve-step".into(),
+            "600".into(),
+        ])
+        .is_err());
+        assert!(parse_args(&[
+            "read".into(),
+            "addr".into(),
+            "all".into(),
+            "--conserve-step".into(),
+            "600:0".into(),
+        ])
+        .is_err());
+        assert!(
+            parse_args(&["read".into(), "addr".into(), "all".into(), "--bogus".into()]).is_err()
+        );
+    }
+
+    #[test]
+    fn run_command_parses_readers() {
+        let c = parse_args(&[
+            "run".into(),
+            "f.json".into(),
+            "--readers".into(),
+            "4".into(),
+        ])
+        .unwrap();
+        let Command::Run { readers, .. } = c else {
+            panic!("run command");
+        };
+        assert_eq!(readers, 4);
+        assert!(parse_args(&["run".into(), "f".into(), "--readers".into()]).is_err());
     }
 
     #[test]
@@ -2359,6 +2735,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2383,6 +2760,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2408,6 +2786,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2447,6 +2826,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2486,6 +2866,7 @@ mod tests {
             no_telemetry: true,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2521,6 +2902,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2644,6 +3026,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 0,
             trace_out: None,
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");
@@ -2689,6 +3072,7 @@ mod tests {
             no_telemetry: false,
             trace_sample: 1,
             trace_out: Some(path.to_string_lossy().into_owned()),
+            readers: 0,
         };
         let (out, code) = execute(&cmd, &sys);
         assert_eq!(code, 0, "{out}");

@@ -51,6 +51,11 @@ fn main() {
             print!("{out}");
             std::process::exit(code);
         }
+        ddlf_cli::Command::Read { .. } => {
+            let (out, code) = ddlf_cli::run_read(&cmd);
+            print!("{out}");
+            std::process::exit(code);
+        }
         ddlf_cli::Command::Lockgraph { dot } => {
             let (out, code) = ddlf_cli::run_lockgraph(*dot);
             print!("{out}");

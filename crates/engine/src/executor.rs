@@ -141,7 +141,10 @@ impl Default for EngineConfig {
 /// the versioned store, and a worker pool.
 pub struct Engine {
     registry: TemplateRegistry,
-    store: Store,
+    /// Shared so the lock-free read-only snapshot path (wire `ReadOnly`
+    /// requests, `run --readers` scanner threads) can read concurrently
+    /// with a run without holding any engine reference.
+    store: Arc<Store>,
     cfg: EngineConfig,
     /// The write-ahead log, when `cfg.wal_dir` asked for one.
     wal: Option<Arc<Wal>>,
@@ -253,7 +256,7 @@ impl Engine {
         Self::install_template_counters(&registry, &cfg.telemetry);
         Ok(Self {
             registry,
-            store,
+            store: Arc::new(store),
             cfg,
             wal,
             cumulative: Mutex::new_named("engine.cumulative", None),
@@ -292,7 +295,7 @@ impl Engine {
         Self::install_template_counters(&registry, &cfg.telemetry);
         Ok(Self {
             registry,
-            store,
+            store: Arc::new(store),
             cfg,
             wal: Some(wal),
             cumulative: Mutex::new_named("engine.cumulative", None),
@@ -321,6 +324,28 @@ impl Engine {
     /// The sharded store (inspect after a run).
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// A shared handle to the store, for concurrent read-only snapshot
+    /// readers that must not hold (or wait on) any engine reference —
+    /// e.g. the wire server's `ReadOnly` path reading while a `Submit`
+    /// run holds the engine lock.
+    pub fn store_handle(&self) -> Arc<Store> {
+        Arc::clone(&self.store)
+    }
+
+    /// Runs one **read-only transaction**: claims a snapshot timestamp
+    /// and reads every entity in `entities` at that single committed
+    /// cut, without acquiring any lock class, writing any WAL record,
+    /// or touching the write path. Duration lands in the
+    /// `snapshot_read` phase histogram. See
+    /// [`Store::read_only_snapshot`] / [`crate::mvcc`].
+    pub fn run_read_only(&self, entities: &[EntityId]) -> crate::mvcc::RoSnapshot {
+        let tel = &self.cfg.telemetry;
+        let started = Instant::now();
+        let snap = self.store.read_only_snapshot(entities);
+        tel.record(Phase::SnapshotRead, started.elapsed());
+        snap
     }
 
     /// The attached write-ahead log, if `wal_dir` asked for one.
@@ -750,12 +775,16 @@ impl Engine {
     }
 
     /// Seals a committed attempt: drops its undo entries shard by shard
-    /// (its writes are now permanent) and appends the durable commit
-    /// decision. Ordered after every `Write`/`Event` record of the
-    /// attempt, so a recovered `Commit` implies a complete instance.
+    /// (its writes are now permanent), appends the durable commit
+    /// decision, and publishes the write-set into the multiversion
+    /// chains. Ordered after every `Write`/`Event` record of the
+    /// attempt, so a recovered `Commit` implies a complete instance —
+    /// and publication happens only after `log_commit` returns, so any
+    /// version a live read-only snapshot can observe is already durable
+    /// (modulo a whole torn commit group).
     fn commit_instance(&self, inst: Instance, t: &Transaction, ctx: &WriteCtx) {
+        let tmpl = self.registry.template(inst.template);
         if ctx.track_undo {
-            let tmpl = self.registry.template(inst.template);
             let mut cleared = HashSet::new();
             for &e in t.entities() {
                 if tmpl.program.write_for(e).is_some() {
@@ -766,9 +795,19 @@ impl Engine {
                 }
             }
         }
+        // The commit timestamp is allocated *before* durability so the
+        // durable record carries it; publication (visibility to the
+        // zero-lock readers) waits until the decision is durable.
+        let ts = self.store.alloc_commit_ts();
         if let Some(w) = &self.wal {
-            w.log_commit(ctx.gid, inst.template, ctx.attempt);
+            w.log_commit(ctx.gid, inst.template, ctx.attempt, ts);
         }
+        let writes: Vec<(EntityId, crate::template::WriteOp)> = t
+            .entities()
+            .iter()
+            .filter_map(|&e| tmpl.program.write_for(e).map(|op| (e, op.clone())))
+            .collect();
+        self.store.publish_commit(ts, writes);
     }
 
     /// The `Nothing`-policy attempt: issue every ready lock, park on the

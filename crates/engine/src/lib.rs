@@ -136,6 +136,7 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod mvcc;
 pub mod replay;
 pub mod report;
 pub mod store;
@@ -143,6 +144,7 @@ pub mod template;
 pub mod wal;
 
 pub use executor::{run_system, Engine, EngineConfig};
+pub use mvcc::{RoEntry, RoSnapshot};
 pub use replay::{replay_schedule, ReplayError, ReplayReport};
 pub use report::{LatencyStats, Report, TemplateReport};
 pub use store::{Datum, Shard, Store, VersionedValue, WriteError};

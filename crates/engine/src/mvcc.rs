@@ -1,0 +1,784 @@
+//! Multiversion concurrency state: bounded per-entity version chains,
+//! the commit clock, and the **zero-lock** read-only snapshot path.
+//!
+//! Writers keep competing in the per-shard lock tables exactly as
+//! before — this module only changes what happens at *commit*: each
+//! committed transaction is assigned a commit timestamp from a global
+//! clock and its write-set is re-applied, in timestamp order, to a
+//! per-entity chain of committed `(commit_ts, VersionedValue)`
+//! versions. Read-only transactions never touch a lock table, a shard
+//! mutex, or the WAL: they sample the *closed* prefix of the commit
+//! clock and read the newest version `≤` their snapshot ts from a
+//! lock-free atomic mirror of each chain, so a full-bank scan observes
+//! one committed cut even while writers churn. See the "Multiversion
+//! snapshot reads" section of `ARCHITECTURE.md` for the protocol
+//! walk-through and its correctness argument.
+//!
+//! Two representations per entity, deliberately redundant:
+//!
+//! * the **master chain** (full [`VersionedValue`] fidelity, byte
+//!   payloads included) lives under the `store.mvcc` mutex and serves
+//!   the locked helpers [`crate::Store::snapshot`] /
+//!   [`crate::Store::snapshot_at`] plus GC truncation;
+//! * the **ring** — a fixed array of atomic slots packing
+//!   `(commit_ts, version, kind, u64 payload)` — is what the zero-lock
+//!   reader scans. Byte payloads cannot ride in a `u64`, so the ring
+//!   carries their `(ts, version)` identity and the byte length; a
+//!   read-only scan reports such entries with `value: None`.
+//!
+//! Publication order: the committer allocates `ts`, makes the commit
+//! durable (WAL), then publishes under the `store.mvcc` mutex; the
+//! `closed` clock only advances to `ts` after every write of commit
+//! `ts` (and of every earlier commit) is visible in both
+//! representations. A reader's snapshot ts is a `closed` load, so
+//! `s = closed` implies every commit `≤ s` is fully readable — the
+//! single-cut guarantee needs no reader-side locks at all.
+//!
+//! Reclamation is the scheme's only subtlety, solved twice over:
+//!
+//! * **GC (master chains + rings)** truncates each chain to
+//!   "watermark + latest": the newest entry `≤` the low-watermark of
+//!   live read-only snapshots survives, everything older goes. The
+//!   watermark is a lock-free min over a fixed pool of reader slots;
+//!   the announce-then-validate handshake (`Mvcc::register` vs
+//!   `Mvcc::gc`'s `gc_floor` publication and re-scan) closes the
+//!   race between a registering reader and a concurrent truncation.
+//! * **Ring capacity eviction** (the ring is fixed-size; a 17th
+//!   version overwrites the oldest slot) can outrun even a registered
+//!   reader. Every slot rewrite bumps the ring's eviction counter
+//!   *first*, so a reader that scanned across a rewrite detects it and
+//!   rescans; a reader whose needed version was evicted outright finds
+//!   *no* entry `≤ s` (eviction is strictly oldest-first, so retained
+//!   timestamps are a suffix) and restarts the whole scan at a fresh
+//!   `closed` — the snapshot stays a single cut, just a newer one.
+
+use crate::store::{apply_op, Datum, VersionedValue};
+use crate::template::WriteOp;
+use ddlf_model::{Database, EntityId};
+use ddlf_telemetry::Telemetry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+/// Hard per-entity bound on retained committed versions, GC watermark
+/// notwithstanding: the chain is *bounded* even when a reader pins the
+/// watermark forever.
+pub const CHAIN_CAP: usize = 64;
+
+/// Atomic mirror slots per entity (the zero-lock reader's view).
+const RING_CAP: usize = 16;
+
+/// Fixed pool of concurrent registered read-only snapshots.
+const RO_SLOTS: usize = 64;
+
+/// Auto-GC cadence: one watermark truncation pass per this many
+/// published commits (plus any explicit [`Mvcc::gc`] call). Keeping the
+/// cadence coarse means short test runs retain their full history for
+/// snapshot-at-ts assertions.
+const GC_EVERY: u64 = 256;
+
+/// Ring slot `ts` encoding: stored value is `commit_ts + 1`; `0` means
+/// the slot is empty. Commit timestamps start at 1 (0 is the seeded
+/// initial version), so the encoding never overflows in practice.
+const RING_EMPTY: u64 = 0;
+
+/// Reader-slot sentinel: no snapshot registered in this slot.
+const SLOT_FREE: u64 = u64::MAX;
+
+/// Ring payload kinds.
+const KIND_INT: u64 = 0;
+const KIND_BYTES: u64 = 1;
+
+/// One committed version in a master chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ChainEntry {
+    /// Commit timestamp that published this version.
+    pub ts: u64,
+    /// The full-fidelity committed value.
+    pub value: VersionedValue,
+}
+
+/// One entity in a read-only snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoEntry {
+    /// The entity read.
+    pub entity: EntityId,
+    /// Commit timestamp of the version observed (0 = the seeded
+    /// initial value, never written).
+    pub commit_ts: u64,
+    /// The version counter of the observed value.
+    pub version: u64,
+    /// Integer payload, or `None` when the committed payload at this
+    /// version is a byte string (bytes don't fit the lock-free ring;
+    /// use the locked [`crate::Store::snapshot_at`] for full fidelity).
+    pub value: Option<u64>,
+}
+
+/// A consistent read-only snapshot: every entry reflects the same
+/// committed cut `ts` of the commit clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoSnapshot {
+    /// The snapshot timestamp: all commits `≤ ts`, none after.
+    pub ts: u64,
+    /// One entry per requested entity, in request order.
+    pub entries: Vec<RoEntry>,
+}
+
+impl RoSnapshot {
+    /// Sum of the integer payloads observed (conservation checks).
+    pub fn sum_int(&self) -> u128 {
+        self.entries
+            .iter()
+            .filter_map(|e| e.value)
+            .map(u128::from)
+            .sum()
+    }
+
+    /// Sum of the version counters observed — committed writes `≤ ts`
+    /// over the scanned entities.
+    pub fn sum_versions(&self) -> u64 {
+        self.entries.iter().map(|e| e.version).sum()
+    }
+
+    /// The entry for `entity`, if it was scanned.
+    pub fn get(&self, entity: EntityId) -> Option<&RoEntry> {
+        self.entries.iter().find(|e| e.entity == entity)
+    }
+}
+
+/// One lock-free mirror slot: `(ts+1 | 0=empty, version, kind,
+/// payload)`. Field stores are sandwiched by `ts` stores on rewrite and
+/// guarded by the ring's eviction counter, so a reader either sees a
+/// consistent tuple or detects the rewrite and rescans.
+struct RingSlot {
+    ts: AtomicU64,
+    version: AtomicU64,
+    kind: AtomicU64,
+    payload: AtomicU64,
+}
+
+impl RingSlot {
+    fn empty() -> Self {
+        RingSlot {
+            ts: AtomicU64::new(RING_EMPTY),
+            version: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            payload: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The lock-free mirror of one entity's version chain.
+struct Ring {
+    slots: Vec<RingSlot>,
+    /// Bumped *before* any occupied slot is rewritten (capacity
+    /// eviction or GC truncation). Readers diff it around a scan.
+    evictions: AtomicU64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            slots: (0..RING_CAP).map(|_| RingSlot::empty()).collect(),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `(ts, v)`, evicting the oldest slot when full. Callers
+    /// are serialized by the `store.mvcc` mutex; readers are not.
+    fn append(&self, ts: u64, v: &VersionedValue) {
+        let slot = match self.slots.iter().find(|s| s.ts.load(SeqCst) == RING_EMPTY) {
+            Some(s) => s,
+            None => {
+                // Evict the minimum-ts slot, so retained timestamps
+                // always form a suffix (the reader's aging detection
+                // depends on exactly this).
+                let victim = self
+                    .slots
+                    .iter()
+                    .min_by_key(|s| s.ts.load(SeqCst))
+                    .expect("ring has slots");
+                self.evictions.fetch_add(1, SeqCst);
+                victim.ts.store(RING_EMPTY, SeqCst);
+                victim
+            }
+        };
+        let (kind, payload) = match &v.datum {
+            Datum::Int(n) => (KIND_INT, *n),
+            Datum::Bytes(b) => (KIND_BYTES, b.len() as u64),
+        };
+        slot.version.store(v.version, SeqCst);
+        slot.kind.store(kind, SeqCst);
+        slot.payload.store(payload, SeqCst);
+        slot.ts.store(ts + 1, SeqCst);
+    }
+
+    /// Clears every slot holding a ts strictly below `keep_ts`
+    /// (GC truncation of the mirror). Serialized with `append` by the
+    /// `store.mvcc` mutex.
+    fn truncate_below(&self, keep_ts: u64) {
+        for s in &self.slots {
+            let enc = s.ts.load(SeqCst);
+            if enc != RING_EMPTY && enc - 1 < keep_ts {
+                self.evictions.fetch_add(1, SeqCst);
+                s.ts.store(RING_EMPTY, SeqCst);
+            }
+        }
+    }
+
+    /// The newest `(ts, version, kind, payload)` with `ts ≤ s`, or
+    /// `None` when every such version has been evicted (the caller
+    /// refreshes its snapshot ts and rescans). Lock-free; loops only
+    /// while a concurrent eviction rewrites the ring mid-scan.
+    fn read_at(&self, s: u64) -> Option<(u64, u64, u64, u64)> {
+        loop {
+            let before = self.evictions.load(SeqCst);
+            let mut best: Option<(u64, u64, u64, u64)> = None;
+            for slot in &self.slots {
+                let enc = slot.ts.load(SeqCst);
+                if enc == RING_EMPTY {
+                    continue;
+                }
+                let ts = enc - 1;
+                if ts > s {
+                    continue;
+                }
+                // Loading ts before the fields is safe: a rewrite
+                // clears ts first and bumps `evictions`, which the
+                // post-scan check below catches.
+                let tuple = (
+                    ts,
+                    slot.version.load(SeqCst),
+                    slot.kind.load(SeqCst),
+                    slot.payload.load(SeqCst),
+                );
+                if best.is_none_or(|b| ts > b.0) {
+                    best = Some(tuple);
+                }
+            }
+            if self.evictions.load(SeqCst) == before {
+                return best;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Master-chain state guarded by the `store.mvcc` mutex.
+struct Inner {
+    /// Per-entity committed version chains, oldest-first. Every chain
+    /// starts with the seeded `(ts 0, version 0)` initial value.
+    chains: HashMap<EntityId, Vec<ChainEntry>>,
+    /// Commits whose `ts` arrived ahead of a predecessor still in its
+    /// durability wait: buffered until the clock is contiguous.
+    pending: Vec<(u64, Vec<(EntityId, WriteOp)>)>,
+    /// Retained chain entries across all entities (gauge).
+    total_entries: u64,
+    /// Publications since the last auto-GC pass.
+    since_gc: u64,
+    /// Gauge sink (set with the store's telemetry handle).
+    telemetry: Telemetry,
+}
+
+/// The multiversion state of a [`crate::Store`]: commit clock, master
+/// chains, lock-free rings, and the read-only snapshot registry.
+pub(crate) struct Mvcc {
+    /// Last allocated commit timestamp (monotone, never reused).
+    alloc: AtomicU64,
+    /// Highest timestamp whose commit — and every earlier commit — is
+    /// fully published. Readers snapshot at `closed`.
+    closed: AtomicU64,
+    /// The low-watermark the last GC pass truncated against. A
+    /// registering reader whose announced ts is below this must
+    /// refresh before reading (announce-then-validate).
+    gc_floor: AtomicU64,
+    /// Registered read-only snapshot timestamps (`SLOT_FREE` = vacant).
+    readers: Vec<AtomicU64>,
+    /// Lock-free chain mirrors, one per entity. The map itself is
+    /// immutable after construction — only slot contents change.
+    rings: HashMap<EntityId, Ring>,
+    inner: Mutex<Inner>,
+}
+
+impl Mvcc {
+    /// Seeds every entity's chain and ring with the initial value at
+    /// `(ts 0, version 0)`.
+    pub(crate) fn new(db: &Database, initial: u64) -> Self {
+        let seed = VersionedValue {
+            version: 0,
+            datum: Datum::Int(initial),
+        };
+        let mut chains = HashMap::new();
+        let mut rings = HashMap::new();
+        for e in db.entities() {
+            chains.insert(
+                e,
+                vec![ChainEntry {
+                    ts: 0,
+                    value: seed.clone(),
+                }],
+            );
+            let ring = Ring::new();
+            ring.append(0, &seed);
+            rings.insert(e, ring);
+        }
+        let total = chains.len() as u64;
+        Mvcc {
+            alloc: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            gc_floor: AtomicU64::new(0),
+            readers: (0..RO_SLOTS).map(|_| AtomicU64::new(SLOT_FREE)).collect(),
+            rings,
+            inner: Mutex::new_named(
+                "store.mvcc",
+                Inner {
+                    chains,
+                    pending: Vec::new(),
+                    total_entries: total,
+                    since_gc: 0,
+                    telemetry: Telemetry::disabled(),
+                },
+            ),
+        }
+    }
+
+    pub(crate) fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.inner.get_mut().telemetry = telemetry.clone();
+    }
+
+    /// Allocates the next commit timestamp. Called once per committing
+    /// instance, *before* the commit record is made durable, so the
+    /// durable record carries the ts that publication will use.
+    pub(crate) fn alloc_ts(&self) -> u64 {
+        self.alloc.fetch_add(1, SeqCst) + 1
+    }
+
+    /// The closed prefix of the commit clock — the ts a fresh read-only
+    /// snapshot would observe.
+    pub(crate) fn closed_ts(&self) -> u64 {
+        self.closed.load(SeqCst)
+    }
+
+    /// Publishes commit `ts`: buffers until the clock is contiguous,
+    /// then applies each buffered commit's write-set to the chain tips
+    /// (and rings) in timestamp order and advances `closed`. The
+    /// chain value of a version is the committing transaction's write
+    /// op applied to the previous chain tip, so the chain state at any
+    /// cut is "initial + every committed transaction ≤ cut, whole
+    /// transactions only, in commit order" — the conservation identity
+    /// holds at every cut for delta (transfer) workloads.
+    pub(crate) fn publish(&self, ts: u64, writes: Vec<(EntityId, WriteOp)>) {
+        let mut inner = self.inner.lock();
+        inner.pending.push((ts, writes));
+        loop {
+            let next = self.closed.load(SeqCst) + 1;
+            let Some(at) = inner.pending.iter().position(|(t, _)| *t == next) else {
+                break;
+            };
+            let (_, ws) = inner.pending.swap_remove(at);
+            self.apply_commit(&mut inner, next, &ws);
+            self.closed.store(next, SeqCst);
+        }
+        inner.since_gc += 1;
+        if inner.since_gc >= GC_EVERY {
+            self.gc_locked(&mut inner);
+        } else {
+            self.publish_gauges(&inner);
+        }
+    }
+
+    /// Recovery-path publication: applies commit `ts` directly and
+    /// advances `closed` to it, tolerating gaps (timestamps allocated
+    /// by the crashed process but never made durable). Callers feed
+    /// commits in ascending ts order.
+    pub(crate) fn publish_recovered(&self, ts: u64, writes: &[(EntityId, WriteOp)]) {
+        let mut inner = self.inner.lock();
+        self.apply_commit(&mut inner, ts, writes);
+        self.closed.store(ts, SeqCst);
+        let prev = self.alloc.load(SeqCst);
+        self.alloc.store(prev.max(ts), SeqCst);
+        self.publish_gauges(&inner);
+    }
+
+    fn apply_commit(&self, inner: &mut Inner, ts: u64, writes: &[(EntityId, WriteOp)]) {
+        for (entity, op) in writes {
+            let chain = inner
+                .chains
+                .get_mut(entity)
+                .expect("publish references a schema entity");
+            let tip = chain.last().expect("chains are never empty");
+            // A write that does not type against the chain tip (Add on
+            // a byte payload) is skipped, mirroring the live apply
+            // path's typed skip.
+            let Ok(next) = apply_op(*entity, &tip.value, op) else {
+                continue;
+            };
+            self.rings[entity].append(ts, &next);
+            chain.push(ChainEntry { ts, value: next });
+            inner.total_entries += 1;
+            if chain.len() > CHAIN_CAP {
+                chain.remove(0);
+                inner.total_entries -= 1;
+                self.rings[entity].truncate_below(chain[0].ts);
+            }
+        }
+    }
+
+    fn publish_gauges(&self, inner: &Inner) {
+        let max_len = inner.chains.values().map(|c| c.len()).max().unwrap_or(0) as u64;
+        inner
+            .telemetry
+            .set_chains(inner.total_entries, max_len, self.gc_floor.load(SeqCst));
+    }
+
+    /// Garbage-collects version chains against the low-watermark of
+    /// live read-only snapshots: every chain truncates to
+    /// "watermark + latest" — the newest entry `≤` watermark plus
+    /// everything after it. Returns `(retained entries, longest chain,
+    /// watermark)`.
+    pub(crate) fn gc(&self) -> (u64, u64, u64) {
+        let mut inner = self.inner.lock();
+        self.gc_locked(&mut inner)
+    }
+
+    fn reader_min(&self) -> Option<u64> {
+        self.readers
+            .iter()
+            .map(|s| s.load(SeqCst))
+            .filter(|&s| s != SLOT_FREE)
+            .min()
+    }
+
+    fn gc_locked(&self, inner: &mut Inner) -> (u64, u64, u64) {
+        inner.since_gc = 0;
+        let closed = self.closed.load(SeqCst);
+        // Lock-free atomic min over the registered snapshot slots; no
+        // reader defaults the watermark to the closed clock.
+        let mut w = self.reader_min().unwrap_or(closed).min(closed);
+        self.gc_floor.store(w, SeqCst);
+        // Close the announce/validate race: a reader that registered an
+        // older ts after the scan above but before the floor store is
+        // caught by re-scanning; its ts lowers the watermark back.
+        if let Some(late) = self.reader_min() {
+            if late < w {
+                w = late;
+                self.gc_floor.store(w, SeqCst);
+            }
+        }
+        let mut max_len = 0u64;
+        for (entity, chain) in inner.chains.iter_mut() {
+            // Index of the newest entry ≤ w. The `CHAIN_CAP` hard
+            // bound may already have truncated past the watermark (a
+            // long-lived reader cannot pin unbounded history); such a
+            // chain keeps everything it still has.
+            let keep = chain.iter().rposition(|e| e.ts <= w).unwrap_or(0);
+            if keep > 0 {
+                inner.total_entries -= keep as u64;
+                chain.drain(..keep);
+                self.rings[entity].truncate_below(chain[0].ts);
+            }
+            max_len = max_len.max(chain.len() as u64);
+        }
+        inner.telemetry.set_chains(inner.total_entries, max_len, w);
+        (inner.total_entries, max_len, w)
+    }
+
+    /// The chain state at cut `ts`, full fidelity, sorted by entity.
+    /// `None` when `ts` is above the closed clock or below what GC /
+    /// the chain bound still retains for some entity.
+    pub(crate) fn snapshot_at(&self, ts: u64) -> Option<Vec<(EntityId, VersionedValue)>> {
+        if ts > self.closed.load(SeqCst) {
+            return None;
+        }
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(inner.chains.len());
+        for (entity, chain) in inner.chains.iter() {
+            let at = chain.iter().rev().find(|e| e.ts <= ts)?;
+            out.push((*entity, at.value.clone()));
+        }
+        drop(inner);
+        out.sort_by_key(|(e, _)| *e);
+        Some(out)
+    }
+
+    /// Registers a read-only snapshot: claims a reader slot with a
+    /// freshly sampled `closed` ts, then validates the announcement
+    /// against `gc_floor` (refreshing until the floor no longer
+    /// undercuts it). Lock-free: a CAS per vacant-slot probe plus
+    /// bounded refresh loops; spins only while all `RO_SLOTS` slots are
+    /// simultaneously occupied.
+    fn register(&self) -> (usize, u64) {
+        loop {
+            let s = self.closed.load(SeqCst);
+            for (i, slot) in self.readers.iter().enumerate() {
+                if slot.compare_exchange(SLOT_FREE, s, SeqCst, SeqCst).is_ok() {
+                    return (i, self.validate(i, s));
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Announce-then-validate: GC computes its watermark from the slot
+    /// array, so once this returns, every chain truncation keeps the
+    /// newest entry `≤` the returned ts reachable.
+    fn validate(&self, slot: usize, mut s: u64) -> u64 {
+        loop {
+            if s >= self.gc_floor.load(SeqCst) {
+                return s;
+            }
+            s = self.closed.load(SeqCst);
+            self.readers[slot].store(s, SeqCst);
+        }
+    }
+
+    /// Refreshes a registered snapshot to the current `closed` ts
+    /// (aging recovery: a needed version was capacity-evicted).
+    fn refresh(&self, slot: usize) -> u64 {
+        let s = self.closed.load(SeqCst);
+        self.readers[slot].store(s, SeqCst);
+        self.validate(slot, s)
+    }
+
+    /// The zero-lock read-only transaction: registers a snapshot ts,
+    /// reads the newest version `≤ ts` of every requested entity from
+    /// the rings, and unregisters. Acquires **no lock class** — only
+    /// atomics. Entities must exist in the schema (callers validate).
+    ///
+    /// If ring-capacity eviction outruns the scan (≥ `RING_CAP`
+    /// commits to one entity mid-scan), the whole scan restarts at a
+    /// fresh `closed` ts — the result is always a single committed cut.
+    pub(crate) fn read_only(&self, entities: &[EntityId]) -> RoSnapshot {
+        let (slot, mut s) = self.register();
+        'scan: loop {
+            let mut entries = Vec::with_capacity(entities.len());
+            for &entity in entities {
+                let ring = self
+                    .rings
+                    .get(&entity)
+                    .expect("read_only references a schema entity");
+                match ring.read_at(s) {
+                    Some((ts, version, kind, payload)) => entries.push(RoEntry {
+                        entity,
+                        commit_ts: ts,
+                        version,
+                        value: (kind == KIND_INT).then_some(payload),
+                    }),
+                    None => {
+                        s = self.refresh(slot);
+                        continue 'scan;
+                    }
+                }
+            }
+            self.readers[slot].store(SLOT_FREE, SeqCst);
+            return RoSnapshot { ts: s, entries };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddlf_model::Database;
+    use std::sync::Arc;
+
+    fn db(n: usize) -> Database {
+        Database::one_entity_per_site(n)
+    }
+
+    fn add(e: u32, delta: i64) -> (EntityId, WriteOp) {
+        (EntityId(e), WriteOp::Add(delta))
+    }
+
+    #[test]
+    fn snapshot_at_zero_is_the_seed() {
+        let m = Mvcc::new(&db(3), 7);
+        let snap = m.snapshot_at(0).unwrap();
+        assert_eq!(snap.len(), 3);
+        for (_, v) in &snap {
+            assert_eq!(v.version, 0);
+            assert_eq!(v.datum, Datum::Int(7));
+        }
+        assert_eq!(m.closed_ts(), 0);
+        assert!(m.snapshot_at(1).is_none(), "nothing committed yet");
+    }
+
+    #[test]
+    fn publish_applies_whole_transactions_in_ts_order() {
+        let m = Mvcc::new(&db(2), 100);
+        let t1 = m.alloc_ts();
+        let t2 = m.alloc_ts();
+        // Out-of-order arrival: t2 buffers until t1 lands.
+        m.publish(t2, vec![add(0, -10), add(1, 10)]);
+        assert_eq!(m.closed_ts(), 0, "t2 must wait for t1");
+        m.publish(t1, vec![add(0, -5), add(1, 5)]);
+        assert_eq!(m.closed_ts(), 2);
+        let at1 = m.snapshot_at(1).unwrap();
+        assert_eq!(at1[0].1.datum, Datum::Int(95));
+        assert_eq!(at1[1].1.datum, Datum::Int(105));
+        let at2 = m.snapshot_at(2).unwrap();
+        assert_eq!(at2[0].1.datum, Datum::Int(85));
+        assert_eq!(at2[1].1.datum, Datum::Int(115));
+        assert_eq!(at2[0].1.version, 2);
+    }
+
+    #[test]
+    fn read_only_observes_a_committed_cut() {
+        let m = Mvcc::new(&db(2), 50);
+        let entities = [EntityId(0), EntityId(1)];
+        let snap = m.read_only(&entities);
+        assert_eq!(snap.ts, 0);
+        assert_eq!(snap.sum_int(), 100);
+        m.publish(m.alloc_ts(), vec![add(0, -20), add(1, 20)]);
+        let snap = m.read_only(&entities);
+        assert_eq!(snap.ts, 1);
+        assert_eq!(snap.sum_int(), 100, "transfers conserve the sum");
+        assert_eq!(snap.get(EntityId(0)).unwrap().value, Some(30));
+        assert_eq!(snap.get(EntityId(0)).unwrap().commit_ts, 1);
+        assert_eq!(snap.get(EntityId(0)).unwrap().version, 1);
+    }
+
+    #[test]
+    fn bytes_payloads_surface_as_none_in_the_ring() {
+        let m = Mvcc::new(&db(1), 9);
+        m.publish(
+            m.alloc_ts(),
+            vec![(EntityId(0), WriteOp::PutBytes(vec![1, 2, 3]))],
+        );
+        let snap = m.read_only(&[EntityId(0)]);
+        let e = snap.get(EntityId(0)).unwrap();
+        assert_eq!(e.value, None);
+        assert_eq!(e.version, 1);
+        // The locked master chain keeps full fidelity.
+        let full = m.snapshot_at(1).unwrap();
+        assert_eq!(full[0].1.datum, Datum::Bytes(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn gc_truncates_to_watermark_plus_latest() {
+        let m = Mvcc::new(&db(1), 0);
+        for _ in 0..10 {
+            m.publish(m.alloc_ts(), vec![add(0, 1)]);
+        }
+        // No live reader: watermark = closed, chains truncate to latest.
+        let (total, max_len, w) = m.gc();
+        assert_eq!(w, 10);
+        assert_eq!(total, 1);
+        assert_eq!(max_len, 1);
+        assert!(m.snapshot_at(10).is_some());
+        assert!(m.snapshot_at(9).is_none(), "9 was truncated");
+        // A registered reader pins the watermark.
+        let (slot, s) = m.register();
+        assert_eq!(s, 10);
+        for _ in 0..5 {
+            m.publish(m.alloc_ts(), vec![add(0, 1)]);
+        }
+        let (_, _, w) = m.gc();
+        assert_eq!(w, 10, "live snapshot pins the watermark");
+        assert!(m.snapshot_at(10).is_some(), "watermark entry retained");
+        m.readers[slot].store(SLOT_FREE, SeqCst);
+    }
+
+    #[test]
+    fn chains_stay_bounded_without_gc() {
+        let m = Mvcc::new(&db(1), 0);
+        for _ in 0..(CHAIN_CAP * 3) {
+            m.publish(m.alloc_ts(), vec![add(0, 1)]);
+        }
+        let inner = m.inner.lock();
+        assert!(inner.chains[&EntityId(0)].len() <= CHAIN_CAP);
+    }
+
+    #[test]
+    fn aged_out_reader_restarts_at_a_fresh_cut() {
+        let m = Arc::new(Mvcc::new(&db(1), 0));
+        // Register at ts 0, then push enough commits to evict ts 0 from
+        // the ring entirely: the next read must refresh, not corrupt.
+        let (slot, s) = m.register();
+        assert_eq!(s, 0);
+        for _ in 0..(RING_CAP * 2) {
+            m.publish(m.alloc_ts(), vec![add(0, 1)]);
+        }
+        // Simulate the mid-scan path: read_at at the stale ts fails...
+        assert!(m.rings[&EntityId(0)].read_at(s).is_none());
+        // ...and the refresh path lands on the new closed cut.
+        let s2 = m.refresh(slot);
+        assert_eq!(s2, (RING_CAP * 2) as u64);
+        assert!(m.rings[&EntityId(0)].read_at(s2).is_some());
+        m.readers[slot].store(SLOT_FREE, SeqCst);
+    }
+
+    /// The tentpole property in miniature: concurrent writers publish
+    /// conserving transfers while readers scan lock-free; every scan
+    /// must observe the exact initial sum and versions must be
+    /// monotone between scans.
+    #[test]
+    fn concurrent_transfers_conserve_under_lock_free_scans() {
+        const ENTITIES: u32 = 8;
+        const INITIAL: u64 = 1_000;
+        const WRITERS: usize = 4;
+        const COMMITS_PER_WRITER: usize = 300;
+        let m = Arc::new(Mvcc::new(&db(ENTITIES as usize), INITIAL));
+        let entities: Vec<EntityId> = (0..ENTITIES).map(EntityId).collect();
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let entities = entities.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scans = 0u64;
+                    let mut last: HashMap<EntityId, (u64, u64)> = HashMap::new();
+                    while stop.load(SeqCst) == 0 {
+                        let snap = m.read_only(&entities);
+                        assert_eq!(
+                            snap.sum_int(),
+                            u128::from(INITIAL) * u128::from(ENTITIES),
+                            "a lock-free scan observed a torn cut at ts {}",
+                            snap.ts
+                        );
+                        for e in &snap.entries {
+                            let (pts, pver) = last.get(&e.entity).copied().unwrap_or((0, 0));
+                            assert!(
+                                e.commit_ts >= pts && e.version >= pver,
+                                "version went backwards on {:?}",
+                                e.entity
+                            );
+                            last.insert(e.entity, (e.commit_ts, e.version));
+                        }
+                        scans += 1;
+                    }
+                    scans
+                })
+            })
+            .collect();
+
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..COMMITS_PER_WRITER {
+                        let from = ((w + i) % ENTITIES as usize) as u32;
+                        let to = ((w + i + 1) % ENTITIES as usize) as u32;
+                        let ts = m.alloc_ts();
+                        m.publish(ts, vec![add(from, -1), add(to, 1)]);
+                    }
+                })
+            })
+            .collect();
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(1, SeqCst);
+        let total_scans: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total_scans > 0, "readers must have scanned at least once");
+        assert_eq!(m.closed_ts(), (WRITERS * COMMITS_PER_WRITER) as u64);
+        let final_snap = m.read_only(&entities);
+        assert_eq!(
+            final_snap.sum_int(),
+            u128::from(INITIAL) * u128::from(ENTITIES)
+        );
+    }
+}

@@ -15,6 +15,7 @@
 //! in-memory apply, making every committed write replayable after a
 //! crash.
 
+use crate::mvcc::{Mvcc, RoSnapshot};
 use crate::template::WriteOp;
 use crate::wal::{ShardSink, Wal, WalRecord};
 use crossbeam::channel::Sender;
@@ -517,9 +518,18 @@ impl ShardState {
 }
 
 /// The sharded store: one [`Shard`] per database site.
+///
+/// Alongside the live shard values the store keeps a multiversion
+/// history: bounded per-entity chains of committed `(commit_ts,
+/// VersionedValue)` versions fed by the commit path, serving the
+/// zero-lock read-only snapshot path ([`Store::read_only_snapshot`])
+/// and the snapshot-at-ts reads ([`Store::snapshot_at`]). See
+/// [`crate::mvcc`] and the "Multiversion snapshot reads" section of
+/// `ARCHITECTURE.md`.
 pub struct Store {
     shards: Vec<Shard>,
     db: Database,
+    mvcc: Mvcc,
 }
 
 impl Store {
@@ -569,6 +579,7 @@ impl Store {
         Self {
             shards,
             db: db.clone(),
+            mvcc: Mvcc::new(db, initial),
         }
     }
 
@@ -612,6 +623,7 @@ impl Store {
         for shard in &mut self.shards {
             shard.state.get_mut().telemetry = telemetry.clone();
         }
+        self.mvcc.set_telemetry(telemetry);
     }
 
     /// The shard owning `entity`.
@@ -629,9 +641,30 @@ impl Store {
         &self.db
     }
 
-    /// A consistent-enough snapshot for post-run assertions (call when
-    /// quiescent).
+    /// A true committed snapshot: the multiversion chain state at the
+    /// current closed commit timestamp, sorted by entity. Safe to call
+    /// while writers churn — the cut reflects whole committed
+    /// transactions only, applied in commit order.
+    ///
+    /// For values mutated *outside* the commit path (uncommitted
+    /// writes, direct shard manipulation) use [`Store::live_snapshot`].
     pub fn snapshot(&self) -> Vec<(EntityId, VersionedValue)> {
+        self.mvcc
+            .snapshot_at(self.mvcc.closed_ts())
+            .expect("the closed cut is always retained")
+    }
+
+    /// The committed chain state at cut `ts` (full datum fidelity,
+    /// brief `store.mvcc` lock). `None` when `ts` is ahead of the
+    /// closed clock or behind what GC still retains.
+    pub fn snapshot_at(&self, ts: u64) -> Option<Vec<(EntityId, VersionedValue)>> {
+        self.mvcc.snapshot_at(ts)
+    }
+
+    /// The raw *live* shard values, uncommitted writes included — only
+    /// consistent when quiescent. Post-run assertions about committed
+    /// state should prefer [`Store::snapshot`].
+    pub fn live_snapshot(&self) -> Vec<(EntityId, VersionedValue)> {
         let mut out: Vec<(EntityId, VersionedValue)> = self
             .db
             .entities()
@@ -641,10 +674,49 @@ impl Store {
         out
     }
 
-    /// Sum of all integer payloads — conservation checks for transfer
-    /// workloads. Widened to `u128`: the old `u64` wrapping sum could
-    /// let a non-conserving run wrap back onto the expected total and
-    /// pass its conservation check.
+    /// The zero-lock read-only transaction: scans the newest committed
+    /// version `≤` a freshly claimed snapshot ts for every entity in
+    /// `entities`, without acquiring any lock class. See
+    /// [`crate::mvcc`] for the protocol.
+    pub fn read_only_snapshot(&self, entities: &[EntityId]) -> RoSnapshot {
+        self.mvcc.read_only(entities)
+    }
+
+    /// The closed prefix of the commit clock — the ts a new read-only
+    /// snapshot would observe.
+    pub fn commit_ts(&self) -> u64 {
+        self.mvcc.closed_ts()
+    }
+
+    /// Explicitly garbage-collects version chains against the
+    /// low-watermark of live read-only snapshots (also runs
+    /// automatically every few hundred commits). Returns `(retained
+    /// versions, longest chain, watermark)`.
+    pub fn gc_versions(&self) -> (u64, u64, u64) {
+        self.mvcc.gc()
+    }
+
+    /// Allocates the next commit timestamp (commit path only).
+    pub(crate) fn alloc_commit_ts(&self) -> u64 {
+        self.mvcc.alloc_ts()
+    }
+
+    /// Publishes a committed write-set at `ts` into the version chains
+    /// (commit path only; call after the commit record is durable).
+    pub(crate) fn publish_commit(&self, ts: u64, writes: Vec<(EntityId, WriteOp)>) {
+        self.mvcc.publish(ts, writes);
+    }
+
+    /// Recovery-path publication: rebuilds the chain state for commit
+    /// `ts` directly (callers feed commits in ascending ts order).
+    pub(crate) fn publish_recovered(&self, ts: u64, writes: &[(EntityId, WriteOp)]) {
+        self.mvcc.publish_recovered(ts, writes);
+    }
+
+    /// Sum of all committed integer payloads — conservation checks for
+    /// transfer workloads. Widened to `u128`: the old `u64` wrapping
+    /// sum could let a non-conserving run wrap back onto the expected
+    /// total and pass its conservation check.
     pub fn total_int(&self) -> u128 {
         self.snapshot()
             .iter()
@@ -653,7 +725,7 @@ impl Store {
             .sum()
     }
 
-    /// Sum of all versions — total committed writes.
+    /// Sum of all committed versions — total committed writes.
     pub fn total_versions(&self) -> u64 {
         self.snapshot().iter().map(|(_, v)| v.version).sum()
     }
@@ -1079,7 +1151,7 @@ mod tests {
                     let _ = s.shard_of(e).write_and_release(&c, e, Some(&op_of(*raw)));
                     s.shard_of(e).commit_clear(c.instance);
                 }
-                let pre = s.snapshot();
+                let pre = s.live_snapshot();
 
                 // The doomed attempt applies its writes (each entity at
                 // most once, like a template program), then dies.
@@ -1099,7 +1171,7 @@ mod tests {
                     let out = s.shard_of(*e).undo_write(&c, *e);
                     prop_assert_eq!(out, UndoOutcome::Exact, "no interference ⇒ exact");
                 }
-                prop_assert_eq!(s.snapshot(), pre);
+                prop_assert_eq!(s.live_snapshot(), pre);
             }
 
             /// With arbitrary interfering committed writes between the

@@ -46,10 +46,10 @@
 //!   Begin       := 0x01 gid:u32 template:u32 attempt:u32
 //!   Write       := 0x02 gid:u32 attempt:u32 entity:u32 op:WriteOp before:VV after:VV
 //!   Undo        := 0x03 gid:u32 entity:u32 restored:VV
-//!   Commit      := 0x04 gid:u32 template:u32 attempt:u32
+//!   Commit      := 0x04 gid:u32 template:u32 attempt:u32 commit_ts:u64
 //!   Abort       := 0x05 gid:u32 attempt:u32
 //!   Event       := 0x06 time:u64 gid:u32 attempt:u32 node:u32
-//!   CommitGroup := 0x07 count:u32 (gid:u32 template:u32 attempt:u32)*count
+//!   CommitGroup := 0x07 count:u32 (gid:u32 template:u32 attempt:u32 commit_ts:u64)*count
 //!
 //!   WriteOp := 0x00 delta:i64(LE)  |  0x01 value:u64  |  0x02 len:u32 bytes
 //!   Datum   := 0x00 value:u64      |  0x01 len:u32 bytes
@@ -157,6 +157,10 @@ pub enum WalRecord {
         template: u32,
         /// The committing attempt.
         attempt: u32,
+        /// The commit timestamp allocated before durability: recovery
+        /// rebuilds the multiversion chains in `commit_ts` order, so
+        /// file order need not equal commit order.
+        commit_ts: u64,
     },
     /// The attempt died (wait-die victim); its writes were undone.
     Abort {
@@ -195,6 +199,9 @@ pub struct GroupEntry {
     pub template: u32,
     /// The committing attempt.
     pub attempt: u32,
+    /// The commit timestamp allocated before durability (see
+    /// [`WalRecord::Commit::commit_ts`]).
+    pub commit_ts: u64,
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -316,11 +323,13 @@ impl WalRecord {
                 gid,
                 template,
                 attempt,
+                commit_ts,
             } => {
                 b.put_u8(TAG_COMMIT);
                 b.put_u32_le(*gid);
                 b.put_u32_le(*template);
                 b.put_u32_le(*attempt);
+                b.put_u64_le(*commit_ts);
             }
             WalRecord::Abort { gid, attempt } => {
                 b.put_u8(TAG_ABORT);
@@ -346,6 +355,7 @@ impl WalRecord {
                     b.put_u32_le(e.gid);
                     b.put_u32_le(e.template);
                     b.put_u32_le(e.attempt);
+                    b.put_u64_le(e.commit_ts);
                 }
             }
         }
@@ -377,6 +387,7 @@ impl WalRecord {
                 gid: codec::get_u32(&mut buf)?,
                 template: codec::get_u32(&mut buf)?,
                 attempt: codec::get_u32(&mut buf)?,
+                commit_ts: codec::get_u64(&mut buf)?,
             },
             TAG_ABORT => WalRecord::Abort {
                 gid: codec::get_u32(&mut buf)?,
@@ -390,9 +401,9 @@ impl WalRecord {
             },
             TAG_COMMIT_GROUP => {
                 let n = codec::get_u32(&mut buf)? as usize;
-                // Each entry is exactly 12 bytes; bounding up front keeps
+                // Each entry is exactly 20 bytes; bounding up front keeps
                 // a hostile count from pre-allocating unboundedly.
-                if buf.len() < n.checked_mul(12)? {
+                if buf.len() < n.checked_mul(20)? {
                     return None;
                 }
                 let mut entries = Vec::with_capacity(n);
@@ -401,6 +412,7 @@ impl WalRecord {
                         gid: codec::get_u32(&mut buf)?,
                         template: codec::get_u32(&mut buf)?,
                         attempt: codec::get_u32(&mut buf)?,
+                        commit_ts: codec::get_u64(&mut buf)?,
                     });
                 }
                 WalRecord::CommitGroup { entries }
@@ -868,11 +880,12 @@ impl Wal {
         }
     }
 
-    pub(crate) fn log_commit(&self, gid: u32, template: TxnId, attempt: u32) {
+    pub(crate) fn log_commit(&self, gid: u32, template: TxnId, attempt: u32, commit_ts: u64) {
         let entry = GroupEntry {
             gid,
             template: template.0,
             attempt,
+            commit_ts,
         };
         if let Some(g) = &self.group {
             return self.group_commit(g, entry);
@@ -892,6 +905,7 @@ impl Wal {
                 gid,
                 template: template.0,
                 attempt,
+                commit_ts,
             },
             self.sync,
         );
@@ -954,6 +968,7 @@ impl Wal {
                 gid: e.gid,
                 template: e.template,
                 attempt: e.attempt,
+                commit_ts: e.commit_ts,
             },
             _ => WalRecord::CommitGroup {
                 entries: batch.to_vec(),
@@ -1234,9 +1249,9 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
 
     let mut torn = 0usize;
 
-    // 1. The decision log: which instances committed, with what template
-    //    and attempt.
-    let mut committed: HashMap<u32, (TxnId, u32)> = HashMap::new();
+    // 1. The decision log: which instances committed, with what
+    //    template, attempt, and commit timestamp.
+    let mut committed: HashMap<u32, (TxnId, u32, u64)> = HashMap::new();
     let mut begun = 0usize;
     let mut aborted = 0usize;
     let mut next_base = 0u32;
@@ -1250,6 +1265,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                 gid,
                 template,
                 attempt,
+                commit_ts,
             } => {
                 if template as usize >= system.len() {
                     return Err(WalError::Record(format!(
@@ -1257,7 +1273,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                         system.len()
                     )));
                 }
-                committed.insert(gid, (TxnId(template), attempt));
+                committed.insert(gid, (TxnId(template), attempt, commit_ts));
                 next_base = next_base.max(gid.saturating_add(1));
             }
             WalRecord::Abort { gid, .. } => {
@@ -1277,7 +1293,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                             system.len()
                         )));
                     }
-                    committed.insert(e.gid, (TxnId(e.template), e.attempt));
+                    committed.insert(e.gid, (TxnId(e.template), e.attempt, e.commit_ts));
                     next_base = next_base.max(e.gid.saturating_add(1));
                 }
             }
@@ -1294,6 +1310,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
     let mut store = Store::new(&db, meta.initial_value);
     let mut replayed = 0u64;
     let mut skipped = 0u64;
+    let mut ops_by_gid: HashMap<u32, Vec<(EntityId, WriteOp)>> = HashMap::new();
     for k in 0..db.site_count() {
         for rec in read_log(&dir.join(shard_file(k)), &mut torn)? {
             match rec {
@@ -1313,7 +1330,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                     // instance that died dirty on an earlier attempt and
                     // committed on a retry must not replay the rolled-
                     // back write too.
-                    if committed.get(&gid).map(|&(_, a)| a) != Some(attempt) {
+                    if committed.get(&gid).map(|&(_, a, _)| a) != Some(attempt) {
                         continue;
                     }
                     if entity.index() >= db.entity_count() {
@@ -1321,6 +1338,13 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                             "write to unknown entity {entity} in shard {k}"
                         )));
                     }
+                    // Collected per instance for the multiversion chain
+                    // rebuild below (a program writes each entity at
+                    // most once, so intra-instance order is immaterial).
+                    ops_by_gid
+                        .entry(gid)
+                        .or_default()
+                        .push((entity, op.clone()));
                     match store.replay_write(entity, &op) {
                         Ok(()) => replayed += 1,
                         Err(WriteError::AddToBytes { .. }) => skipped += 1,
@@ -1339,6 +1363,19 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
         }
     }
 
+    // 2b. Rebuild the multiversion chains: publish every committed
+    //     instance's write-set in commit-timestamp order. Gaps are
+    //     expected (a ts allocated by the crashed process whose commit
+    //     record never became durable); `publish_recovered` tolerates
+    //     them, and the recovered clock resumes past the highest
+    //     durable ts.
+    let mut by_ts: Vec<(u64, u32)> = committed.iter().map(|(g, &(_, _, ts))| (ts, *g)).collect();
+    by_ts.sort_unstable();
+    for (ts, gid) in by_ts {
+        let ops = ops_by_gid.remove(&gid).unwrap_or_default();
+        store.publish_recovered(ts, &ops);
+    }
+
     // 3. The history log: stream the committed attempts' events through
     //    the incremental auditor. Commit decisions are fed *first* (they
     //    are all known from step 1), so every event of a committing
@@ -1351,7 +1388,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
     gids.sort_unstable();
     let mut auditor = StreamingAuditor::new(&system);
     for g in &gids {
-        let (template, attempt) = committed[g];
+        let (template, attempt, _) = committed[g];
         auditor.admit(*g, template);
         auditor.commit(*g, attempt);
     }
@@ -1361,7 +1398,7 @@ pub fn recover(dir: impl AsRef<Path>) -> Result<Recovered, WalError> {
                 gid, attempt, node, ..
             } => {
                 next_base = next_base.max(gid.saturating_add(1));
-                if committed.get(&gid).map(|&(_, a)| a) != Some(attempt) {
+                if committed.get(&gid).map(|&(_, a, _)| a) != Some(attempt) {
                     continue; // uncommitted instance, or a losing attempt
                 }
                 auditor.event(gid, attempt, node);
@@ -1454,6 +1491,7 @@ mod tests {
             gid: 1,
             template: 0,
             attempt: 1,
+            commit_ts: u64::MAX - 1,
         });
         roundtrip(WalRecord::Abort { gid: 2, attempt: 0 });
         roundtrip(WalRecord::Event {
@@ -1570,11 +1608,13 @@ mod tests {
                     gid: 0,
                     template: 1,
                     attempt: 0,
+                    commit_ts: 1,
                 },
                 GroupEntry {
                     gid: u32::MAX,
                     template: 0,
                     attempt: 7,
+                    commit_ts: u64::MAX,
                 },
             ],
         });
@@ -1610,7 +1650,8 @@ mod tests {
                 let w = Arc::clone(&w);
                 s.spawn(move || {
                     for i in 0..n / 4 {
-                        w.log_commit(t * (n / 4) + i, TxnId(0), 0);
+                        let gid = t * (n / 4) + i;
+                        w.log_commit(gid, TxnId(0), 0, u64::from(gid) + 1);
                     }
                 });
             }
@@ -1647,7 +1688,7 @@ mod tests {
                 ..WalOptions::default()
             },
         );
-        w.log_commit(3, TxnId(1), 2);
+        w.log_commit(3, TxnId(1), 2, 9);
         w.flush_all();
         assert_eq!(
             decisions_of(w.dir()),
@@ -1655,6 +1696,7 @@ mod tests {
                 gid: 3,
                 template: 1,
                 attempt: 2,
+                commit_ts: 9,
             }]
         );
         assert_eq!(w.group_counters(), (1, 1));
@@ -1680,7 +1722,8 @@ mod tests {
                 let w = Arc::clone(&w);
                 s.spawn(move || {
                     for i in 0..4 {
-                        w.log_commit(t * 4 + i, TxnId(0), 0);
+                        let gid = t * 4 + i;
+                        w.log_commit(gid, TxnId(0), 0, u64::from(gid) + 1);
                     }
                 });
             }

@@ -1,0 +1,83 @@
+//! Lockdep certification of the read-only transaction path: the
+//! ISSUE 10 claim — "the RO path takes **zero** locks" — made machine-
+//! checkable. The instrumented shim counts every lock acquisition per
+//! thread ([`ddlf_lockdep::thread_acquire_count`]); a snapshot read
+//! that leaves the counter unchanged provably acquired no lock class,
+//! not merely "no contended lock". Only meaningful with
+//! `--features lockdep`; without it the shim counts nothing.
+#![cfg(feature = "lockdep")]
+
+use ddlf_engine::{AdmissionOptions, Engine, EngineConfig};
+use ddlf_model::{EntityId, SystemSpec};
+
+const SPEC: &str = r#"{
+  "entities": [ {"name": "x", "site": 0}, {"name": "y", "site": 1} ],
+  "transactions": [
+    { "name": "T1", "ops": ["L x", "L y", "U y", "U x"] },
+    { "name": "T2", "ops": ["L x", "L y", "U y", "U x"] }
+  ]
+}"#;
+
+fn counter_engine(instances: usize) -> Engine {
+    let sys = serde_json::from_str::<SystemSpec>(SPEC)
+        .unwrap()
+        .build()
+        .unwrap();
+    Engine::try_with_admission(
+        sys,
+        AdmissionOptions::default(),
+        EngineConfig {
+            threads: 4,
+            instances,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// After a contended writer run populated the version chains, a storm
+/// of read-only transactions on this thread acquires **zero**
+/// instrumented locks: the per-thread acquisition counter does not
+/// move across whole-database scans, subset scans, or repeated
+/// single-entity reads. The writer run beforehand proves the counter
+/// works (it must have moved) — this is not a disabled-shim tautology.
+#[test]
+fn read_only_path_acquires_no_lock_class() {
+    let engine = counter_engine(150);
+
+    // Baseline sanity: lock instrumentation is live on this thread.
+    // Engine construction + a direct locked-oracle read must count.
+    let before_oracle = ddlf_lockdep::thread_acquire_count();
+    let _ = engine.store().snapshot();
+    assert!(
+        ddlf_lockdep::thread_acquire_count() > before_oracle,
+        "the locked snapshot path must register acquisitions, or the \
+         zero-delta assertion below would be vacuous"
+    );
+
+    assert_eq!(engine.run().committed, 150);
+    let entities: Vec<EntityId> = engine.store().db().entities().collect();
+
+    let before = ddlf_lockdep::thread_acquire_count();
+    let mut last_ts = 0;
+    for round in 0..1_000 {
+        // Alternate full scans with subsets so both shapes are covered.
+        let snap = if round % 2 == 0 {
+            engine.run_read_only(&entities)
+        } else {
+            engine.run_read_only(&entities[..1])
+        };
+        assert!(snap.ts >= last_ts);
+        last_ts = snap.ts;
+        assert!(!snap.entries.is_empty());
+    }
+    assert_eq!(
+        ddlf_lockdep::thread_acquire_count(),
+        before,
+        "a read-only transaction acquired an instrumented lock"
+    );
+
+    // And the storm left no discipline violations behind either.
+    let bad = ddlf_lockdep::violations();
+    assert!(bad.is_empty(), "lockdep violations: {bad:#?}");
+}

@@ -1,0 +1,155 @@
+//! Error-path contract of [`ddlf_engine::replay_schedule`]: a corrupt
+//! trace is rejected with a typed [`ReplayError::IllegalStep`] naming
+//! the exact offending step and why — never a panic, never a partial
+//! "success". Three corruption families, each the one an on-disk JSONL
+//! trace can actually acquire:
+//!
+//! 1. an **unknown transaction id** (the trace belongs to a bigger
+//!    system, or the gid column was mangled),
+//! 2. a **step out of its transaction's order** (reordered or dropped
+//!    lines),
+//! 3. a **lock step where the entity is held by another transaction**
+//!    (a legal-looking interleaving of the wrong system — the lock
+//!    tables prove it illegal).
+//!
+//! `ReplayError::Stalled` is deliberately absent: phase 1 validates
+//! every recorded step against both the transaction's partial order and
+//! the live lock tables, so any accepted prefix is a legal partial
+//! schedule — and wait-die completion always drains those.
+
+use ddlf_engine::{replay_schedule, ReplayError};
+use ddlf_model::{
+    Database, EntityId, GlobalNode, NodeId, Op, Transaction, TransactionSystem, TxnId,
+};
+
+/// Two transactions over two single-entity sites, each with the given
+/// total-order op list.
+fn pair(ops1: &[Op], ops2: &[Op]) -> TransactionSystem {
+    let db = Database::one_entity_per_site(2);
+    let t1 = Transaction::from_total_order("T1", ops1, &db).unwrap();
+    let t2 = Transaction::from_total_order("T2", ops2, &db).unwrap();
+    TransactionSystem::new(db, vec![t1, t2]).unwrap()
+}
+
+fn two_entity_system() -> TransactionSystem {
+    let (x, y) = (EntityId(0), EntityId(1));
+    let ops = [Op::lock(x), Op::lock(y), Op::unlock(x), Op::unlock(y)];
+    pair(&ops, &ops)
+}
+
+#[test]
+fn unknown_transaction_id_is_rejected_at_its_index() {
+    let sys = two_entity_system();
+    // A legal first step, then a gid the system has never heard of.
+    let steps = [
+        GlobalNode::new(TxnId(0), NodeId(0)),
+        GlobalNode::new(TxnId(7), NodeId(0)),
+    ];
+    let err = replay_schedule(&sys, &steps).unwrap_err();
+    let ReplayError::IllegalStep {
+        index,
+        step,
+        reason,
+    } = &err
+    else {
+        panic!("expected IllegalStep, got {err:?}");
+    };
+    assert_eq!(*index, 1, "the first step was legal; only the second fails");
+    assert_eq!(step.txn, TxnId(7));
+    assert!(
+        reason.contains("no transaction"),
+        "reason names the missing txn: {reason}"
+    );
+    // The Display form carries the index, the step, and the reason —
+    // enough to find the corrupt line in a JSONL trace.
+    let shown = err.to_string();
+    assert!(shown.contains("step 1"), "{shown}");
+    assert!(shown.contains("no transaction"), "{shown}");
+}
+
+#[test]
+fn step_out_of_transaction_order_is_rejected() {
+    let sys = two_entity_system();
+    // T1's node 1 (lock y) before its node 0 (lock x): not ready under
+    // the transaction's own partial order, regardless of lock state.
+    let steps = [GlobalNode::new(TxnId(0), NodeId(1))];
+    let err = replay_schedule(&sys, &steps).unwrap_err();
+    let ReplayError::IllegalStep { index, reason, .. } = &err else {
+        panic!("expected IllegalStep, got {err:?}");
+    };
+    assert_eq!(*index, 0);
+    assert!(
+        reason.contains("not ready"),
+        "reason blames the partial order: {reason}"
+    );
+}
+
+#[test]
+fn replaying_a_step_twice_is_rejected() {
+    let sys = two_entity_system();
+    // A duplicated JSONL line: the node was ready once, not twice.
+    let steps = [
+        GlobalNode::new(TxnId(0), NodeId(0)),
+        GlobalNode::new(TxnId(0), NodeId(0)),
+    ];
+    let err = replay_schedule(&sys, &steps).unwrap_err();
+    let ReplayError::IllegalStep { index, reason, .. } = &err else {
+        panic!("expected IllegalStep, got {err:?}");
+    };
+    assert_eq!(*index, 1);
+    assert!(reason.contains("not ready"), "{reason}");
+}
+
+#[test]
+fn lock_on_an_entity_held_by_another_txn_is_rejected() {
+    let sys = two_entity_system();
+    // Both transactions lock x back to back. Each step respects its own
+    // transaction's order — only the lock table can catch this one.
+    let steps = [
+        GlobalNode::new(TxnId(0), NodeId(0)),
+        GlobalNode::new(TxnId(1), NodeId(0)),
+    ];
+    let err = replay_schedule(&sys, &steps).unwrap_err();
+    let ReplayError::IllegalStep {
+        index,
+        step,
+        reason,
+    } = &err
+    else {
+        panic!("expected IllegalStep, got {err:?}");
+    };
+    assert_eq!(*index, 1);
+    assert_eq!(step.txn, TxnId(1));
+    assert!(
+        reason.contains("blocked by") && reason.contains("not a legal schedule"),
+        "reason names the holder: {reason}"
+    );
+}
+
+#[test]
+fn rejection_leaves_no_side_effects_on_a_fresh_replay() {
+    let sys = two_entity_system();
+    // Corrupt trace first...
+    let bad = [
+        GlobalNode::new(TxnId(0), NodeId(0)),
+        GlobalNode::new(TxnId(1), NodeId(0)),
+    ];
+    assert!(replay_schedule(&sys, &bad).is_err());
+    // ...then the legal prefix of the same shape replays clean: each
+    // call builds its own store/auditor, so a rejected trace cannot
+    // poison later replays of the same system.
+    let good = [
+        GlobalNode::new(TxnId(0), NodeId(0)),
+        GlobalNode::new(TxnId(0), NodeId(1)),
+        GlobalNode::new(TxnId(0), NodeId(2)),
+        GlobalNode::new(TxnId(0), NodeId(3)),
+        GlobalNode::new(TxnId(1), NodeId(0)),
+    ];
+    let rep = replay_schedule(&sys, &good).unwrap();
+    assert_eq!(rep.instances, 2);
+    assert_eq!(rep.replayed_steps, 5);
+    assert_eq!(rep.committed, 2, "completion finishes T2");
+    assert!(rep.completion_steps > 0);
+    assert_eq!(rep.aborts, 0, "a legal prefix never forces a death");
+    assert_eq!(rep.serializable, Some(true));
+}

@@ -236,6 +236,19 @@ mod imp {
         /// Active blocking regions of the current thread.
         static REGIONS: RefCell<Vec<(BlockingKind, &'static Location<'static>)>> =
             const { RefCell::new(Vec::new()) };
+        /// Total instrumented acquisitions on this thread (any class,
+        /// any mode) — lets a test certify that a code path is
+        /// lock-free by diffing the counter around it.
+        static ACQUIRES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Instrumented lock acquisitions performed by the *current thread*
+    /// since it started, across every class and regardless of
+    /// enforcement mode. A path that leaves this counter unchanged
+    /// acquired no instrumented lock at all — the machine-checkable
+    /// form of "takes zero lock classes".
+    pub fn thread_acquire_count() -> u64 {
+        ACQUIRES.try_with(|c| c.get()).unwrap_or(0)
     }
 
     fn parse_mode(raw: Option<&str>) -> Mode {
@@ -334,6 +347,7 @@ mod imp {
     /// *before* blocking on the lock, so a potential deadlock is
     /// reported even if this very acquisition would hang.
     pub fn on_acquire(class: ClassId, site: &'static Location<'static>) {
+        let _ = ACQUIRES.try_with(|c| c.set(c.get() + 1));
         if mode() == Mode::Off {
             return;
         }
@@ -908,6 +922,12 @@ mod imp {
     #[inline(always)]
     pub fn mode() -> Mode {
         Mode::Off
+    }
+
+    /// Always zero when the feature is disabled (no instrumentation).
+    #[inline(always)]
+    pub fn thread_acquire_count() -> u64 {
+        0
     }
 
     /// No-op stand-in.

@@ -10,7 +10,7 @@
 //! [`ClientError::ReplyLost`] so callers can decide.
 
 use crate::proto::{
-    ErrorKind, InflateSpec, Registered, Request, Response, RunStats, StatsSnapshot,
+    ErrorKind, InflateSpec, Registered, Request, Response, RunStats, SnapshotReply, StatsSnapshot,
 };
 use ddlf_sim::msg::frame;
 use std::fmt;
@@ -218,6 +218,21 @@ impl Client {
         match self.round_trip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(Self::expect_error(other, "Stats")),
+        }
+    }
+
+    /// Runs one read-only transaction: a committed multiversion cut of
+    /// the named entities (empty = the whole database, schema order).
+    /// Idempotent and served off the lock-free snapshot path, so it
+    /// answers even while another connection's `Submit` holds the
+    /// engine for a long run.
+    pub fn read(&mut self, entities: &[String]) -> Result<SnapshotReply, ClientError> {
+        let req = Request::ReadOnly {
+            entities: entities.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            Response::Snapshot(snap) => Ok(snap),
+            other => Err(Self::expect_error(other, "Snapshot")),
         }
     }
 

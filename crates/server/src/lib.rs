@@ -91,6 +91,6 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use proto::{
     ErrorKind, InflateSpec, PhaseStat, PlanEntry, Registered, Request, Response, RunStats,
-    StatsSnapshot, TemplateStat,
+    SnapEntry, SnapshotReply, StatsSnapshot, TemplateStat,
 };
 pub use server::{ServeConfig, Server};

@@ -110,6 +110,17 @@ pub enum Request {
     /// `Submit` is running; runs nothing. Before any `RegisterSystem`
     /// the snapshot is legitimately all zeros (not an error).
     Stats,
+    /// Run a **read-only transaction**: read every named entity (empty
+    /// vector = the whole database) at one committed multiversion cut.
+    /// Answered from the store's zero-lock snapshot path **without
+    /// touching the engine lock**, so reads return promptly — and
+    /// observe fresh committed cuts — even while a long `Submit` is
+    /// running. Logs nothing to the WAL.
+    ReadOnly {
+        /// Entity names to read; empty reads every entity in schema
+        /// order.
+        entities: Vec<String>,
+    },
 }
 
 const REQ_REGISTER: u8 = 1;
@@ -117,6 +128,7 @@ const REQ_SUBMIT: u8 = 2;
 const REQ_REPORT: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 const REQ_STATS: u8 = 5;
+const REQ_READ_ONLY: u8 = 6;
 
 impl Request {
     /// Encodes to one protocol unit (to be carried in one frame).
@@ -136,6 +148,13 @@ impl Request {
             Request::Report => b.put_u8(REQ_REPORT),
             Request::Shutdown => b.put_u8(REQ_SHUTDOWN),
             Request::Stats => b.put_u8(REQ_STATS),
+            Request::ReadOnly { entities } => {
+                b.put_u8(REQ_READ_ONLY);
+                b.put_u32_le(u32::try_from(entities.len()).expect("entity list fits a frame"));
+                for name in entities {
+                    put_str(&mut b, name);
+                }
+            }
         }
         b.freeze()
     }
@@ -156,6 +175,20 @@ impl Request {
             REQ_REPORT => Request::Report,
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_STATS => Request::Stats,
+            REQ_READ_ONLY => {
+                let n = get_u32(&mut buf)? as usize;
+                // Each name is ≥ 4 bytes (its length prefix); bounding
+                // up front keeps a hostile count from pre-allocating
+                // unboundedly.
+                if buf.remaining() < n.checked_mul(4)? {
+                    return None;
+                }
+                let mut entities = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entities.push(get_str(&mut buf)?);
+                }
+                Request::ReadOnly { entities }
+            }
             _ => return None,
         };
         finished(&buf, req)
@@ -466,6 +499,13 @@ pub struct StatsSnapshot {
     /// Commit decisions written through the group committer;
     /// `group_commits / group_flushes` is the mean group size.
     pub group_commits: u64,
+    /// Committed versions retained across all multiversion chains.
+    pub chain_versions: u64,
+    /// Longest per-entity version chain.
+    pub chain_max_len: u64,
+    /// The GC low-watermark of live read-only snapshots at the last
+    /// truncation pass.
+    pub chain_watermark: u64,
     /// Per-phase latency digests, [`ddlf_engine::Phase::ALL`] order
     /// (empty when the server runs with telemetry disabled).
     pub phases: Vec<PhaseStat>,
@@ -513,6 +553,9 @@ impl StatsSnapshot {
             trace_dropped: s.trace_dropped,
             group_flushes: s.group_size.count,
             group_commits: s.group_size.sum,
+            chain_versions: s.chain_versions,
+            chain_max_len: s.chain_max_len,
+            chain_watermark: s.chain_watermark,
             phases,
             templates: s
                 .templates
@@ -544,6 +587,9 @@ impl StatsSnapshot {
             self.trace_dropped,
             self.group_flushes,
             self.group_commits,
+            self.chain_versions,
+            self.chain_max_len,
+            self.chain_watermark,
         ] {
             b.put_u64_le(v);
         }
@@ -567,6 +613,9 @@ impl StatsSnapshot {
         let trace_dropped = get_u64(b)?;
         let group_flushes = get_u64(b)?;
         let group_commits = get_u64(b)?;
+        let chain_versions = get_u64(b)?;
+        let chain_max_len = get_u64(b)?;
+        let chain_watermark = get_u64(b)?;
         let np = get_u32(b)? as usize;
         // A PhaseStat is ≥ 52 bytes (4-byte name length + six u64s);
         // bounding up front keeps a hostile count from pre-allocating
@@ -596,9 +645,105 @@ impl StatsSnapshot {
             trace_dropped,
             group_flushes,
             group_commits,
+            chain_versions,
+            chain_max_len,
+            chain_watermark,
             phases,
             templates,
         })
+    }
+}
+
+/// One entity in a [`SnapshotReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapEntry {
+    /// Entity name (spec order when the request read the whole
+    /// database, request order otherwise).
+    pub name: String,
+    /// Commit timestamp of the version observed (0 = the initial
+    /// seeded value).
+    pub commit_ts: u64,
+    /// Version counter of the observed value.
+    pub version: u64,
+    /// Integer payload; `None` when the committed payload is a byte
+    /// string (the lock-free read path reports identity, not bytes).
+    pub value: Option<u64>,
+}
+
+/// The reply to [`Request::ReadOnly`]: one committed multiversion cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotReply {
+    /// The snapshot timestamp — every commit `≤ ts` is reflected, none
+    /// after.
+    pub ts: u64,
+    /// One entry per entity read.
+    pub entries: Vec<SnapEntry>,
+}
+
+impl SnapshotReply {
+    /// Sum of the integer payloads observed (conservation checks).
+    pub fn sum_int(&self) -> u128 {
+        self.entries
+            .iter()
+            .filter_map(|e| e.value)
+            .map(u128::from)
+            .sum()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "snapshot at ts {} | {} entities | Σint = {}",
+            self.ts,
+            self.entries.len(),
+            self.sum_int()
+        )
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
+        b.put_u64_le(self.ts);
+        b.put_u32_le(u32::try_from(self.entries.len()).expect("entry list fits a frame"));
+        for e in &self.entries {
+            put_str(b, &e.name);
+            b.put_u64_le(e.commit_ts);
+            b.put_u64_le(e.version);
+            match e.value {
+                None => b.put_u8(0),
+                Some(v) => {
+                    b.put_u8(1);
+                    b.put_u64_le(v);
+                }
+            }
+        }
+    }
+
+    fn decode_from(b: &mut Bytes) -> Option<Self> {
+        let ts = get_u64(b)?;
+        let n = get_u32(b)? as usize;
+        // Each entry is ≥ 21 bytes (4-byte name length, two u64s, one
+        // value tag); bounding up front keeps a hostile count from
+        // pre-allocating unboundedly.
+        if b.remaining() < n.checked_mul(21)? {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = get_str(b)?;
+            let commit_ts = get_u64(b)?;
+            let version = get_u64(b)?;
+            let value = match get_u8(b)? {
+                0 => None,
+                1 => Some(get_u64(b)?),
+                _ => return None,
+            };
+            entries.push(SnapEntry {
+                name,
+                commit_ts,
+                version,
+                value,
+            });
+        }
+        Some(SnapshotReply { ts, entries })
     }
 }
 
@@ -666,6 +811,8 @@ pub enum Response {
     ShuttingDown,
     /// `Stats`: the live telemetry digest.
     Stats(StatsSnapshot),
+    /// `ReadOnly`: one committed multiversion snapshot.
+    Snapshot(SnapshotReply),
     /// The request was rejected.
     Error {
         /// Typed rejection cause.
@@ -681,6 +828,7 @@ const RESP_REPORT: u8 = 3;
 const RESP_SHUTTING_DOWN: u8 = 4;
 const RESP_ERROR: u8 = 5;
 const RESP_STATS: u8 = 6;
+const RESP_SNAPSHOT: u8 = 7;
 
 const SLOTS_UNBOUNDED: u8 = 0;
 const SLOTS_BOUNDED: u8 = 1;
@@ -721,6 +869,10 @@ impl Response {
             Response::Stats(stats) => {
                 b.put_u8(RESP_STATS);
                 stats.encode_into(&mut b);
+            }
+            Response::Snapshot(snap) => {
+                b.put_u8(RESP_SNAPSHOT);
+                snap.encode_into(&mut b);
             }
             Response::Error { kind, message } => {
                 b.put_u8(RESP_ERROR);
@@ -771,6 +923,7 @@ impl Response {
             RESP_REPORT => Response::Report(RunStats::decode_from(&mut buf)?),
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
             RESP_STATS => Response::Stats(StatsSnapshot::decode_from(&mut buf)?),
+            RESP_SNAPSHOT => Response::Snapshot(SnapshotReply::decode_from(&mut buf)?),
             RESP_ERROR => Response::Error {
                 kind: ErrorKind::from_tag(get_u8(&mut buf)?)?,
                 message: get_str(&mut buf)?,
@@ -804,6 +957,9 @@ mod tests {
             trace_dropped: 7,
             group_flushes: 125,
             group_commits: 4_000,
+            chain_versions: 6_400,
+            chain_max_len: 64,
+            chain_watermark: 3_999,
             phases: vec![
                 PhaseStat {
                     name: "lock_wait".into(),
@@ -858,7 +1014,7 @@ mod tests {
         // A Stats reply claiming 4 billion phases on a short buffer.
         let mut b = BytesMut::new();
         b.put_u8(RESP_STATS);
-        for _ in 0..9 {
+        for _ in 0..12 {
             b.put_u64_le(0);
         }
         b.put_u32_le(u32::MAX);
@@ -867,7 +1023,7 @@ mod tests {
         // Zero phases but a hostile template count.
         let mut b = BytesMut::new();
         b.put_u8(RESP_STATS);
-        for _ in 0..9 {
+        for _ in 0..12 {
             b.put_u64_le(0);
         }
         b.put_u32_le(0);
@@ -909,6 +1065,105 @@ mod tests {
         put_str(&mut b, "verdict");
         put_str(&mut b, "rationale");
         b.put_u32_le(u32::MAX); // claims 4 billion plan entries
+        assert_eq!(Response::decode(b.freeze()), None);
+    }
+
+    #[test]
+    fn read_only_roundtrips() {
+        for req in [
+            Request::ReadOnly { entities: vec![] }, // empty = whole database
+            Request::ReadOnly {
+                entities: vec!["acct_b0_0".into(), "ledger_b1".into()],
+            },
+        ] {
+            assert_eq!(Request::decode(req.encode()), Some(req));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let resp = Response::Snapshot(SnapshotReply {
+            ts: 42,
+            entries: vec![
+                SnapEntry {
+                    name: "acct_b0_0".into(),
+                    commit_ts: 42,
+                    version: 7,
+                    value: Some(295),
+                },
+                SnapEntry {
+                    name: "blob".into(),
+                    commit_ts: 3,
+                    version: 1,
+                    value: None, // bytes payload: opaque to the int view
+                },
+            ],
+        });
+        assert_eq!(Response::decode(resp.encode()), Some(resp));
+
+        let empty = Response::Snapshot(SnapshotReply {
+            ts: 0,
+            entries: vec![],
+        });
+        assert_eq!(Response::decode(empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn snapshot_sums_int_values() {
+        let snap = SnapshotReply {
+            ts: 9,
+            entries: vec![
+                SnapEntry {
+                    name: "a".into(),
+                    commit_ts: 9,
+                    version: 2,
+                    value: Some(u64::MAX),
+                },
+                SnapEntry {
+                    name: "b".into(),
+                    commit_ts: 1,
+                    version: 1,
+                    value: Some(1),
+                },
+                SnapEntry {
+                    name: "c".into(),
+                    commit_ts: 0,
+                    version: 0,
+                    value: None,
+                },
+            ],
+        };
+        // u128 accumulation: no wrap even at u64::MAX per entry.
+        assert_eq!(snap.sum_int(), u128::from(u64::MAX) + 1);
+    }
+
+    #[test]
+    fn hostile_read_only_count_rejected() {
+        // A ReadOnly request claiming 4 billion entity names.
+        let mut b = BytesMut::new();
+        b.put_u8(REQ_READ_ONLY);
+        b.put_u32_le(u32::MAX);
+        assert_eq!(Request::decode(b.freeze()), None);
+    }
+
+    #[test]
+    fn hostile_snapshot_rejected() {
+        // A Snapshot reply claiming 4 billion entries on a short buffer.
+        let mut b = BytesMut::new();
+        b.put_u8(RESP_SNAPSHOT);
+        b.put_u64_le(1);
+        b.put_u32_le(u32::MAX);
+        assert_eq!(Response::decode(b.freeze()), None);
+
+        // A value tag outside {0, 1}.
+        let mut b = BytesMut::new();
+        b.put_u8(RESP_SNAPSHOT);
+        b.put_u64_le(1);
+        b.put_u32_le(1);
+        put_str(&mut b, "acct");
+        b.put_u64_le(1); // commit_ts
+        b.put_u64_le(1); // version
+        b.put_u8(2); // invalid value tag
         assert_eq!(Response::decode(b.freeze()), None);
     }
 }

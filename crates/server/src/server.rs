@@ -15,11 +15,12 @@
 //! interleaved runs could not share the store safely.
 
 use crate::proto::{
-    ErrorKind, InflateSpec, Registered, Request, Response, RunStats, StatsSnapshot,
+    ErrorKind, InflateSpec, Registered, Request, Response, RunStats, SnapEntry, SnapshotReply,
+    StatsSnapshot,
 };
-use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation, Telemetry};
+use ddlf_engine::{AdmissionOptions, Engine, EngineConfig, Inflation, Store, Telemetry};
 use ddlf_lockdep::{blocking_region, BlockingKind};
-use ddlf_model::{SystemSpec, TxnId};
+use ddlf_model::{EntityId, SystemSpec, TxnId};
 use ddlf_sim::msg::frame;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -90,6 +91,12 @@ struct Shared {
     /// entire run, and a stats probe must answer *during* the run, not
     /// after it.
     telemetry: Telemetry,
+    /// The registered engine's store, parked here so [`Request::ReadOnly`]
+    /// can scan the multiversion chains without touching the engine
+    /// mutex — like `telemetry`, a snapshot read must answer *during* a
+    /// `Submit`, not after it. The lock guards only the `Arc` clone; the
+    /// scan itself runs lock-free on the shared store.
+    read_store: Mutex<Option<Arc<Store>>>,
     cfg: ServeConfig,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -119,7 +126,52 @@ impl Shared {
             // never the engine mutex, so it answers mid-`Submit`. Before
             // any registration the digest is legitimately all zeros.
             Request::Stats => Response::Stats(StatsSnapshot::from_telemetry(&self.telemetry)),
+            Request::ReadOnly { entities } => self.read_only(&entities),
         }
+    }
+
+    /// Answers one read-only transaction over the zero-lock snapshot
+    /// path. The engine mutex is never taken: `read_store` holds a
+    /// brief leaf lock around the `Arc` clone, then the scan runs on
+    /// the lock-free multiversion chains — so a reader observes a
+    /// committed cut even while a `Submit` run is mid-flight.
+    fn read_only(&self, names: &[String]) -> Response {
+        let Some(store) = self.read_store.lock().clone() else {
+            return no_system();
+        };
+        let db = store.db();
+        let ids: Vec<EntityId> = if names.is_empty() {
+            // Empty request = the whole database, in schema order.
+            db.entities().collect()
+        } else {
+            let mut ids = Vec::with_capacity(names.len());
+            for name in names {
+                match db.entity_by_name(name) {
+                    Some(e) => ids.push(e),
+                    None => {
+                        return Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: format!("no entity named {name:?}"),
+                        }
+                    }
+                }
+            }
+            ids
+        };
+        let snap = store.read_only_snapshot(&ids);
+        Response::Snapshot(SnapshotReply {
+            ts: snap.ts,
+            entries: snap
+                .entries
+                .iter()
+                .map(|e| SnapEntry {
+                    name: db.name_of(e.entity).to_string(),
+                    commit_ts: e.commit_ts,
+                    version: e.version,
+                    value: e.value,
+                })
+                .collect(),
+        })
     }
 
     fn register(&self, spec_json: &str, inflate: InflateSpec) -> Response {
@@ -177,6 +229,10 @@ impl Shared {
             }
         };
         let reply = Registered::from_registry(engine.registry());
+        // Park the new store for the lock-free read path before the
+        // engine slot swaps: a racing reader sees either the old system
+        // or the new one, never a dangling store.
+        *self.read_store.lock() = Some(engine.store_handle());
         *self.engine.lock() = Some(engine);
         Response::Registered(reply)
     }
@@ -262,6 +318,10 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
+                read_store: Mutex::new_named(
+                    "server.read_store",
+                    engine.as_ref().map(Engine::store_handle),
+                ),
                 engine: Mutex::new_named("server.engine", engine),
                 telemetry: cfg.engine.telemetry.clone(),
                 cfg,

@@ -6,7 +6,7 @@
 use bytes::Bytes;
 use ddlf_server::{
     ErrorKind, InflateSpec, PhaseStat, PlanEntry, Registered, Request, Response, RunStats,
-    StatsSnapshot, TemplateStat,
+    SnapEntry, SnapshotReply, StatsSnapshot, TemplateStat,
 };
 use proptest::prelude::*;
 
@@ -30,7 +30,17 @@ fn request_of(variant: usize, s: String, count: u32, inflate_kind: usize, k: u32
         1 => Request::Submit { template: s, count },
         2 => Request::Report,
         3 => Request::Shutdown,
-        _ => Request::Stats,
+        4 => Request::Stats,
+        _ => Request::ReadOnly {
+            // Empty draws exercise the whole-database request; non-empty
+            // ones a comma-split name list (empty names are legal wire
+            // strings and must round-trip too).
+            entities: if s.is_empty() {
+                vec![]
+            } else {
+                s.split(',').map(str::to_string).collect()
+            },
+        },
     }
 }
 
@@ -61,6 +71,9 @@ fn stats_snapshot_of(fields: &[u64], rows: &[(Vec<u8>, u64, bool)]) -> StatsSnap
         trace_dropped: fields[6],
         group_flushes: fields[7],
         group_commits: fields[8],
+        chain_versions: fields[9],
+        chain_max_len: fields[10],
+        chain_watermark: fields[11],
         phases: rows
             .iter()
             .map(|(name, v, _)| PhaseStat {
@@ -114,6 +127,18 @@ fn response_of(
         2 => Response::Report(stats_of(stats_fields, serializable)),
         3 => Response::ShuttingDown,
         4 => Response::Stats(stats_snapshot_of(&stats_fields, &plan_raw)),
+        5 => Response::Snapshot(SnapshotReply {
+            ts: stats_fields[0],
+            entries: plan_raw
+                .into_iter()
+                .map(|(name, v, has_int)| SnapEntry {
+                    name: ascii(name),
+                    commit_ts: v,
+                    version: v.wrapping_mul(7),
+                    value: has_int.then_some(v),
+                })
+                .collect(),
+        }),
         _ => Response::Error {
             kind: [
                 ErrorKind::BadRequest,
@@ -132,7 +157,7 @@ proptest! {
     /// encode→decode identity for every request variant.
     #[test]
     fn request_roundtrip(
-        variant in 0usize..5,
+        variant in 0usize..6,
         raw in prop::collection::vec(any::<u8>(), 0..120),
         count in 0u32..=u32::MAX,
         inflate_kind in 0usize..3,
@@ -145,13 +170,13 @@ proptest! {
     /// encode→decode identity for every response variant.
     #[test]
     fn response_roundtrip(
-        variant in 0usize..6,
+        variant in 0usize..7,
         raw in prop::collection::vec(any::<u8>(), 0..120),
         plan_raw in prop::collection::vec(
             (prop::collection::vec(any::<u8>(), 0..24), any::<u64>(), any::<bool>()),
             0..6,
         ),
-        stats_fields in prop::collection::vec(any::<u64>(), 10..11),
+        stats_fields in prop::collection::vec(any::<u64>(), 12..13),
         serializable in 0usize..3,
         flags in (any::<bool>(), any::<bool>(), any::<bool>()),
         err_kind in 0usize..4,
@@ -164,7 +189,7 @@ proptest! {
     /// else. Every proper prefix of a valid encoding is rejected.
     #[test]
     fn truncated_frames_rejected(
-        variant in 0usize..5,
+        variant in 0usize..6,
         raw in prop::collection::vec(any::<u8>(), 0..60),
         count in 0u32..=u32::MAX,
         inflate_kind in 0usize..3,
@@ -208,10 +233,10 @@ proptest! {
         if let Some(resp) = Response::decode(Bytes::from(bytes.clone())) {
             prop_assert_eq!(resp.encode().as_ref(), &bytes[..]);
         }
-        if !bytes.is_empty() && !(1..=5).contains(&bytes[0]) {
+        if !bytes.is_empty() && !(1..=6).contains(&bytes[0]) {
             prop_assert_eq!(Request::decode(Bytes::from(bytes.clone())), None);
         }
-        if !bytes.is_empty() && !(1..=6).contains(&bytes[0]) {
+        if !bytes.is_empty() && !(1..=7).contains(&bytes[0]) {
             prop_assert_eq!(Response::decode(Bytes::from(bytes)), None);
         }
     }
@@ -220,7 +245,7 @@ proptest! {
     /// full-consumption decoding).
     #[test]
     fn trailing_bytes_rejected(
-        variant in 0usize..5,
+        variant in 0usize..6,
         raw in prop::collection::vec(any::<u8>(), 0..40),
         count in 0u32..=u32::MAX,
         extra in any::<u8>(),

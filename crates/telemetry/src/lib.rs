@@ -67,11 +67,14 @@ pub enum Phase {
     Fsync,
     /// Commit: store publish + durable commit record + auditor merge.
     Commit,
+    /// One read-only snapshot scan over the lock-free version rings
+    /// (registration through last entity read; no lock class, no WAL).
+    SnapshotRead,
 }
 
 impl Phase {
     /// All phases, in lifecycle order. Index with `as usize`.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::GateWait,
         Phase::LockWait,
         Phase::Execute,
@@ -79,6 +82,7 @@ impl Phase {
         Phase::WalAppend,
         Phase::Fsync,
         Phase::Commit,
+        Phase::SnapshotRead,
     ];
 
     /// Stable snake_case name used in JSON, Prometheus exposition, and
@@ -92,15 +96,16 @@ impl Phase {
             Phase::WalAppend => "wal_append",
             Phase::Fsync => "fsync",
             Phase::Commit => "commit",
+            Phase::SnapshotRead => "snapshot_read",
         }
     }
 }
 
-/// Per-run snapshot of all seven phase histograms. This is what the
+/// Per-run snapshot of all eight phase histograms. This is what the
 /// engine's `Report` carries in its `phases` field.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseSnapshot {
-    histograms: [HistogramSnapshot; 7],
+    histograms: [HistogramSnapshot; 8],
 }
 
 impl PhaseSnapshot {
@@ -237,6 +242,15 @@ pub struct TelemetrySnapshot {
     pub auditor_arcs: u64,
     /// Bytes appended to WAL log files (payload + frame headers).
     pub wal_bytes: u64,
+    /// Committed versions currently retained across all entity version
+    /// chains (the multiversion store's memory footprint, in entries).
+    pub chain_versions: u64,
+    /// Length of the longest per-entity version chain.
+    pub chain_max_len: u64,
+    /// The snapshot low-watermark version-chain GC last truncated to
+    /// (the min live read-only snapshot ts, or the commit clock when no
+    /// reader was registered).
+    pub chain_watermark: u64,
     /// Lifecycle events currently held in the trace ring.
     pub trace_captured: u64,
     /// Trace events evicted because the ring was full.
@@ -247,7 +261,7 @@ pub struct TelemetrySnapshot {
     /// written through the group path, so `sum / count` is the mean
     /// group size and amortization is observable rather than inferred.
     pub group_size: HistogramSnapshot,
-    /// All seven phase histograms (cumulative since handle creation).
+    /// All eight phase histograms (cumulative since handle creation).
     pub phases: PhaseSnapshot,
     /// Per-template outcome counters.
     pub templates: Vec<TemplateSnapshot>,
@@ -279,13 +293,16 @@ impl Default for TelemetryConfig {
 struct Inner {
     cfg: TelemetryConfig,
     epoch: Instant,
-    phases: [Histogram; 7],
+    phases: [Histogram; 8],
     group_size: Histogram,
     templates: Mutex<Arc<TemplateTable>>,
     inflight: AtomicI64,
     auditor_nodes: AtomicU64,
     auditor_arcs: AtomicU64,
     wal_bytes: AtomicU64,
+    chain_versions: AtomicU64,
+    chain_max_len: AtomicU64,
+    chain_watermark: AtomicU64,
     trace: TraceRing,
 }
 
@@ -318,6 +335,9 @@ impl Telemetry {
                 auditor_nodes: AtomicU64::new(0),
                 auditor_arcs: AtomicU64::new(0),
                 wal_bytes: AtomicU64::new(0),
+                chain_versions: AtomicU64::new(0),
+                chain_max_len: AtomicU64::new(0),
+                chain_watermark: AtomicU64::new(0),
                 trace: TraceRing::new(trace_capacity),
                 cfg,
             })),
@@ -416,6 +436,19 @@ impl Telemetry {
         }
     }
 
+    /// Publishes the version-chain gauges: total retained committed
+    /// versions, longest per-entity chain, and the low-watermark the
+    /// last GC pass truncated against. Called by the store's commit
+    /// publication / GC path.
+    #[inline]
+    pub fn set_chains(&self, versions: u64, max_len: u64, watermark: u64) {
+        if let Some(i) = &self.inner {
+            i.chain_versions.store(versions, Ordering::Relaxed);
+            i.chain_max_len.store(max_len, Ordering::Relaxed);
+            i.chain_watermark.store(watermark, Ordering::Relaxed);
+        }
+    }
+
     /// Records one group-commit flush of `n` commit decisions into the
     /// group-size histogram (see [`TelemetrySnapshot::group_size`]).
     #[inline]
@@ -487,6 +520,9 @@ impl Telemetry {
             auditor_nodes: i.auditor_nodes.load(Ordering::Relaxed),
             auditor_arcs: i.auditor_arcs.load(Ordering::Relaxed),
             wal_bytes: i.wal_bytes.load(Ordering::Relaxed),
+            chain_versions: i.chain_versions.load(Ordering::Relaxed),
+            chain_max_len: i.chain_max_len.load(Ordering::Relaxed),
+            chain_watermark: i.chain_watermark.load(Ordering::Relaxed),
             trace_captured: i.trace.len() as u64,
             trace_dropped: i.trace.dropped(),
             group_size: i.group_size.snapshot(),
@@ -589,6 +625,33 @@ mod tests {
         assert_eq!(s.auditor_nodes, 12);
         assert_eq!(s.auditor_arcs, 34);
         assert_eq!(s.wal_bytes, 128);
+    }
+
+    #[test]
+    fn chain_gauges_show_up_in_snapshot() {
+        let t = Telemetry::enabled();
+        t.set_chains(40, 7, 33);
+        let s = t.snapshot();
+        assert_eq!(s.chain_versions, 40);
+        assert_eq!(s.chain_max_len, 7);
+        assert_eq!(s.chain_watermark, 33);
+        // Gauges, not counters: a later publication overwrites.
+        t.set_chains(12, 3, 38);
+        assert_eq!(t.snapshot().chain_versions, 12);
+        // Disabled handle records nothing.
+        let off = Telemetry::disabled();
+        off.set_chains(1, 1, 1);
+        assert_eq!(off.snapshot().chain_versions, 0);
+    }
+
+    #[test]
+    fn snapshot_read_phase_is_last_and_named() {
+        assert_eq!(Phase::ALL.len(), 8);
+        assert_eq!(Phase::ALL[7], Phase::SnapshotRead);
+        assert_eq!(Phase::SnapshotRead.name(), "snapshot_read");
+        let t = Telemetry::enabled();
+        t.record(Phase::SnapshotRead, Duration::from_nanos(42));
+        assert_eq!(t.snapshot().phases.get(Phase::SnapshotRead).count, 1);
     }
 
     #[test]

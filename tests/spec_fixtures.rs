@@ -87,6 +87,36 @@ fn banking_uniform_fixture_matches_the_workload_and_is_not_two_phase() {
 }
 
 #[test]
+fn banking_readers_fixture_certifies_the_locked_scan_baseline() {
+    // The lock-based alternative to a multiversion snapshot read: a
+    // `scan_all` template that locks every entity (schema order) before
+    // reading any. It certifies alongside the ordered transfers — the
+    // correctness baseline the `ro_snapshot` bench compares against —
+    // but costs a lock class on all six entities per read, which is
+    // precisely what `Engine::run_read_only` eliminates.
+    let sys = load("banking_readers.json");
+    assert_eq!(sys.len(), 3);
+    certify_safe_and_deadlock_free(&sys, CertifyOptions::default())
+        .expect("schema-ordered full scan certifies with the transfers");
+    // The two writer templates are exactly the ordered banking pair.
+    let (_, built) = ddlf::workloads::bank_ordered_pair();
+    for (a, b) in sys.txns().iter().take(2).zip(built.txns()) {
+        assert_eq!(
+            format!("{a}"),
+            format!("{b}"),
+            "writer templates drifted from bank_ordered_pair"
+        );
+    }
+    // And the reader really is a full scan: its lock set is the schema.
+    let scan = sys.txn(TxnId(2));
+    let mut locked: Vec<_> = scan.entities().to_vec();
+    locked.sort();
+    let mut all: Vec<_> = sys.db().entities().collect();
+    all.sort();
+    assert_eq!(locked, all, "scan_all must cover every entity");
+}
+
+#[test]
 fn lost_update_fixture_is_deadlock_free_but_uncertifiable() {
     // The CI exploration tier runs this file to first counterexample.
     // Each transaction reads the snapshot, lets it go, then writes the
@@ -118,6 +148,7 @@ fn fixtures_roundtrip_through_spec() {
         "classic_opposite_order.json",
         "ticketed_pair.json",
         "banking_ordered.json",
+        "banking_readers.json",
         "banking_uniform.json",
         "anomaly_lost_update.json",
         "anomaly_write_skew.json",

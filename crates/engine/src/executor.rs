@@ -514,6 +514,26 @@ impl Engine {
             w.flush_all();
         }
 
+        // Quiescent cross-check: with every worker joined, the
+        // committed-chain tips must agree with the live shard values
+        // whenever the registered workload is delta-only (deltas
+        // commute, so a commit-ts/lock-order inversion cannot change
+        // the tip). With absolute writes the representations may
+        // legitimately diverge — see the `crate::mvcc` module docs.
+        #[cfg(debug_assertions)]
+        if (0..self.registry.len()).all(|t| {
+            self.registry
+                .template(TxnId::from_index(t))
+                .program
+                .is_delta_only()
+        }) {
+            let diverged = self.store.chain_divergence();
+            debug_assert!(
+                diverged.is_empty(),
+                "delta-only run left chain tips diverged from live values: {diverged:?}"
+            );
+        }
+
         let mut outcomes: Vec<Outcome> = vec![Outcome::default(); instances.len()];
         for (id, out) in done_rx.iter() {
             outcomes[id as usize] = out;
@@ -795,12 +815,15 @@ impl Engine {
                 }
             }
         }
-        // The commit timestamp is allocated *before* durability so the
+        // The commit timestamp is reserved *before* durability so the
         // durable record carries it; publication (visibility to the
-        // zero-lock readers) waits until the decision is durable.
-        let ts = self.store.alloc_commit_ts();
+        // zero-lock readers) waits until the decision is durable. The
+        // reservation is unwind-safe: if `log_commit` panics, its drop
+        // publishes an empty write-set so the closed clock skips the
+        // gap instead of stalling all later commits' visibility.
+        let ts = self.store.reserve_commit_ts();
         if let Some(w) = &self.wal {
-            w.log_commit(ctx.gid, inst.template, ctx.attempt, ts);
+            w.log_commit(ctx.gid, inst.template, ctx.attempt, ts.ts());
         }
         let writes: Vec<(EntityId, crate::template::WriteOp)> = t
             .entities()

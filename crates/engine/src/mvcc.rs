@@ -34,6 +34,26 @@
 //! `s = closed` implies every commit `≤ s` is fully readable — the
 //! single-cut guarantee needs no reader-side locks at all.
 //!
+//! **Commit-ts order vs live write order — the delta-only caveat.**
+//! Chains apply whole write-sets in commit-timestamp order, but the
+//! live shards apply each write at `write_and_release` time, and the
+//! engine releases entity locks *before* the transaction commits — so
+//! two conflicting transactions can obtain commit timestamps in the
+//! opposite order of their writes to a shared entity. For **delta**
+//! writes ([`WriteOp::Add`]) this is harmless: wrapping adds commute,
+//! so the chain tip equals the live committed value at quiescence no
+//! matter how the orders interleave, and the conservation identity
+//! (Σint constant under transfers) holds at *every* cut.
+//! [`crate::Store::chain_divergence`] cross-checks the two
+//! representations and the engine debug-asserts it empty at the end of
+//! every delta-only run. For **absolute** writes (`Put`/`PutBytes`) an
+//! inversion makes the chain tip — and therefore
+//! [`crate::Store::snapshot`], [`crate::Store::total_int`], and
+//! read-only cuts — legitimately differ from the live shard value:
+//! early lock release means no clean transaction-aligned cut exists in
+//! that case. Assertions about mixed/absolute workloads should compare
+//! against [`crate::Store::live_snapshot`] at quiescence instead.
+//!
 //! Reclamation is the scheme's only subtlety, solved twice over:
 //!
 //! * **GC (master chains + rings)** truncates each chain to
@@ -45,10 +65,13 @@
 //!   race between a registering reader and a concurrent truncation.
 //! * **Ring capacity eviction** (the ring is fixed-size; a 17th
 //!   version overwrites the oldest slot) can outrun even a registered
-//!   reader. Every slot rewrite bumps the ring's eviction counter
-//!   *first*, so a reader that scanned across a rewrite detects it and
-//!   rescans; a reader whose needed version was evicted outright finds
-//!   *no* entry `≤ s` (eviction is strictly oldest-first, so retained
+//!   reader. Each slot is a seqlock keyed on its `ts` word (cleared
+//!   before a rewrite, republished after, never reused), so a reader
+//!   re-checks `ts` around its field loads and discards torn tuples;
+//!   every slot rewrite also bumps the ring's eviction counter, so a
+//!   reader that scanned across a rewrite detects it and rescans; and
+//!   a reader whose needed version was evicted outright finds *no*
+//!   entry `≤ s` (eviction is strictly oldest-first, so retained
 //!   timestamps are a suffix) and restarts the whole scan at a fresh
 //!   `closed` — the snapshot stays a single cut, just a newer one.
 
@@ -147,9 +170,11 @@ impl RoSnapshot {
 }
 
 /// One lock-free mirror slot: `(ts+1 | 0=empty, version, kind,
-/// payload)`. Field stores are sandwiched by `ts` stores on rewrite and
-/// guarded by the ring's eviction counter, so a reader either sees a
-/// consistent tuple or detects the rewrite and rescans.
+/// payload)`. The slot is a seqlock keyed on `ts`: every rewrite
+/// clears `ts` to [`RING_EMPTY`] *before* touching the fields and
+/// publishes the new `ts` *after* them, and commit timestamps are
+/// never reused — so a reader that observes the same non-empty `ts`
+/// on both sides of its field loads has read a consistent tuple.
 struct RingSlot {
     ts: AtomicU64,
     version: AtomicU64,
@@ -230,8 +255,28 @@ impl Ring {
     /// `None` when every such version has been evicted (the caller
     /// refreshes its snapshot ts and rescans). Lock-free; loops only
     /// while a concurrent eviction rewrites the ring mid-scan.
+    ///
+    /// Two validations, each necessary:
+    ///
+    /// * **Per-slot seqlock recheck** — `ts` is re-loaded after the
+    ///   field loads; a change (to empty or to a new ts) means the
+    ///   slot was rewritten mid-read and the tuple may be torn
+    ///   (mixing an old `ts` with the overwriting entry's fields).
+    ///   Timestamps are never reused, and a rewrite clears `ts`
+    ///   before the fields and republishes it after them, so an
+    ///   unchanged non-empty `ts` proves consistency. The ring-level
+    ///   `evictions` diff alone cannot catch this: a reader whose
+    ///   `before` load lands after the evictor's counter bump but
+    ///   before the victim's `ts` clear would pass the post-scan
+    ///   recheck while holding a torn tuple.
+    /// * **Ring-level `evictions` diff** — a slot whose *individual*
+    ///   reads were consistent can still be stale as a *set*: if a
+    ///   newer candidate's slot was evicted after an older slot
+    ///   passed its recheck, returning the older tuple would miss
+    ///   the true newest-`≤ s` version. Any eviction during the scan
+    ///   forces a rescan.
     fn read_at(&self, s: u64) -> Option<(u64, u64, u64, u64)> {
-        loop {
+        'scan: loop {
             let before = self.evictions.load(SeqCst);
             let mut best: Option<(u64, u64, u64, u64)> = None;
             for slot in &self.slots {
@@ -243,15 +288,17 @@ impl Ring {
                 if ts > s {
                     continue;
                 }
-                // Loading ts before the fields is safe: a rewrite
-                // clears ts first and bumps `evictions`, which the
-                // post-scan check below catches.
                 let tuple = (
                     ts,
                     slot.version.load(SeqCst),
                     slot.kind.load(SeqCst),
                     slot.payload.load(SeqCst),
                 );
+                if slot.ts.load(SeqCst) != enc {
+                    // Rewritten under us: the tuple may be torn.
+                    std::hint::spin_loop();
+                    continue 'scan;
+                }
                 if best.is_none_or(|b| ts > b.0) {
                     best = Some(tuple);
                 }
@@ -349,8 +396,23 @@ impl Mvcc {
     /// Allocates the next commit timestamp. Called once per committing
     /// instance, *before* the commit record is made durable, so the
     /// durable record carries the ts that publication will use.
+    /// Production callers go through [`Mvcc::reserve_ts`] — a raw
+    /// allocation that is never published stalls the closed clock.
     pub(crate) fn alloc_ts(&self) -> u64 {
         self.alloc.fetch_add(1, SeqCst) + 1
+    }
+
+    /// [`Mvcc::alloc_ts`] behind an unwind-safe reservation: the commit
+    /// path holds the reservation across the durability wait and
+    /// publishes through it, so a panic in between (WAL I/O) publishes
+    /// an empty write-set instead of leaving a hole the closed clock
+    /// can never cross.
+    pub(crate) fn reserve_ts(&self) -> TsReservation<'_> {
+        TsReservation {
+            mvcc: self,
+            ts: self.alloc_ts(),
+            published: false,
+        }
     }
 
     /// The closed prefix of the commit clock — the ts a fresh read-only
@@ -491,12 +553,30 @@ impl Mvcc {
             return None;
         }
         let inner = self.inner.lock();
+        Self::snapshot_locked(&inner, ts)
+    }
+
+    /// The chain state at the *current closed cut*, full fidelity,
+    /// sorted by entity. Always succeeds: the closed clock is sampled
+    /// **while holding** the inner mutex — GC and the [`CHAIN_CAP`]
+    /// trim both run under it, so the sampled cut cannot be truncated
+    /// out from under the read. (Sampling `closed_ts()` first and then
+    /// calling [`Mvcc::snapshot_at`] is racy: concurrent publishes can
+    /// advance the clock and a GC pass can then drop every entry `≤`
+    /// the stale sample for some entity.)
+    pub(crate) fn snapshot_closed(&self) -> Vec<(EntityId, VersionedValue)> {
+        let inner = self.inner.lock();
+        let ts = self.closed.load(SeqCst);
+        Self::snapshot_locked(&inner, ts)
+            .expect("GC retains the newest entry <= closed for every chain")
+    }
+
+    fn snapshot_locked(inner: &Inner, ts: u64) -> Option<Vec<(EntityId, VersionedValue)>> {
         let mut out = Vec::with_capacity(inner.chains.len());
         for (entity, chain) in inner.chains.iter() {
             let at = chain.iter().rev().find(|e| e.ts <= ts)?;
             out.push((*entity, at.value.clone()));
         }
-        drop(inner);
         out.sort_by_key(|(e, _)| *e);
         Some(out)
     }
@@ -505,14 +585,25 @@ impl Mvcc {
     /// freshly sampled `closed` ts, then validates the announcement
     /// against `gc_floor` (refreshing until the floor no longer
     /// undercuts it). Lock-free: a CAS per vacant-slot probe plus
-    /// bounded refresh loops; spins only while all `RO_SLOTS` slots are
-    /// simultaneously occupied.
-    fn register(&self) -> (usize, u64) {
+    /// bounded refresh loops; yields only while all `RO_SLOTS` slots
+    /// are simultaneously occupied (slots are guard-scoped, so a slot
+    /// frees as soon as any of the up-to-64 concurrent scans finishes
+    /// — even by panic).
+    ///
+    /// The returned [`SlotGuard`] frees the slot on drop; a leaked
+    /// slot would pin the GC watermark (and grow every chain to
+    /// [`CHAIN_CAP`]) forever.
+    fn register(&self) -> (SlotGuard<'_>, u64) {
         loop {
             let s = self.closed.load(SeqCst);
             for (i, slot) in self.readers.iter().enumerate() {
                 if slot.compare_exchange(SLOT_FREE, s, SeqCst, SeqCst).is_ok() {
-                    return (i, self.validate(i, s));
+                    let guard = SlotGuard {
+                        mvcc: self,
+                        slot: i,
+                    };
+                    let s = self.validate(i, s);
+                    return (guard, s);
                 }
             }
             std::thread::yield_now();
@@ -543,20 +634,32 @@ impl Mvcc {
     /// The zero-lock read-only transaction: registers a snapshot ts,
     /// reads the newest version `≤ ts` of every requested entity from
     /// the rings, and unregisters. Acquires **no lock class** — only
-    /// atomics. Entities must exist in the schema (callers validate).
+    /// atomics.
     ///
     /// If ring-capacity eviction outruns the scan (≥ `RING_CAP`
     /// commits to one entity mid-scan), the whole scan restarts at a
     /// fresh `closed` ts — the result is always a single committed cut.
+    ///
+    /// # Panics
+    /// Panics when an entity is not in the schema — *before* a reader
+    /// slot is claimed, and the slot itself is guard-scoped, so neither
+    /// this panic nor any later unwind can leak a slot and pin the GC
+    /// watermark.
     pub(crate) fn read_only(&self, entities: &[EntityId]) -> RoSnapshot {
-        let (slot, mut s) = self.register();
+        // Resolve every ring up front: public callers
+        // (`Engine::run_read_only`) pass unvalidated entity lists.
+        let rings: Vec<&Ring> = entities
+            .iter()
+            .map(|e| {
+                self.rings
+                    .get(e)
+                    .expect("read_only references a schema entity")
+            })
+            .collect();
+        let (guard, mut s) = self.register();
         'scan: loop {
             let mut entries = Vec::with_capacity(entities.len());
-            for &entity in entities {
-                let ring = self
-                    .rings
-                    .get(&entity)
-                    .expect("read_only references a schema entity");
+            for (&entity, ring) in entities.iter().zip(&rings) {
                 match ring.read_at(s) {
                     Some((ts, version, kind, payload)) => entries.push(RoEntry {
                         entity,
@@ -565,13 +668,66 @@ impl Mvcc {
                         value: (kind == KIND_INT).then_some(payload),
                     }),
                     None => {
-                        s = self.refresh(slot);
+                        s = self.refresh(guard.slot);
                         continue 'scan;
                     }
                 }
             }
-            self.readers[slot].store(SLOT_FREE, SeqCst);
+            drop(guard);
             return RoSnapshot { ts: s, entries };
+        }
+    }
+}
+
+/// A claimed read-only reader-pool slot. Freed on drop — panicking
+/// scans and early returns cannot leak the slot (a leaked slot would
+/// pin the GC watermark forever).
+struct SlotGuard<'a> {
+    mvcc: &'a Mvcc,
+    slot: usize,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.mvcc.readers[self.slot].store(SLOT_FREE, SeqCst);
+    }
+}
+
+/// An allocated commit timestamp awaiting publication. The closed
+/// clock only advances over a *contiguous* timestamp prefix, so once a
+/// ts is allocated, something must eventually publish at it — a hole
+/// would buffer every later commit in `pending` forever and let
+/// read-only snapshots silently go permanently stale. Dropping an
+/// unpublished reservation (unwind between allocation and publication,
+/// e.g. a WAL I/O panic) publishes an **empty write-set**: the clock
+/// closes over the gap, exactly like the gaps recovery already
+/// tolerates for timestamps that never became durable.
+pub(crate) struct TsReservation<'a> {
+    mvcc: &'a Mvcc,
+    ts: u64,
+    published: bool,
+}
+
+impl TsReservation<'_> {
+    /// The reserved commit timestamp (log it in the durable record).
+    pub(crate) fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Publishes `writes` at the reserved timestamp (see
+    /// [`Mvcc::publish`]).
+    pub(crate) fn publish(mut self, writes: Vec<(EntityId, WriteOp)>) {
+        // Mark before calling: should publish itself unwind, the Drop
+        // impl must not publish the same ts a second time.
+        self.published = true;
+        self.mvcc.publish(self.ts, writes);
+    }
+}
+
+impl Drop for TsReservation<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.mvcc.publish(self.ts, Vec::new());
         }
     }
 }
@@ -668,7 +824,7 @@ mod tests {
         assert!(m.snapshot_at(10).is_some());
         assert!(m.snapshot_at(9).is_none(), "9 was truncated");
         // A registered reader pins the watermark.
-        let (slot, s) = m.register();
+        let (guard, s) = m.register();
         assert_eq!(s, 10);
         for _ in 0..5 {
             m.publish(m.alloc_ts(), vec![add(0, 1)]);
@@ -676,7 +832,8 @@ mod tests {
         let (_, _, w) = m.gc();
         assert_eq!(w, 10, "live snapshot pins the watermark");
         assert!(m.snapshot_at(10).is_some(), "watermark entry retained");
-        m.readers[slot].store(SLOT_FREE, SeqCst);
+        drop(guard);
+        assert!(m.reader_min().is_none(), "guard drop frees the slot");
     }
 
     #[test]
@@ -694,7 +851,7 @@ mod tests {
         let m = Arc::new(Mvcc::new(&db(1), 0));
         // Register at ts 0, then push enough commits to evict ts 0 from
         // the ring entirely: the next read must refresh, not corrupt.
-        let (slot, s) = m.register();
+        let (guard, s) = m.register();
         assert_eq!(s, 0);
         for _ in 0..(RING_CAP * 2) {
             m.publish(m.alloc_ts(), vec![add(0, 1)]);
@@ -702,10 +859,90 @@ mod tests {
         // Simulate the mid-scan path: read_at at the stale ts fails...
         assert!(m.rings[&EntityId(0)].read_at(s).is_none());
         // ...and the refresh path lands on the new closed cut.
-        let s2 = m.refresh(slot);
+        let s2 = m.refresh(guard.slot);
         assert_eq!(s2, (RING_CAP * 2) as u64);
         assert!(m.rings[&EntityId(0)].read_at(s2).is_some());
-        m.readers[slot].store(SLOT_FREE, SeqCst);
+    }
+
+    #[test]
+    fn dropped_reservation_closes_the_clock_over_the_gap() {
+        let m = Mvcc::new(&db(1), 0);
+        let r1 = m.reserve_ts();
+        assert_eq!(r1.ts(), 1);
+        // Simulated panic between allocation and publication: the drop
+        // publishes an empty write-set instead of stalling the clock.
+        drop(r1);
+        assert_eq!(m.closed_ts(), 1, "the clock closes over the abandoned ts");
+        m.publish(m.alloc_ts(), vec![add(0, 5)]);
+        assert_eq!(m.closed_ts(), 2);
+        let snap = m.read_only(&[EntityId(0)]);
+        assert_eq!(snap.get(EntityId(0)).unwrap().value, Some(5));
+    }
+
+    #[test]
+    fn dropped_reservation_releases_buffered_successors() {
+        let m = Mvcc::new(&db(1), 0);
+        let r1 = m.reserve_ts();
+        let r2 = m.reserve_ts();
+        r2.publish(vec![add(0, 3)]);
+        assert_eq!(m.closed_ts(), 0, "t2 buffers behind the unpublished t1");
+        drop(r1);
+        assert_eq!(m.closed_ts(), 2, "dropping t1 unblocks the buffered t2");
+        assert_eq!(m.read_only(&[EntityId(0)]).sum_int(), 3);
+    }
+
+    /// Regression: `Store::snapshot` used to sample `closed_ts()` and
+    /// then lock for `snapshot_at`, so a GC pass in the window could
+    /// truncate the sampled cut away and panic. `snapshot_closed`
+    /// samples the clock under the chain mutex instead.
+    #[test]
+    fn snapshot_closed_survives_publish_and_gc_churn() {
+        const ENTITIES: u32 = 4;
+        const INITIAL: u64 = 100;
+        let m = Arc::new(Mvcc::new(&db(ENTITIES as usize), INITIAL));
+        let writer = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let from = (i % u64::from(ENTITIES)) as u32;
+                    let to = ((i + 1) % u64::from(ENTITIES)) as u32;
+                    m.publish(m.alloc_ts(), vec![add(from, -1), add(to, 1)]);
+                    if i % 3 == 0 {
+                        m.gc();
+                    }
+                }
+            })
+        };
+        while !writer.is_finished() {
+            let snap = m.snapshot_closed();
+            let sum: u128 = snap
+                .iter()
+                .filter_map(|(_, v)| v.datum.as_int())
+                .map(u128::from)
+                .sum();
+            assert_eq!(sum, u128::from(INITIAL) * u128::from(ENTITIES));
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_entity_panics_without_leaking_a_reader_slot() {
+        let m = Arc::new(Mvcc::new(&db(1), 0));
+        let m2 = Arc::clone(&m);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            m2.read_only(&[EntityId(0), EntityId(7)])
+        }));
+        assert!(r.is_err(), "entity 7 is not in the schema");
+        assert!(
+            m.reader_min().is_none(),
+            "a panicking read_only must not leave a registered slot behind"
+        );
+        // The watermark is unpinned: GC truncates freely.
+        for _ in 0..4 {
+            m.publish(m.alloc_ts(), vec![add(0, 1)]);
+        }
+        let (_, _, w) = m.gc();
+        assert_eq!(w, 4, "no leaked slot pins the watermark");
     }
 
     /// The tentpole property in miniature: concurrent writers publish

@@ -643,15 +643,25 @@ impl Store {
 
     /// A true committed snapshot: the multiversion chain state at the
     /// current closed commit timestamp, sorted by entity. Safe to call
-    /// while writers churn — the cut reflects whole committed
-    /// transactions only, applied in commit order.
+    /// while writers churn — the closed clock is sampled under the
+    /// same lock that GC and the chain-capacity trim hold, so the cut
+    /// is always retained, and it reflects whole committed
+    /// transactions only, applied in commit-timestamp order.
+    ///
+    /// **Commit-ts order caveat:** chains apply write-sets in commit-
+    /// timestamp order, while the live shards apply writes at lock-
+    /// release time — under early lock release the two orders can
+    /// invert. Deltas ([`WriteOp::Add`]) commute, so for delta-only
+    /// workloads the chain tip provably equals the live committed
+    /// value at quiescence ([`Store::chain_divergence`] cross-checks
+    /// this); with absolute writes (`Put`/`PutBytes`) the tip can
+    /// legitimately differ from the live shard value. See the
+    /// [`crate::mvcc`] module docs.
     ///
     /// For values mutated *outside* the commit path (uncommitted
     /// writes, direct shard manipulation) use [`Store::live_snapshot`].
     pub fn snapshot(&self) -> Vec<(EntityId, VersionedValue)> {
-        self.mvcc
-            .snapshot_at(self.mvcc.closed_ts())
-            .expect("the closed cut is always retained")
+        self.mvcc.snapshot_closed()
     }
 
     /// The committed chain state at cut `ts` (full datum fidelity,
@@ -696,15 +706,25 @@ impl Store {
         self.mvcc.gc()
     }
 
-    /// Allocates the next commit timestamp (commit path only).
-    pub(crate) fn alloc_commit_ts(&self) -> u64 {
-        self.mvcc.alloc_ts()
+    /// Reserves the next commit timestamp (commit path only). The
+    /// reservation publishes an empty write-set if dropped
+    /// unpublished, so a panic between allocation and
+    /// [`Store::publish_commit`] (WAL I/O, say) cannot stall the
+    /// closed clock — and with it every later commit's visibility —
+    /// forever.
+    pub(crate) fn reserve_commit_ts(&self) -> crate::mvcc::TsReservation<'_> {
+        self.mvcc.reserve_ts()
     }
 
-    /// Publishes a committed write-set at `ts` into the version chains
-    /// (commit path only; call after the commit record is durable).
-    pub(crate) fn publish_commit(&self, ts: u64, writes: Vec<(EntityId, WriteOp)>) {
-        self.mvcc.publish(ts, writes);
+    /// Publishes a committed write-set at the reserved timestamp into
+    /// the version chains (commit path only; call after the commit
+    /// record is durable).
+    pub(crate) fn publish_commit(
+        &self,
+        ts: crate::mvcc::TsReservation<'_>,
+        writes: Vec<(EntityId, WriteOp)>,
+    ) {
+        ts.publish(writes);
     }
 
     /// Recovery-path publication: rebuilds the chain state for commit
@@ -717,6 +737,10 @@ impl Store {
     /// transfer workloads. Widened to `u128`: the old `u64` wrapping
     /// sum could let a non-conserving run wrap back onto the expected
     /// total and pass its conservation check.
+    ///
+    /// Reads the committed chains, so the delta-only caveat of
+    /// [`Store::snapshot`] applies: with absolute writes in the mix,
+    /// prefer [`Store::live_snapshot`] sums at quiescence.
     pub fn total_int(&self) -> u128 {
         self.snapshot()
             .iter()
@@ -728,6 +752,29 @@ impl Store {
     /// Sum of all committed versions — total committed writes.
     pub fn total_versions(&self) -> u64 {
         self.snapshot().iter().map(|(_, v)| v.version).sum()
+    }
+
+    /// Quiescent cross-check of the store's two value representations:
+    /// the entities whose committed-chain tip datum differs from the
+    /// live shard datum. Meaningful only with no transaction in flight
+    /// (live values include uncommitted writes).
+    ///
+    /// For **delta-only** workloads any divergence is a bug — deltas
+    /// commute, so commit-ts/lock-order inversions cannot change the
+    /// tip — and the engine debug-asserts this empty at the end of
+    /// every delta-only run. With absolute writes (`Put`/`PutBytes`) a
+    /// commit-ts inversion can legitimately leave the two tips
+    /// diverged; see the [`crate::mvcc`] module docs.
+    pub fn chain_divergence(&self) -> Vec<EntityId> {
+        self.snapshot()
+            .iter()
+            .zip(self.live_snapshot().iter())
+            .filter(|((e, chain), (le, live))| {
+                debug_assert_eq!(e, le, "both snapshots are entity-sorted");
+                chain.datum != live.datum
+            })
+            .map(|((e, _), _)| *e)
+            .collect()
     }
 }
 
